@@ -1,0 +1,86 @@
+//! Log-stream profiler: runs a short TPC-B and TATP burst and prints the
+//! record-kind and record-size distributions of the resulting WAL — the
+//! §5/§6.3.1 claims ("two strong peaks", ~120 B average) checked against the
+//! logs this system actually writes.
+//!
+//! Env: `AETHER_MS`, `AETHER_CLIENTS`.
+
+use aether_bench::driver::{run_closed_loop, DriverConfig};
+use aether_bench::env_or;
+use aether_bench::loganalysis::LogProfile;
+use aether_bench::tatp::{Tatp, TatpConfig, TatpMix};
+use aether_bench::tpcb::{Tpcb, TpcbConfig};
+use aether_core::DeviceKind;
+use aether_storage::{CommitProtocol, Db, DbOptions};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let ms = env_or("AETHER_MS", 500u64);
+    let clients = env_or("AETHER_CLIENTS", 4usize);
+
+    // --- TPC-B ---
+    let db = Db::open(DbOptions {
+        protocol: CommitProtocol::Elr,
+        device: DeviceKind::Ram,
+        ..DbOptions::default()
+    });
+    let tpcb = Arc::new(Tpcb::setup(
+        &db,
+        TpcbConfig {
+            accounts: 10_000,
+            ..TpcbConfig::default()
+        },
+    ));
+    let t = Arc::clone(&tpcb);
+    let body = move |db: &Db,
+                     txn: &mut aether_storage::Transaction,
+                     rng: &mut rand::rngs::StdRng,
+                     _c: usize| t.account_update(db, txn, rng);
+    run_closed_loop(
+        &db,
+        &DriverConfig {
+            clients,
+            duration: Duration::from_millis(ms),
+            seed: 1,
+        },
+        &body,
+    );
+    db.log().flush_all();
+    println!("== TPC-B log profile ==");
+    println!(
+        "{}",
+        LogProfile::scan(Arc::clone(db.log().device())).unwrap().report()
+    );
+
+    // --- TATP standard mix ---
+    let db = Db::open(DbOptions {
+        protocol: CommitProtocol::Elr,
+        device: DeviceKind::Ram,
+        ..DbOptions::default()
+    });
+    let tatp = Arc::new(Tatp::setup(&db, TatpConfig { subscribers: 20_000 }));
+    let t = Arc::clone(&tatp);
+    let body = move |db: &Db,
+                     txn: &mut aether_storage::Transaction,
+                     rng: &mut rand::rngs::StdRng,
+                     _c: usize| {
+        let kind = t.pick(TatpMix::Standard, rng);
+        t.run(kind, db, txn, rng)
+    };
+    run_closed_loop(
+        &db,
+        &DriverConfig {
+            clients,
+            duration: Duration::from_millis(ms),
+            seed: 2,
+        },
+        &body,
+    );
+    db.log().flush_all();
+    println!("== TATP (standard mix) log profile ==");
+    println!(
+        "{}",
+        LogProfile::scan(Arc::clone(db.log().device())).unwrap().report()
+    );
+}

@@ -1,0 +1,50 @@
+//! # aether-bench — workloads, drivers and experiment harness
+//!
+//! Everything needed to regenerate the Aether paper's evaluation:
+//!
+//! * [`zipf`] — exact zipfian sampling over arbitrary `s` (Figure 3's x-axis
+//!   runs 0..5, past the range where the usual YCSB approximation holds).
+//! * [`tpcb`] — the TPC-B stress workload (Figures 2–5).
+//! * [`tatp`] — the TATP/TM1 telecom workload, all seven transactions
+//!   (Figures 7, 9).
+//! * [`tpcc`] — a TPC-C-shaped page-access trace generator for the
+//!   distributed-logging dependency analysis (Figure 13).
+//! * [`driver`] — closed-loop multi-client driver with per-phase time
+//!   breakdown and durable-completion counting.
+//! * [`measure`] — OS context-switch counters and breakdown assembly.
+//! * [`micro`] — the log-insert microbenchmark (Figures 8, 11, 12).
+//!
+//! Each `src/bin/figN_*.rs` binary prints one paper artifact as TSV.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod loganalysis;
+pub mod measure;
+pub mod micro;
+pub mod tatp;
+pub mod tpcb;
+pub mod tpcc;
+pub mod tpcc_exec;
+pub mod zipf;
+
+/// Read an environment-variable override used by the experiment binaries
+/// (e.g. `AETHER_SECONDS`, `AETHER_CLIENTS`), falling back to `default`.
+pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_or_falls_back() {
+        assert_eq!(super::env_or("AETHER_DOES_NOT_EXIST_XYZ", 7u32), 7);
+        std::env::set_var("AETHER_TEST_ENV_OR", "42");
+        assert_eq!(super::env_or("AETHER_TEST_ENV_OR", 7u32), 42);
+        std::env::set_var("AETHER_TEST_ENV_OR", "not a number");
+        assert_eq!(super::env_or("AETHER_TEST_ENV_OR", 7u32), 7);
+    }
+}

@@ -1,0 +1,363 @@
+//! TATP (TM1): the telecom workload (Figures 7, 9).
+//!
+//! "TATP models a cell phone provider database. It consists of seven very
+//! small transactions, both update and read-only. The application exhibits
+//! little logical contention, but the small transaction sizes stress
+//! database services, especially logging and locking. We use a database of
+//! 100K Subscribers." (§6.1)
+//!
+//! All seven transactions are implemented. The paper's Figures 7 and 9 drive
+//! `UpdateLocation` exclusively (the log-stress case); [`TatpMix::Standard`]
+//! provides the official 35/10/35/2/14/2/2 mix.
+
+use aether_storage::error::StorageResult;
+use aether_storage::txn::Transaction;
+use aether_storage::Db;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Subscriber record size (~100 B, like the paper's average row).
+pub const SUBSCRIBER_SIZE: usize = 100;
+/// AccessInfo record size.
+pub const ACCESS_INFO_SIZE: usize = 48;
+/// SpecialFacility record size.
+pub const SPECIAL_FACILITY_SIZE: usize = 40;
+/// CallForwarding record size.
+pub const CALL_FORWARDING_SIZE: usize = 32;
+
+/// Transaction mix selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TatpMix {
+    /// The official TATP mix (35% GetSubscriberData, 10% GetNewDestination,
+    /// 35% GetAccessData, 2% UpdateSubscriberData, 14% UpdateLocation,
+    /// 2% InsertCallForwarding, 2% DeleteCallForwarding).
+    Standard,
+    /// Only UpdateLocation — the paper's log-stress configuration
+    /// (Figures 7 and 9).
+    UpdateLocationOnly,
+}
+
+/// The seven TATP transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TatpTxn {
+    /// Read one subscriber row (read-only).
+    GetSubscriberData,
+    /// Read special facility + call forwarding (read-only).
+    GetNewDestination,
+    /// Read one access-info row (read-only).
+    GetAccessData,
+    /// Update subscriber bit + special facility data.
+    UpdateSubscriberData,
+    /// Update the subscriber's VLR location (the log-stress transaction).
+    UpdateLocation,
+    /// Insert a call-forwarding row.
+    InsertCallForwarding,
+    /// Delete a call-forwarding row.
+    DeleteCallForwarding,
+}
+
+/// TATP scale configuration.
+#[derive(Debug, Clone)]
+pub struct TatpConfig {
+    /// Number of subscribers (the paper uses 100 000).
+    pub subscribers: u64,
+}
+
+impl Default for TatpConfig {
+    fn default() -> Self {
+        TatpConfig {
+            subscribers: 100_000,
+        }
+    }
+}
+
+/// A loaded TATP database.
+pub struct Tatp {
+    /// Subscriber table id.
+    pub subscriber: u32,
+    /// AccessInfo table id (dense key = s_id*4 + ai_type).
+    pub access_info: u32,
+    /// SpecialFacility table id (dense key = s_id*4 + sf_type).
+    pub special_facility: u32,
+    /// CallForwarding table id (dense key = sf_key*3 + start_time/8).
+    pub call_forwarding: u32,
+    cfg: TatpConfig,
+}
+
+impl std::fmt::Debug for Tatp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tatp")
+            .field("subscribers", &self.cfg.subscribers)
+            .finish()
+    }
+}
+
+fn keyed_record(key: u64, size: usize, fill: u8) -> Vec<u8> {
+    let mut r = vec![fill; size];
+    r[..8].copy_from_slice(&key.to_le_bytes());
+    r
+}
+
+/// Deterministic population rules (stand-ins for TATP's randomized load,
+/// chosen so tests can predict presence):
+/// subscriber `s` has `1 + s % 4` access-info rows and the same number of
+/// special-facility rows; each present special facility has a call
+/// forwarding row for start times 0 and 8 but not 16.
+fn ai_present(s_id: u64, ai_type: u64) -> bool {
+    ai_type <= s_id % 4
+}
+fn sf_present(s_id: u64, sf_type: u64) -> bool {
+    sf_type <= s_id % 4
+}
+fn cf_present(slot: u64) -> bool {
+    slot < 2
+}
+
+impl Tatp {
+    /// Create and bulk-load the four tables; checkpoints when done.
+    pub fn setup(db: &Arc<Db>, cfg: TatpConfig) -> Tatp {
+        let n = cfg.subscribers;
+        let subscriber = db.create_table(SUBSCRIBER_SIZE, n);
+        let access_info = db.create_table(ACCESS_INFO_SIZE, n * 4);
+        let special_facility = db.create_table(SPECIAL_FACILITY_SIZE, n * 4);
+        let call_forwarding = db.create_table(CALL_FORWARDING_SIZE, n * 12);
+        for s in 0..n {
+            db.load(subscriber, s, &keyed_record(s, SUBSCRIBER_SIZE, 1)).unwrap();
+            for t in 0..4u64 {
+                if ai_present(s, t) {
+                    let k = s * 4 + t;
+                    db.load(access_info, k, &keyed_record(k, ACCESS_INFO_SIZE, 2))
+                        .unwrap();
+                }
+                if sf_present(s, t) {
+                    let k = s * 4 + t;
+                    db.load(
+                        special_facility,
+                        k,
+                        &keyed_record(k, SPECIAL_FACILITY_SIZE, 3),
+                    )
+                    .unwrap();
+                    for slot in 0..3u64 {
+                        if cf_present(slot) {
+                            let ck = k * 3 + slot;
+                            db.load(
+                                call_forwarding,
+                                ck,
+                                &keyed_record(ck, CALL_FORWARDING_SIZE, 4),
+                            )
+                            .unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        db.setup_complete();
+        Tatp {
+            subscriber,
+            access_info,
+            special_facility,
+            call_forwarding,
+            cfg,
+        }
+    }
+
+    /// Scale configuration.
+    pub fn config(&self) -> &TatpConfig {
+        &self.cfg
+    }
+
+    /// Pick the next transaction type for `mix`.
+    pub fn pick(&self, mix: TatpMix, rng: &mut StdRng) -> TatpTxn {
+        match mix {
+            TatpMix::UpdateLocationOnly => TatpTxn::UpdateLocation,
+            TatpMix::Standard => {
+                let p: u32 = rng.gen_range(0..100);
+                match p {
+                    0..=34 => TatpTxn::GetSubscriberData,
+                    35..=44 => TatpTxn::GetNewDestination,
+                    45..=79 => TatpTxn::GetAccessData,
+                    80..=81 => TatpTxn::UpdateSubscriberData,
+                    82..=95 => TatpTxn::UpdateLocation,
+                    96..=97 => TatpTxn::InsertCallForwarding,
+                    _ => TatpTxn::DeleteCallForwarding,
+                }
+            }
+        }
+    }
+
+    /// Execute one transaction of the given type. Workload-expected misses
+    /// surface as `KeyNotFound`/`DuplicateKey` — TATP counts those runs as
+    /// "failed but valid"; the driver aborts and moves on.
+    pub fn run(
+        &self,
+        kind: TatpTxn,
+        db: &Db,
+        txn: &mut Transaction,
+        rng: &mut StdRng,
+    ) -> StorageResult<()> {
+        let n = self.cfg.subscribers;
+        let s_id = rng.gen_range(0..n);
+        match kind {
+            TatpTxn::GetSubscriberData => {
+                let _ = db.read(txn, self.subscriber, s_id)?;
+                Ok(())
+            }
+            TatpTxn::GetNewDestination => {
+                let sf_type = rng.gen_range(0..4u64);
+                let start = rng.gen_range(0..3u64);
+                let sfk = s_id * 4 + sf_type;
+                let _ = db.read(txn, self.special_facility, sfk)?;
+                let _ = db.read(txn, self.call_forwarding, sfk * 3 + start)?;
+                Ok(())
+            }
+            TatpTxn::GetAccessData => {
+                let ai_type = rng.gen_range(0..4u64);
+                let _ = db.read(txn, self.access_info, s_id * 4 + ai_type)?;
+                Ok(())
+            }
+            TatpTxn::UpdateSubscriberData => {
+                let sf_type = rng.gen_range(0..4u64);
+                db.update_with(txn, self.subscriber, s_id, |r| r[9] = r[9].wrapping_add(1))?;
+                db.update_with(txn, self.special_facility, s_id * 4 + sf_type, |r| {
+                    r[9] = r[9].wrapping_add(1)
+                })?;
+                Ok(())
+            }
+            TatpTxn::UpdateLocation => {
+                let loc: u32 = rng.gen();
+                db.update_with(txn, self.subscriber, s_id, |r| {
+                    r[16..20].copy_from_slice(&loc.to_le_bytes())
+                })?;
+                Ok(())
+            }
+            TatpTxn::InsertCallForwarding => {
+                let sf_type = rng.gen_range(0..4u64);
+                let start = rng.gen_range(0..3u64);
+                let sfk = s_id * 4 + sf_type;
+                let _ = db.read(txn, self.subscriber, s_id)?;
+                let _ = db.read(txn, self.special_facility, sfk)?;
+                let ck = sfk * 3 + start;
+                db.insert(
+                    txn,
+                    self.call_forwarding,
+                    ck,
+                    &keyed_record(ck, CALL_FORWARDING_SIZE, 5),
+                )?;
+                Ok(())
+            }
+            TatpTxn::DeleteCallForwarding => {
+                let sf_type = rng.gen_range(0..4u64);
+                let start = rng.gen_range(0..3u64);
+                let ck = (s_id * 4 + sf_type) * 3 + start;
+                db.delete(txn, self.call_forwarding, ck)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aether_storage::{CommitProtocol, DbOptions};
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn mini() -> (Arc<Db>, Tatp) {
+        let db = Db::open(DbOptions {
+            protocol: CommitProtocol::Elr,
+            log_config: aether_core::LogConfig::default().with_buffer_size(1 << 21),
+            ..DbOptions::default()
+        });
+        let tatp = Tatp::setup(&db, TatpConfig { subscribers: 200 });
+        (db, tatp)
+    }
+
+    #[test]
+    fn update_location_always_succeeds() {
+        let (db, tatp) = mini();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let mut txn = db.begin();
+            tatp.run(TatpTxn::UpdateLocation, &db, &mut txn, &mut rng)
+                .unwrap();
+            db.commit(txn).unwrap();
+        }
+    }
+
+    #[test]
+    fn standard_mix_roughly_matches_spec() {
+        let (_db, tatp) = mini();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts: HashMap<TatpTxn, u32> = HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(tatp.pick(TatpMix::Standard, &mut rng)).or_default() += 1;
+        }
+        let pct = |t: TatpTxn| *counts.get(&t).unwrap_or(&0) as f64 / 100.0;
+        assert!((pct(TatpTxn::GetSubscriberData) - 35.0).abs() < 3.0);
+        assert!((pct(TatpTxn::GetAccessData) - 35.0).abs() < 3.0);
+        assert!((pct(TatpTxn::UpdateLocation) - 14.0).abs() < 3.0);
+        assert!(pct(TatpTxn::InsertCallForwarding) < 5.0);
+        assert_eq!(
+            tatp.pick(TatpMix::UpdateLocationOnly, &mut rng),
+            TatpTxn::UpdateLocation
+        );
+    }
+
+    #[test]
+    fn full_mix_runs_with_expected_failures() {
+        let (db, tatp) = mini();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ok = 0u32;
+        let mut failed = 0u32;
+        for _ in 0..500 {
+            let kind = tatp.pick(TatpMix::Standard, &mut rng);
+            let mut txn = db.begin();
+            match tatp.run(kind, &db, &mut txn, &mut rng) {
+                Ok(()) => {
+                    db.commit(txn).unwrap();
+                    ok += 1;
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(
+                            e,
+                            aether_storage::StorageError::KeyNotFound { .. }
+                                | aether_storage::StorageError::DuplicateKey { .. }
+                        ),
+                        "only workload-expected failures allowed, got {e}"
+                    );
+                    db.abort(txn).unwrap();
+                    failed += 1;
+                }
+            }
+        }
+        assert!(ok > 300, "most TATP txns succeed (got {ok})");
+        assert!(failed > 0, "some TATP probes must miss by design");
+        assert_eq!(db.locks().granted_count(), 0);
+    }
+
+    #[test]
+    fn insert_then_delete_call_forwarding_roundtrip() {
+        let (db, tatp) = mini();
+        // Subscriber 1 has sf_type 0,1 present; cf slots 0,1 present, 2 absent.
+        let sfk = 4;
+        let ck = sfk * 3 + 2;
+        let mut txn = db.begin();
+        db.insert(
+            &mut txn,
+            tatp.call_forwarding,
+            ck,
+            &keyed_record(ck, CALL_FORWARDING_SIZE, 9),
+        )
+        .unwrap();
+        db.commit(txn).unwrap();
+        let mut txn = db.begin();
+        db.delete(&mut txn, tatp.call_forwarding, ck).unwrap();
+        db.commit(txn).unwrap();
+        let mut txn = db.begin();
+        assert!(db.read(&mut txn, tatp.call_forwarding, ck).is_err());
+        db.commit(txn).unwrap();
+    }
+}

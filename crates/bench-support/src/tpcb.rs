@@ -1,0 +1,309 @@
+//! TPC-B: the paper's database stress test (Figures 2–5).
+//!
+//! "This benchmark models a banking workload and is intended as a database
+//! stress test. It consists of a single small update transaction and
+//! exhibits moderate lock contention. Our experiments utilize a 100-teller
+//! dataset." (§6.1)
+//!
+//! Schema: branches, tellers, accounts (100-byte records per the spec) and
+//! an append-only history (50-byte records). The AccountUpdate transaction
+//! adjusts one account, its teller and its branch, and appends a history
+//! row. Account selection is zipfian so Figure 3 can sweep contention; the
+//! teller/branch are derived from the account, so skew propagates to the
+//! (much hotter) teller and branch rows.
+
+use crate::zipf::Zipf;
+use aether_storage::error::StorageResult;
+use aether_storage::txn::Transaction;
+use aether_storage::Db;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Account/teller/branch record size (TPC-B mandates 100-byte rows).
+pub const RECORD_SIZE: usize = 100;
+/// History record size.
+pub const HISTORY_SIZE: usize = 50;
+
+/// TPC-B scale configuration.
+#[derive(Debug, Clone)]
+pub struct TpcbConfig {
+    /// Branches (the hottest rows).
+    pub branches: u64,
+    /// Tellers (the paper's dataset has 100).
+    pub tellers: u64,
+    /// Accounts.
+    pub accounts: u64,
+    /// Zipfian skew over account selection (0 = uniform; Figure 3 x-axis).
+    pub skew: f64,
+}
+
+impl Default for TpcbConfig {
+    fn default() -> Self {
+        TpcbConfig {
+            branches: 10,
+            tellers: 100,
+            accounts: 100_000,
+            skew: 0.0,
+        }
+    }
+}
+
+/// A loaded TPC-B database: table ids + samplers.
+pub struct Tpcb {
+    /// Accounts table id.
+    pub accounts: u32,
+    /// Tellers table id.
+    pub tellers: u32,
+    /// Branches table id.
+    pub branches: u32,
+    /// History table id.
+    pub history: u32,
+    cfg: TpcbConfig,
+    zipf: Zipf,
+    history_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Tpcb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tpcb")
+            .field("accounts", &self.cfg.accounts)
+            .field("tellers", &self.cfg.tellers)
+            .field("branches", &self.cfg.branches)
+            .field("skew", &self.cfg.skew)
+            .finish()
+    }
+}
+
+fn balance_record(key: u64, size: usize) -> Vec<u8> {
+    let mut r = vec![0u8; size];
+    r[..8].copy_from_slice(&key.to_le_bytes());
+    // bytes 8..16: balance (i64, initially 0); rest is spec-mandated padding
+    r
+}
+
+/// Read the balance field of a TPC-B record.
+pub fn read_balance(rec: &[u8]) -> i64 {
+    i64::from_le_bytes(rec[8..16].try_into().unwrap())
+}
+
+/// Adjust the balance field in place.
+pub fn bump_balance(rec: &mut [u8], delta: i64) {
+    let b = read_balance(rec) + delta;
+    rec[8..16].copy_from_slice(&b.to_le_bytes());
+}
+
+impl Tpcb {
+    /// Create tables and bulk-load the dataset; finishes with a checkpoint.
+    pub fn setup(db: &Arc<Db>, cfg: TpcbConfig) -> Tpcb {
+        let accounts = db.create_table(RECORD_SIZE, cfg.accounts);
+        let tellers = db.create_table(RECORD_SIZE, cfg.tellers);
+        let branches = db.create_table(RECORD_SIZE, cfg.branches);
+        let history = db.create_table(HISTORY_SIZE, 0);
+        for k in 0..cfg.accounts {
+            db.load(accounts, k, &balance_record(k, RECORD_SIZE)).unwrap();
+        }
+        for k in 0..cfg.tellers {
+            db.load(tellers, k, &balance_record(k, RECORD_SIZE)).unwrap();
+        }
+        for k in 0..cfg.branches {
+            db.load(branches, k, &balance_record(k, RECORD_SIZE)).unwrap();
+        }
+        db.setup_complete();
+        let zipf = Zipf::new(cfg.accounts, cfg.skew);
+        Tpcb {
+            accounts,
+            tellers,
+            branches,
+            history,
+            cfg,
+            zipf,
+            history_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The scale configuration.
+    pub fn config(&self) -> &TpcbConfig {
+        &self.cfg
+    }
+
+    /// The TPC-B AccountUpdate transaction body.
+    ///
+    /// Locks are taken account → teller → branch → history in every
+    /// execution, so the workload is deadlock-free by ordering.
+    pub fn account_update(
+        &self,
+        db: &Db,
+        txn: &mut Transaction,
+        rng: &mut StdRng,
+    ) -> StorageResult<()> {
+        let aid = self.zipf.sample(rng);
+        let tid = aid % self.cfg.tellers;
+        let bid = tid % self.cfg.branches;
+        let delta: i64 = rng.gen_range(-999_999..=999_999);
+
+        db.update_with(txn, self.accounts, aid, |r| bump_balance(r, delta))?;
+        db.update_with(txn, self.tellers, tid, |r| bump_balance(r, delta))?;
+        db.update_with(txn, self.branches, bid, |r| bump_balance(r, delta))?;
+
+        let hid = self.history_seq.fetch_add(1, Ordering::Relaxed);
+        let mut h = vec![0u8; HISTORY_SIZE];
+        h[..8].copy_from_slice(&hid.to_le_bytes());
+        h[8..16].copy_from_slice(&aid.to_le_bytes());
+        h[16..24].copy_from_slice(&tid.to_le_bytes());
+        h[24..32].copy_from_slice(&bid.to_le_bytes());
+        h[32..40].copy_from_slice(&delta.to_le_bytes());
+        db.insert(txn, self.history, hid, &h)?;
+
+        // Per the spec the transaction returns the account balance.
+        let _ = db.read(txn, self.accounts, aid)?;
+        Ok(())
+    }
+
+    /// Invariant check: sum(accounts) == sum(tellers) == sum(branches).
+    /// Every AccountUpdate adds the same delta to one row of each table, so
+    /// the three sums move in lockstep — any divergence means lost or
+    /// phantom updates.
+    pub fn balance_invariant(&self, db: &Arc<Db>) -> StorageResult<(i64, i64, i64)> {
+        let mut txn = db.begin();
+        let mut sums = [0i64; 3];
+        for (i, (table, n)) in [
+            (self.accounts, self.cfg.accounts),
+            (self.tellers, self.cfg.tellers),
+            (self.branches, self.cfg.branches),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for k in 0..*n {
+                let rec = db.read(&mut txn, *table, k)?;
+                sums[i] += read_balance(&rec);
+            }
+        }
+        db.commit(txn)?;
+        Ok((sums[0], sums[1], sums[2]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aether_storage::{CommitProtocol, DbOptions};
+    use rand::SeedableRng;
+
+    fn mini() -> (Arc<Db>, Tpcb) {
+        let db = Db::open(DbOptions {
+            protocol: CommitProtocol::Elr,
+            log_config: aether_core::LogConfig::default().with_buffer_size(1 << 21),
+            ..DbOptions::default()
+        });
+        let tpcb = Tpcb::setup(
+            &db,
+            TpcbConfig {
+                branches: 2,
+                tellers: 10,
+                accounts: 1000,
+                skew: 0.5,
+            },
+        );
+        (db, tpcb)
+    }
+
+    #[test]
+    fn account_update_commits_and_appends_history() {
+        let (db, tpcb) = mini();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let mut txn = db.begin();
+            tpcb.account_update(&db, &mut txn, &mut rng).unwrap();
+            db.commit(txn).unwrap();
+        }
+        let (a, t, b) = tpcb.balance_invariant(&db).unwrap();
+        assert_eq!(a, t);
+        assert_eq!(t, b);
+        // 20 history rows inserted.
+        let mut txn = db.begin();
+        assert!(db.read(&mut txn, tpcb.history, 0).is_ok());
+        assert!(db.read(&mut txn, tpcb.history, 19).is_ok());
+        assert!(db.read(&mut txn, tpcb.history, 20).is_err());
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn aborted_updates_leave_invariant_intact() {
+        let (db, tpcb) = mini();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..20 {
+            let mut txn = db.begin();
+            tpcb.account_update(&db, &mut txn, &mut rng).unwrap();
+            if i % 2 == 0 {
+                db.commit(txn).unwrap();
+            } else {
+                db.abort(txn).unwrap();
+            }
+        }
+        let (a, t, b) = tpcb.balance_invariant(&db).unwrap();
+        assert_eq!(a, t);
+        assert_eq!(t, b);
+    }
+
+    #[test]
+    fn concurrent_clients_preserve_invariant() {
+        let (db, tpcb) = mini();
+        let tpcb = Arc::new(tpcb);
+        std::thread::scope(|s| {
+            for c in 0..4u64 {
+                let db = Arc::clone(&db);
+                let tpcb = Arc::clone(&tpcb);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(c);
+                    for _ in 0..50 {
+                        let mut txn = db.begin();
+                        match tpcb.account_update(&db, &mut txn, &mut rng) {
+                            Ok(()) => {
+                                db.commit(txn).unwrap();
+                            }
+                            Err(e) if e.is_retryable() => {
+                                db.abort(txn).unwrap();
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let (a, t, b) = tpcb.balance_invariant(&db).unwrap();
+        assert_eq!(a, t);
+        assert_eq!(t, b);
+    }
+
+    #[test]
+    fn invariant_survives_crash_recovery() {
+        let (db, tpcb) = mini();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let mut txn = db.begin();
+            tpcb.account_update(&db, &mut txn, &mut rng).unwrap();
+            db.commit(txn).unwrap();
+        }
+        // Leave one transaction in flight at the crash.
+        let mut loser = db.begin();
+        tpcb.account_update(&db, &mut loser, &mut rng).unwrap();
+        db.log().flush_all();
+        let image = db.crash();
+        std::mem::forget(loser);
+        let db2 = Db::recover(
+            image,
+            DbOptions {
+                protocol: CommitProtocol::Elr,
+                log_config: aether_core::LogConfig::default().with_buffer_size(1 << 21),
+                ..DbOptions::default()
+            },
+        )
+        .unwrap();
+        let (a, t, b) = tpcb.balance_invariant(&db2).unwrap();
+        assert_eq!(a, t);
+        assert_eq!(t, b);
+    }
+}

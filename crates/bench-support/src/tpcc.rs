@@ -1,0 +1,286 @@
+//! TPC-C-shaped trace generation and distributed-log dependency analysis
+//! (§A.5, Figure 13).
+//!
+//! The appendix argues distributed logging is unattractive because
+//! physiological log records carry *physical* inter-record dependencies:
+//! when two records touch the same page, the older must become durable
+//! first. Figure 13 visualizes 1 ms of TPC-C over an 8-way distributed log:
+//! records from the same log connect horizontally, page moves between logs
+//! draw diagonal dependency edges, and "dark edges mark tight dependencies
+//! where the older record is one of the five most recently inserted records
+//! for its log".
+//!
+//! We regenerate the analysis quantitatively: a TPC-C-shaped page-access
+//! trace (NewOrder/Payment touching warehouse, district, customer, stock,
+//! order and history pages) is partitioned over N logs, and we count
+//! cross-log edges, tight edges, and the transactions that would need
+//! multi-log flushes at commit.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One log record in the trace: which transaction wrote it and which page it
+/// touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Transaction id.
+    pub txn: u64,
+    /// Home warehouse of the transaction (partitioning key).
+    pub warehouse: u32,
+    /// Page touched (synthetic page id, unique per table region).
+    pub page: u64,
+}
+
+/// TPC-C-lite scale.
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Warehouses.
+    pub warehouses: u32,
+    /// Fraction of NewOrder transactions (rest are Payment).
+    pub new_order_frac: f64,
+    /// Fraction of remote item accesses in NewOrder (spec: 1%).
+    pub remote_frac: f64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 8,
+            new_order_frac: 0.51,
+            remote_frac: 0.01,
+        }
+    }
+}
+
+// Synthetic page-id layout: [region tag | warehouse | page-within-region].
+const REGION_WAREHOUSE: u64 = 1 << 56;
+const REGION_DISTRICT: u64 = 2 << 56;
+const REGION_CUSTOMER: u64 = 3 << 56;
+const REGION_STOCK: u64 = 4 << 56;
+const REGION_ORDER: u64 = 5 << 56;
+const REGION_HISTORY: u64 = 6 << 56;
+
+/// Generate a trace of `txns` transactions.
+///
+/// NewOrder: 1 district page update, 1 order page append, ~10 order lines
+/// each updating a stock page (100 stock pages per warehouse; 1% remote).
+/// Payment: warehouse page + district page + customer page + history append.
+pub fn generate_trace(cfg: &TpccConfig, txns: u64, seed: u64) -> Vec<TraceRecord> {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for txn in 0..txns {
+        let w = rng.gen_range(0..cfg.warehouses);
+        let wp = w as u64;
+        if rng.gen_bool(cfg.new_order_frac) {
+            let district = rng.gen_range(0..10u64);
+            out.push(TraceRecord {
+                txn,
+                warehouse: w,
+                page: REGION_DISTRICT | (wp << 16) | district,
+            });
+            // Order insert: orders append to a per-district page group.
+            out.push(TraceRecord {
+                txn,
+                warehouse: w,
+                page: REGION_ORDER | (wp << 16) | district,
+            });
+            let lines = rng.gen_range(5..=15);
+            for _ in 0..lines {
+                let supply_w = if rng.gen_bool(cfg.remote_frac) {
+                    rng.gen_range(0..cfg.warehouses) as u64
+                } else {
+                    wp
+                };
+                let stock_page = rng.gen_range(0..100u64);
+                out.push(TraceRecord {
+                    txn,
+                    warehouse: w,
+                    page: REGION_STOCK | (supply_w << 16) | stock_page,
+                });
+            }
+        } else {
+            out.push(TraceRecord {
+                txn,
+                warehouse: w,
+                page: REGION_WAREHOUSE | wp,
+            });
+            let district = rng.gen_range(0..10u64);
+            out.push(TraceRecord {
+                txn,
+                warehouse: w,
+                page: REGION_DISTRICT | (wp << 16) | district,
+            });
+            let cust_page = rng.gen_range(0..30u64);
+            out.push(TraceRecord {
+                txn,
+                warehouse: w,
+                page: REGION_CUSTOMER | (wp << 16) | cust_page,
+            });
+            out.push(TraceRecord {
+                txn,
+                warehouse: w,
+                page: REGION_HISTORY | (wp << 16) | (txn % 4),
+            });
+        }
+    }
+    out
+}
+
+/// How records are assigned to the N logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Transactions round-robin over logs (load-balanced, dependency-blind).
+    RoundRobinTxn,
+    /// Transactions map to the log of their home warehouse (the best case
+    /// for locality that TPC-C offers).
+    ByWarehouse,
+}
+
+/// Result of the dependency analysis for one (trace, partitioning, n_logs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyReport {
+    /// Number of logs.
+    pub n_logs: usize,
+    /// Total records analyzed.
+    pub records: usize,
+    /// Page-dependency edges whose endpoints are in *different* logs.
+    pub cross_edges: usize,
+    /// Cross edges where the older record was within the last 5 records of
+    /// its log ("tight" in Figure 13).
+    pub tight_edges: usize,
+    /// Transactions whose commit would have to flush more than one log
+    /// (their own records or a dependency live elsewhere).
+    pub multi_log_txns: usize,
+    /// Total transactions.
+    pub txns: usize,
+}
+
+impl DependencyReport {
+    /// Cross-log edges per record.
+    pub fn cross_edge_rate(&self) -> f64 {
+        self.cross_edges as f64 / self.records.max(1) as f64
+    }
+
+    /// Fraction of transactions needing multi-log flushes.
+    pub fn multi_log_frac(&self) -> f64 {
+        self.multi_log_txns as f64 / self.txns.max(1) as f64
+    }
+}
+
+/// Analyze inter-log dependencies for `trace` partitioned `n_logs` ways.
+pub fn analyze(trace: &[TraceRecord], n_logs: usize, partitioning: Partitioning) -> DependencyReport {
+    use std::collections::{HashMap, HashSet};
+    assert!(n_logs >= 1);
+    let log_of = |r: &TraceRecord| -> usize {
+        match partitioning {
+            Partitioning::RoundRobinTxn => (r.txn % n_logs as u64) as usize,
+            Partitioning::ByWarehouse => (r.warehouse as usize) % n_logs,
+        }
+    };
+    // Per-log record counter (sequence within the log).
+    let mut log_seq = vec![0u64; n_logs];
+    // page -> (log, seq at write time)
+    let mut last_writer: HashMap<u64, (usize, u64)> = HashMap::new();
+    // txn -> set of logs it depends on (its own + cross deps)
+    let mut txn_logs: HashMap<u64, HashSet<usize>> = HashMap::new();
+    let mut cross_edges = 0usize;
+    let mut tight_edges = 0usize;
+    for r in trace {
+        let log = log_of(r);
+        let seq = log_seq[log];
+        log_seq[log] += 1;
+        let deps = txn_logs.entry(r.txn).or_default();
+        deps.insert(log);
+        if let Some(&(plog, pseq)) = last_writer.get(&r.page) {
+            if plog != log {
+                cross_edges += 1;
+                deps.insert(plog);
+                // Tight: the predecessor is one of the last 5 records of
+                // its log at the time this record is written.
+                if log_seq[plog] - pseq <= 5 {
+                    tight_edges += 1;
+                }
+            }
+        }
+        last_writer.insert(r.page, (log, seq));
+    }
+    let txns = txn_logs.len();
+    let multi_log_txns = txn_logs.values().filter(|s| s.len() > 1).count();
+    DependencyReport {
+        n_logs,
+        records: trace.len(),
+        cross_edges,
+        tight_edges,
+        multi_log_txns,
+        txns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_expected_shape() {
+        let cfg = TpccConfig::default();
+        let trace = generate_trace(&cfg, 1000, 42);
+        // NewOrder averages ~12 records, Payment 4: expect ~8 records/txn.
+        let per_txn = trace.len() as f64 / 1000.0;
+        assert!((4.0..14.0).contains(&per_txn), "records/txn = {per_txn}");
+        assert!(trace.iter().all(|r| r.warehouse < cfg.warehouses));
+    }
+
+    #[test]
+    fn single_log_has_no_cross_edges() {
+        let trace = generate_trace(&TpccConfig::default(), 500, 1);
+        let rep = analyze(&trace, 1, Partitioning::RoundRobinTxn);
+        assert_eq!(rep.cross_edges, 0);
+        assert_eq!(rep.multi_log_txns, 0);
+        assert_eq!(rep.txns, 500);
+    }
+
+    #[test]
+    fn round_robin_has_widespread_dependencies() {
+        // The paper's point: dependencies are "so widespread and frequent"
+        // that most transactions would need multi-log flushes.
+        let trace = generate_trace(&TpccConfig::default(), 2000, 7);
+        let rep = analyze(&trace, 8, Partitioning::RoundRobinTxn);
+        assert!(rep.cross_edges > 0);
+        assert!(
+            rep.multi_log_frac() > 0.3,
+            "round-robin should entangle many txns: {}",
+            rep.multi_log_frac()
+        );
+        assert!(rep.tight_edges <= rep.cross_edges);
+    }
+
+    #[test]
+    fn warehouse_partitioning_reduces_but_does_not_eliminate() {
+        let trace = generate_trace(&TpccConfig::default(), 2000, 7);
+        let rr = analyze(&trace, 8, Partitioning::RoundRobinTxn);
+        let bw = analyze(&trace, 8, Partitioning::ByWarehouse);
+        assert!(
+            bw.cross_edges < rr.cross_edges,
+            "warehouse partitioning must help: {} vs {}",
+            bw.cross_edges,
+            rr.cross_edges
+        );
+        // Remote stock accesses (1%) still create cross-log edges.
+        assert!(bw.cross_edges > 0, "remote accesses leak across partitions");
+    }
+
+    #[test]
+    fn report_rates_well_defined() {
+        let rep = DependencyReport {
+            n_logs: 8,
+            records: 100,
+            cross_edges: 25,
+            tight_edges: 10,
+            multi_log_txns: 5,
+            txns: 10,
+        };
+        assert_eq!(rep.cross_edge_rate(), 0.25);
+        assert_eq!(rep.multi_log_frac(), 0.5);
+    }
+}

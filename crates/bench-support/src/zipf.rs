@@ -1,0 +1,135 @@
+//! Exact zipfian sampling.
+//!
+//! Figure 3 sweeps the zipfian `s` parameter from 0 (uniform) to 5 (extreme
+//! skew); the paper notes "the intuitive rule that 80% of accesses are to
+//! 20% of the data corresponds roughly to a skew of 0.85". The usual YCSB
+//! closed-form approximation is only valid for `s < 1`, so we build the exact
+//! CDF once and sample by binary search — O(log n) per sample, exact for any
+//! `s >= 0`.
+
+use rand::Rng;
+
+/// A zipfian distribution over `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. `s == 0` degenerates to uniform.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!(s >= 0.0 && s.is_finite(), "skew must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draw a sample in `0..n` (0 is the hottest item).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // partition_point: first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Probability mass of item `i` (tests / analysis).
+    pub fn pmf(&self, i: u64) -> f64 {
+        let i = i as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(1000, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        // Each bucket expects 100; allow generous sampling noise.
+        assert!(max < 200.0 && min > 30.0, "max={max} min={min}");
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let z = Zipf::new(100_000, 1.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hot = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        // At s=1.5 the top-10 items carry most of the mass.
+        assert!(hot as f64 / n as f64 > 0.5, "hot fraction {}", hot as f64 / n as f64);
+    }
+
+    #[test]
+    fn eighty_twenty_near_s_085() {
+        // The paper's calibration point: s ≈ 0.85 ⇒ ~80% of accesses to
+        // ~20% of the data.
+        let n = 10_000u64;
+        let z = Zipf::new(n, 0.85);
+        let cutoff = (n / 5) as usize; // top 20%
+        let mass: f64 = z.cdf[cutoff - 1];
+        assert!(
+            (0.65..0.95).contains(&mass),
+            "top-20% mass at s=0.85 is {mass}, expected near 0.8"
+        );
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(50, 2.0);
+        let total: f64 = (0..50).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..50 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+        assert_eq!(z.n(), 50);
+    }
+
+    #[test]
+    fn extreme_skew_hits_item_zero() {
+        let z = Zipf::new(1000, 5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let zeros = (0..1000).filter(|_| z.sample(&mut rng) == 0).count();
+        assert!(zeros > 900, "s=5 should almost always return item 0: {zeros}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+}

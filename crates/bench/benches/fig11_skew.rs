@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 11: CD vs. CDME under bimodal record sizes
+//! (48 B base + 1-in-60 outlier), normalized to time per MB.
+
+use aether_bench::micro::{run_micro, MicroConfig, SizeDist};
+use aether_core::record::HEADER_SIZE;
+use aether_core::BufferKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_skew");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in [BufferKind::Hybrid, BufferKind::Delegated] {
+        for outlier in [48usize, 8192, 65536] {
+            let cfg = MicroConfig {
+                kind,
+                threads: 4,
+                dist: SizeDist::Bimodal {
+                    small: 48 - HEADER_SIZE,
+                    outlier: outlier.saturating_sub(HEADER_SIZE).max(8),
+                    outlier_every: 60,
+                },
+                duration: Duration::from_millis(100),
+                backoff: true,
+                buffer_size: 128 << 20,
+                ..MicroConfig::default()
+            };
+            g.bench_with_input(BenchmarkId::new(kind.label(), outlier), &cfg, |b, cfg| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let r = run_micro(cfg);
+                        total += Duration::from_secs_f64(r.wall_s / (r.bytes as f64 / 1e6));
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

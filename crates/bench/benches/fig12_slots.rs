@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 12: hybrid-buffer cost vs. number of
+//! consolidation-array slots (time per MB; the paper's optimum is 3–4).
+
+use aether_bench::micro::{run_micro, MicroConfig, SizeDist};
+use aether_core::record::HEADER_SIZE;
+use aether_core::BufferKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_slots");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for slots in [1usize, 2, 4, 8] {
+        let cfg = MicroConfig {
+            kind: BufferKind::Hybrid,
+            threads: 8,
+            dist: SizeDist::Fixed(120 - HEADER_SIZE),
+            duration: Duration::from_millis(100),
+            backoff: true,
+            slots,
+            ..MicroConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(slots), &cfg, |b, cfg| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = run_micro(cfg);
+                    total += Duration::from_secs_f64(r.wall_s / (r.bytes as f64 / 1e6));
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

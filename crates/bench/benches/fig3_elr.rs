@@ -1,0 +1,76 @@
+//! Criterion bench for Figure 3: one TPC-B transaction's latency under
+//! Baseline vs. ELR at moderate skew on a flash-class log — the per-txn view
+//! of the throughput speedup the figure reports.
+
+use aether_bench::tpcb::{Tpcb, TpcbConfig};
+use aether_core::DeviceKind;
+use aether_storage::{CommitProtocol, Db, DbOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_elr");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for protocol in [CommitProtocol::Baseline, CommitProtocol::Elr] {
+        let db = Db::open(DbOptions {
+            protocol,
+            device: DeviceKind::Flash,
+            ..DbOptions::default()
+        });
+        let tpcb = Arc::new(Tpcb::setup(
+            &db,
+            TpcbConfig {
+                accounts: 5_000,
+                skew: 0.85,
+                ..TpcbConfig::default()
+            },
+        ));
+        // A background contender keeps locks warm so ELR has something to
+        // release early against.
+        let db2 = Arc::clone(&db);
+        let tp2 = Arc::clone(&tpcb);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let contender = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(99);
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                let mut txn = db2.begin();
+                match tp2.account_update(&db2, &mut txn, &mut rng) {
+                    Ok(()) => {
+                        let _ = db2.commit(txn);
+                    }
+                    Err(_) => {
+                        let _ = db2.abort(txn);
+                    }
+                }
+            }
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut txn = db.begin();
+                    match tpcb.account_update(&db, &mut txn, &mut rng) {
+                        Ok(()) => {
+                            let _ = db.commit(txn);
+                        }
+                        Err(_) => {
+                            let _ = db.abort(txn);
+                        }
+                    }
+                });
+            },
+        );
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        contender.join().unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 5: per-commit cost of the four commit
+//! protocols on a flash-class log (baseline pays the flush; async and
+//! pipelined don't block).
+
+use aether_bench::tpcb::{Tpcb, TpcbConfig};
+use aether_core::DeviceKind;
+use aether_storage::{CommitProtocol, Db, DbOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_commit");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for protocol in CommitProtocol::ALL {
+        let db = Db::open(DbOptions {
+            protocol,
+            device: DeviceKind::Flash,
+            ..DbOptions::default()
+        });
+        let tpcb = Arc::new(Tpcb::setup(
+            &db,
+            TpcbConfig {
+                accounts: 5_000,
+                ..TpcbConfig::default()
+            },
+        ));
+        let mut rng = StdRng::seed_from_u64(5);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut txn = db.begin();
+                    tpcb.account_update(&db, &mut txn, &mut rng).unwrap();
+                    let _ = db.commit(txn).unwrap();
+                });
+            },
+        );
+        db.log().flush_all();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

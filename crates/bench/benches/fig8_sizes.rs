@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 8 (right): insert cost per record size, per
+//! variant (48 B .. 12 KiB on-log records), normalized to time per MB.
+
+use aether_bench::micro::{run_micro, MicroConfig, SizeDist};
+use aether_core::record::HEADER_SIZE;
+use aether_core::BufferKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_sizes");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in [BufferKind::Baseline, BufferKind::Hybrid, BufferKind::Delegated] {
+        for record in [48usize, 120, 1160, 12296] {
+            let cfg = MicroConfig {
+                kind,
+                threads: 4,
+                dist: SizeDist::Fixed(record - HEADER_SIZE),
+                duration: Duration::from_millis(100),
+                backoff: true,
+                ..MicroConfig::default()
+            };
+            g.bench_with_input(BenchmarkId::new(kind.label(), record), &cfg, |b, cfg| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let r = run_micro(cfg);
+                        total += Duration::from_secs_f64(r.wall_s / (r.bytes as f64 / 1e6));
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

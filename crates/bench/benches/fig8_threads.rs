@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 8 (left): log-insert throughput per buffer
+//! variant as the thread count grows (120-byte records).
+//!
+//! Uses backoff mode so group formation is exercised even on hosts without
+//! enough cores to generate organic lock contention.
+
+use aether_bench::micro::{run_micro, MicroConfig, SizeDist};
+use aether_core::record::HEADER_SIZE;
+use aether_core::BufferKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_threads");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in BufferKind::ALL {
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = MicroConfig {
+                kind,
+                threads,
+                dist: SizeDist::Fixed(120 - HEADER_SIZE),
+                duration: Duration::from_millis(100),
+                backoff: true,
+                ..MicroConfig::default()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), threads),
+                &cfg,
+                |b, cfg| {
+                    // Report seconds per MB inserted: lower is better, and
+                    // the inverse is the paper's bandwidth axis.
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let r = run_micro(cfg);
+                            total +=
+                                Duration::from_secs_f64(r.wall_s / (r.bytes as f64 / 1e6));
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 9: per-transaction cost of TATP
+//! UpdateLocation under the three cumulative configurations — baseline,
+//! +ELR+flush pipelining, full Aether (hybrid buffer).
+
+use aether_bench::tatp::{Tatp, TatpConfig, TatpTxn};
+use aether_core::{BufferKind, DeviceKind};
+use aether_storage::{CommitProtocol, Db, DbOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_overall");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (label, protocol, buffer) in [
+        ("baseline", CommitProtocol::Baseline, BufferKind::Baseline),
+        ("elr_pipelining", CommitProtocol::Pipelined, BufferKind::Baseline),
+        ("aether", CommitProtocol::Pipelined, BufferKind::Hybrid),
+    ] {
+        let db = Db::open(DbOptions {
+            protocol,
+            buffer,
+            device: DeviceKind::Flash,
+            ..DbOptions::default()
+        });
+        let tatp = Arc::new(Tatp::setup(&db, TatpConfig { subscribers: 20_000 }));
+        let mut rng = StdRng::seed_from_u64(9);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                let mut txn = db.begin();
+                tatp.run(TatpTxn::UpdateLocation, &db, &mut txn, &mut rng)
+                    .unwrap();
+                let _ = db.commit(txn).unwrap();
+            });
+        });
+        db.log().flush_all();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

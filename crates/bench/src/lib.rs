@@ -1,0 +1,1 @@
+//! Criterion bench crate for Aether (bench targets live in benches/).

@@ -1,0 +1,593 @@
+//! The five log-buffer insertion algorithms of the paper (§5, §A.1, §A.3).
+//!
+//! Every variant shares the same [`BufferCore`] (ring + watermarks + stats)
+//! and differs only in *how* the three insert phases are synchronized:
+//!
+//! | Variant | Acquire | Fill | Release |
+//! |---|---|---|---|
+//! | [`BaselineBuffer`] | global mutex | under mutex | under mutex |
+//! | [`ConsolidationBuffer`] (C) | mutex, one leader per group | parallel within group, mutex held | last of group, releases mutex |
+//! | [`DecoupledBuffer`] (D) | mutex (LSN gen only) | parallel | in LSN order |
+//! | [`HybridBuffer`] (CD) | mutex, one leader per group | parallel | groups in LSN order |
+//! | [`DelegatedBuffer`] (CDME) | as CD | parallel | delegated via MCS queue |
+//!
+//! The insert critical path never allocates and never blocks on I/O;
+//! back-pressure (ring full) is the only wait, and it resolves as the flush
+//! daemon reclaims space.
+
+mod baseline;
+mod consolidation;
+mod decoupled;
+mod delegated;
+mod hybrid;
+
+pub use baseline::BaselineBuffer;
+pub use consolidation::ConsolidationBuffer;
+pub use decoupled::DecoupledBuffer;
+pub use delegated::DelegatedBuffer;
+pub use hybrid::HybridBuffer;
+
+use crate::config::LogConfig;
+use crate::lsn::{AtomicLsn, Lsn};
+use crate::record::{RecordHeader, RecordKind, HEADER_SIZE};
+use crate::ring::Ring;
+use crate::stats::BufferStats;
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Which insertion algorithm a [`crate::manager::LogManager`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// Algorithm 1: one mutex across acquire/fill/release.
+    Baseline,
+    /// Algorithm 2: consolidation-array backoff (C).
+    Consolidation,
+    /// Algorithm 3: decoupled buffer fill (D).
+    Decoupled,
+    /// §5.3: consolidation + decoupling (CD).
+    Hybrid,
+    /// §A.3: CD + delegated buffer release over an MCS queue (CDME).
+    Delegated,
+}
+
+impl BufferKind {
+    /// All variants, in the order the paper's figures present them.
+    pub const ALL: [BufferKind; 5] = [
+        BufferKind::Baseline,
+        BufferKind::Consolidation,
+        BufferKind::Decoupled,
+        BufferKind::Hybrid,
+        BufferKind::Delegated,
+    ];
+
+    /// Short label used in experiment output ("B", "C", "D", "CD", "CDME").
+    pub fn label(&self) -> &'static str {
+        match self {
+            BufferKind::Baseline => "B",
+            BufferKind::Consolidation => "C",
+            BufferKind::Decoupled => "D",
+            BufferKind::Hybrid => "CD",
+            BufferKind::Delegated => "CDME",
+        }
+    }
+
+    /// Construct a buffer of this kind over `core`.
+    pub fn build(&self, core: Arc<BufferCore>, config: &LogConfig) -> Arc<dyn LogBuffer> {
+        match self {
+            BufferKind::Baseline => Arc::new(BaselineBuffer::new(core)),
+            BufferKind::Consolidation => Arc::new(ConsolidationBuffer::new(core, config)),
+            BufferKind::Decoupled => Arc::new(DecoupledBuffer::new(core)),
+            BufferKind::Hybrid => Arc::new(HybridBuffer::new(core, config)),
+            BufferKind::Delegated => Arc::new(DelegatedBuffer::new(core, config)),
+        }
+    }
+}
+
+impl std::fmt::Display for BufferKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A log buffer: the contract every variant implements.
+pub trait LogBuffer: Send + Sync {
+    /// Insert one record and return its start LSN.
+    ///
+    /// Blocks only for ring back-pressure (and, by design, contention); never
+    /// for device I/O. On return the record's bytes are in the ring and the
+    /// record is (or will momentarily be, once predecessors release)
+    /// *released* — eligible for flushing.
+    fn insert(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn;
+
+    /// Shared core (watermarks, stats, ring geometry).
+    fn core(&self) -> &BufferCore;
+
+    /// Variant label for reporting.
+    fn kind(&self) -> BufferKind;
+}
+
+/// Progressive wait backoff shared by every busy-wait in the crate:
+/// brief spinning (the common case on multicore — the paper's target), then
+/// yielding, then micro-sleeps. The sleep stage matters on oversubscribed or
+/// few-core hosts, where a predecessor mid-copy may be descheduled and pure
+/// yield loops would burn the whole time slice churning the run queue.
+#[derive(Debug, Default)]
+pub struct WaitBackoff {
+    spins: u32,
+}
+
+impl WaitBackoff {
+    /// Fresh backoff state.
+    #[inline]
+    pub fn new() -> Self {
+        WaitBackoff { spins: 0 }
+    }
+
+    /// Wait one step, escalating: spin (<32), yield (<256), then sleep 20µs.
+    #[inline]
+    pub fn wait(&mut self) {
+        self.spins += 1;
+        if self.spins < 32 {
+            std::hint::spin_loop();
+        } else if self.spins < 256 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(20));
+        }
+    }
+}
+
+/// A test-and-test-and-set lock with bounded spinning and yielding.
+///
+/// The log insert critical section is short (§5: "LSN generation is short and
+/// predictable"), so a spin lock is appropriate. Unlike `parking_lot::Mutex`,
+/// this lock may be *released by a different thread* than the one that
+/// acquired it — exactly what the consolidation variant needs, where the last
+/// member of a group to finish its fill releases the lock the group leader
+/// acquired (Algorithm 2, line 20).
+#[derive(Debug, Default)]
+pub struct InsertLock {
+    locked: AtomicBool,
+}
+
+impl InsertLock {
+    /// New, unlocked.
+    pub const fn new() -> Self {
+        InsertLock {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Non-blocking attempt (Algorithm 2 line 2 starts with one of these).
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed)
+            && self
+                .locked
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Acquire, with progressive backoff (spin → yield → micro-sleep).
+    #[inline]
+    pub fn lock(&self) {
+        let mut backoff = WaitBackoff::new();
+        loop {
+            if self.try_lock() {
+                return;
+            }
+            backoff.wait();
+        }
+    }
+
+    /// Release. May be called from any thread, provided the lock is held and
+    /// the caller has been handed responsibility for it.
+    #[inline]
+    pub fn unlock(&self) {
+        debug_assert!(self.locked.load(Ordering::Relaxed), "unlock of free lock");
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Whether the lock is currently held (racy; diagnostics only).
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+}
+
+/// The LSN allocator: `next` is protected by the variant's [`InsertLock`].
+///
+/// Wrapped in `UnsafeCell` because the lock discipline (not the type system)
+/// guarantees exclusive access; see the safety comments at each use.
+#[derive(Debug)]
+pub struct LsnAlloc {
+    next: UnsafeCell<u64>,
+}
+
+// SAFETY: `next` is only dereferenced while the owning variant's InsertLock
+// is held, which serializes access.
+unsafe impl Sync for LsnAlloc {}
+
+impl LsnAlloc {
+    /// Start allocating at `start`.
+    pub fn new(start: Lsn) -> Self {
+        LsnAlloc {
+            next: UnsafeCell::new(start.raw()),
+        }
+    }
+
+    /// Reserve `len` bytes; returns the start LSN of the reservation.
+    ///
+    /// # Safety
+    /// Caller must hold the associated [`InsertLock`].
+    #[inline]
+    pub unsafe fn reserve(&self, len: u64) -> Lsn {
+        // SAFETY: exclusive access per the function contract.
+        let next = unsafe { &mut *self.next.get() };
+        let start = *next;
+        *next = start + len;
+        Lsn(start)
+    }
+
+    /// Current frontier.
+    ///
+    /// # Safety
+    /// Caller must hold the associated [`InsertLock`].
+    #[inline]
+    pub unsafe fn frontier(&self) -> Lsn {
+        // SAFETY: exclusive access per the function contract.
+        Lsn(unsafe { *self.next.get() })
+    }
+}
+
+/// State shared by every buffer variant: the ring, the release/durability
+/// watermarks, back-pressure plumbing and statistics.
+pub struct BufferCore {
+    ring: Ring,
+    /// Contiguous prefix of the log stream whose fills are complete; the
+    /// flush daemon may copy `[durable, released)` to the device.
+    released: AtomicLsn,
+    /// Prefix that has reached the device; ring bytes below this may be
+    /// overwritten (reclaimed).
+    durable: AtomicLsn,
+    /// When true there is no flush daemon: releasing also reclaims
+    /// (microbenchmark mode, Null device).
+    auto_reclaim: AtomicBool,
+    /// Inserters blocked on ring space.
+    space_waiters: AtomicUsize,
+    space_mutex: Mutex<()>,
+    space_cv: Condvar,
+    /// Counters and phase timers.
+    pub stats: BufferStats,
+}
+
+impl std::fmt::Debug for BufferCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferCore")
+            .field("capacity", &self.ring.capacity())
+            .field("released", &self.released.load_relaxed())
+            .field("durable", &self.durable.load_relaxed())
+            .finish()
+    }
+}
+
+impl BufferCore {
+    /// Build a core with a ring of `config.buffer_size` bytes.
+    pub fn new(config: &LogConfig) -> Arc<BufferCore> {
+        Self::with_start(config, Lsn::ZERO)
+    }
+
+    /// Build a core whose LSN space begins at `start` — used after recovery,
+    /// so new records append to the device at the right offsets.
+    pub fn with_start(config: &LogConfig, start: Lsn) -> Arc<BufferCore> {
+        config.validate().map_err(crate::LogError::Config).unwrap();
+        Arc::new(BufferCore {
+            ring: Ring::new(config.buffer_size),
+            released: AtomicLsn::new(start),
+            durable: AtomicLsn::new(start),
+            auto_reclaim: AtomicBool::new(false),
+            space_waiters: AtomicUsize::new(0),
+            space_mutex: Mutex::new(()),
+            space_cv: Condvar::new(),
+            stats: BufferStats::new(),
+        })
+    }
+
+    /// Ring capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.ring.capacity()
+    }
+
+    /// The ring itself (flush daemon reads released bytes out of it).
+    #[inline]
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Enable auto-reclaim: releasing immediately reclaims ring space (no
+    /// flush daemon; used with discarding devices).
+    pub fn set_auto_reclaim(&self, on: bool) {
+        self.auto_reclaim.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether auto-reclaim is on.
+    pub fn auto_reclaim(&self) -> bool {
+        self.auto_reclaim.load(Ordering::Relaxed)
+    }
+
+    /// Released watermark (acquire).
+    #[inline]
+    pub fn released_lsn(&self) -> Lsn {
+        self.released.load()
+    }
+
+    /// Durable watermark (acquire).
+    #[inline]
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable.load()
+    }
+
+    /// Block until the reservation ending at `end` fits in the ring, i.e.
+    /// `end - durable <= capacity`. Called with the insert lock held; the
+    /// flush daemon advances `durable` independently so this cannot deadlock.
+    #[inline]
+    pub fn wait_for_space(&self, end: Lsn) {
+        if end.raw().saturating_sub(self.durable.load_relaxed().raw()) <= self.capacity() {
+            return;
+        }
+        self.wait_for_space_slow(end);
+    }
+
+    #[cold]
+    fn wait_for_space_slow(&self, end: Lsn) {
+        let mut spins = 0u32;
+        loop {
+            if end.raw() - self.durable.load().raw() <= self.capacity() {
+                return;
+            }
+            spins += 1;
+            if spins < 100 {
+                std::thread::yield_now();
+            } else {
+                self.space_waiters.fetch_add(1, Ordering::SeqCst);
+                let mut g = self.space_mutex.lock();
+                if end.raw() - self.durable.load().raw() > self.capacity() {
+                    self.space_cv
+                        .wait_for(&mut g, std::time::Duration::from_micros(200));
+                }
+                drop(g);
+                self.space_waiters.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Advance the released watermark to `upto`. Caller must guarantee that
+    /// every byte below `upto` has been filled and that no other thread can
+    /// be advancing `released` concurrently (serialized by lock or by the
+    /// in-order release protocol).
+    #[inline]
+    pub fn advance_released(&self, upto: Lsn) {
+        self.released.publish(upto);
+        if self.auto_reclaim() {
+            self.advance_durable(upto);
+        }
+    }
+
+    /// Number of inserters currently blocked waiting for ring space; the
+    /// flush daemon treats a non-zero value as a flush trigger so
+    /// back-pressure always resolves.
+    pub fn space_waiters(&self) -> usize {
+        self.space_waiters.load(Ordering::SeqCst)
+    }
+
+    /// Advance the durable watermark (flush daemon, or auto-reclaim).
+    #[inline]
+    pub fn advance_durable(&self, upto: Lsn) {
+        self.durable.fetch_max(upto);
+        if self.space_waiters.load(Ordering::SeqCst) > 0 {
+            let _g = self.space_mutex.lock();
+            self.space_cv.notify_all();
+        }
+    }
+
+    /// Spin until `released == start` (the in-order release protocol of
+    /// Algorithm 3, line 9: "wait my turn"), then publish `end`.
+    #[inline]
+    pub fn release_in_order(&self, start: Lsn, end: Lsn) {
+        let t = self.stats.phase_start();
+        let mut backoff = WaitBackoff::new();
+        while self.released.load() != start {
+            backoff.wait();
+        }
+        self.stats.phase_release(t);
+        self.advance_released(end);
+    }
+
+    /// Copy an encoded record (header + payload) into the ring at `at`.
+    ///
+    /// Caller must own the reservation `[at, at + header.total_len)`.
+    #[inline]
+    pub fn fill_record(&self, at: Lsn, header: &RecordHeader, payload: &[u8]) {
+        let t = self.stats.phase_start();
+        let encoded = header.encode();
+        // SAFETY: the caller owns this reservation (LSN space is handed out
+        // exactly once), so the range is exclusive; see module docs.
+        unsafe {
+            self.ring.write_at(at.raw(), &encoded);
+            self.ring.write_at(at.raw() + HEADER_SIZE as u64, payload);
+        }
+        self.stats.phase_fill(t);
+        self.stats.record_insert(header.total_len as u64);
+    }
+
+    /// Read `dst.len()` published bytes starting at `from` (flush daemon).
+    ///
+    /// Caller must ensure `[from, from + dst.len())` is below `released` and
+    /// at most `capacity` behind the current frontier (holds for the flush
+    /// daemon, which is the only reclaimer).
+    pub fn read_released(&self, from: Lsn, dst: &mut [u8]) {
+        debug_assert!(from.advance(dst.len() as u64) <= self.released.load());
+        // SAFETY: range is published (below `released`) and not yet
+        // reclaimed (the caller is the reclaimer).
+        unsafe { self.ring.read_at(from.raw(), dst) }
+    }
+}
+
+/// A tiny xorshift PRNG for probe/backoff randomization (thread-local, no
+/// allocation, no `rand` dependency on the hot path).
+#[inline]
+pub(crate) fn fast_rand() -> u32 {
+    use std::cell::Cell;
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0) };
+    }
+    STATE.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            // Seed from the address of a stack local + thread id hash.
+            let addr = &x as *const _ as u64;
+            x = addr ^ 0x853C_49E6_748F_EA9B ^ std::process::id() as u64;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        (x >> 32) as u32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_core() -> Arc<BufferCore> {
+        let cfg = LogConfig::default().with_buffer_size(1 << 16);
+        BufferCore::new(&cfg)
+    }
+
+    #[test]
+    fn insert_lock_basic() {
+        let l = InsertLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        assert!(l.is_locked());
+        l.unlock();
+        assert!(!l.is_locked());
+        l.lock();
+        l.unlock();
+    }
+
+    #[test]
+    fn insert_lock_cross_thread_unlock() {
+        let l = Arc::new(InsertLock::new());
+        l.lock();
+        let l2 = Arc::clone(&l);
+        std::thread::spawn(move || l2.unlock()).join().unwrap();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn lsn_alloc_reserves_contiguously() {
+        let lock = InsertLock::new();
+        let alloc = LsnAlloc::new(Lsn(100));
+        lock.lock();
+        // SAFETY: lock held.
+        let a = unsafe { alloc.reserve(40) };
+        let b = unsafe { alloc.reserve(8) };
+        let f = unsafe { alloc.frontier() };
+        lock.unlock();
+        assert_eq!(a, Lsn(100));
+        assert_eq!(b, Lsn(140));
+        assert_eq!(f, Lsn(148));
+    }
+
+    #[test]
+    fn core_watermarks_advance() {
+        let core = small_core();
+        assert_eq!(core.released_lsn(), Lsn::ZERO);
+        core.advance_released(Lsn(64));
+        assert_eq!(core.released_lsn(), Lsn(64));
+        assert_eq!(core.durable_lsn(), Lsn::ZERO);
+        core.advance_durable(Lsn(64));
+        assert_eq!(core.durable_lsn(), Lsn(64));
+    }
+
+    #[test]
+    fn auto_reclaim_moves_durable_with_released() {
+        let core = small_core();
+        core.set_auto_reclaim(true);
+        assert!(core.auto_reclaim());
+        core.advance_released(Lsn(128));
+        assert_eq!(core.durable_lsn(), Lsn(128));
+    }
+
+    #[test]
+    fn release_in_order_sequences_threads() {
+        let core = small_core();
+        core.set_auto_reclaim(true);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Three "threads" releasing out of order: 2 then 1 then 0.
+        std::thread::scope(|s| {
+            for (start, end, delay_ms) in [(0u64, 64u64, 20u64), (64, 128, 10), (128, 192, 0)] {
+                let core = Arc::clone(&core);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                    core.release_in_order(Lsn(start), Lsn(end));
+                    order.lock().push(start);
+                });
+            }
+        });
+        assert_eq!(core.released_lsn(), Lsn(192));
+        assert_eq!(&*order.lock(), &[0, 64, 128]);
+    }
+
+    #[test]
+    fn fill_and_read_roundtrip() {
+        let core = small_core();
+        let payload = b"payload bytes";
+        let h = RecordHeader::new(RecordKind::Filler, 9, Lsn::ZERO, payload);
+        core.fill_record(Lsn(0), &h, payload);
+        core.advance_released(Lsn(h.total_len as u64));
+        let mut out = vec![0u8; h.total_len as usize];
+        core.read_released(Lsn(0), &mut out);
+        let dec = RecordHeader::decode(out[..HEADER_SIZE].try_into().unwrap()).unwrap();
+        assert_eq!(dec, h);
+        assert!(dec.verify(&out[HEADER_SIZE..HEADER_SIZE + payload.len()]));
+        assert_eq!(core.stats.snapshot().inserts, 1);
+    }
+
+    #[test]
+    fn wait_for_space_blocks_until_reclaim() {
+        let core = small_core(); // 64 KiB
+        let cap = core.capacity();
+        // Pretend the ring is full: reservation would end 1 byte past.
+        let end = Lsn(cap + 1);
+        let core2 = Arc::clone(&core);
+        let t = std::thread::spawn(move || {
+            core2.wait_for_space(end);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!t.is_finished());
+        core.advance_durable(Lsn(1));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn fast_rand_varies() {
+        let a = fast_rand();
+        let b = fast_rand();
+        let c = fast_rand();
+        assert!(!(a == b && b == c), "xorshift should not be constant");
+    }
+
+    #[test]
+    fn buffer_kind_labels() {
+        assert_eq!(BufferKind::Baseline.label(), "B");
+        assert_eq!(BufferKind::Delegated.to_string(), "CDME");
+        assert_eq!(BufferKind::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,271 @@
+//! The commit pipeline: flush pipelining's detach/reattach point (§4.1).
+//!
+//! Under flush pipelining, an agent thread that finishes a transaction does
+//! **not** block on the log flush. It enqueues the transaction's commit LSN
+//! (plus a completion action) here and moves on to other work. When the flush
+//! daemon advances the durable watermark it *reattaches*: every pending
+//! commit at or below the watermark completes — its action runs (waking a
+//! client handle, invoking a callback, or simply counting). Only the daemon
+//! ever blocks on I/O; agent threads never context-switch for a commit.
+
+use crate::lsn::Lsn;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Completion state shared between a [`CommitHandle`] and the pipeline.
+#[derive(Debug, Default)]
+pub struct CommitState {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl CommitState {
+    /// Mark complete and wake waiters. Normally invoked by the pipeline;
+    /// exposed for callers that compose their own completion callbacks.
+    pub fn complete(&self) {
+        let mut g = self.done.lock();
+        *g = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A waitable handle for one pending commit.
+#[derive(Debug, Clone)]
+pub struct CommitHandle(Arc<CommitState>);
+
+impl CommitHandle {
+    /// New handle + its pipeline-side state.
+    pub fn new() -> (CommitHandle, Arc<CommitState>) {
+        let st = Arc::new(CommitState::default());
+        (CommitHandle(Arc::clone(&st)), st)
+    }
+
+    /// Block until the commit is durable.
+    pub fn wait(&self) {
+        let mut g = self.0.done.lock();
+        while !*g {
+            self.0.cv.wait(&mut g);
+        }
+    }
+
+    /// Non-blocking durability check.
+    pub fn is_done(&self) -> bool {
+        *self.0.done.lock()
+    }
+}
+
+/// What to do when a pending commit becomes durable.
+pub enum CommitAction {
+    /// Wake a [`CommitHandle`].
+    Notify(Arc<CommitState>),
+    /// Run an arbitrary callback (used by the benchmark drivers to count
+    /// completed transactions and by agent threads to reattach).
+    Callback(Box<dyn FnOnce() + Send>),
+    /// Just count it (the pipeline always counts completions).
+    Count,
+}
+
+impl std::fmt::Debug for CommitAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitAction::Notify(_) => f.write_str("Notify"),
+            CommitAction::Callback(_) => f.write_str("Callback"),
+            CommitAction::Count => f.write_str("Count"),
+        }
+    }
+}
+
+struct Pending {
+    lsn: Lsn,
+    action: CommitAction,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.lsn == other.lsn
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by LSN.
+        other.lsn.cmp(&self.lsn)
+    }
+}
+
+/// Queue of commits awaiting durability, completed in LSN order by the flush
+/// daemon.
+#[derive(Default)]
+pub struct CommitPipeline {
+    heap: Mutex<BinaryHeap<Pending>>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl std::fmt::Debug for CommitPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitPipeline")
+            .field("submitted", &self.submitted())
+            .field("completed", &self.completed())
+            .finish()
+    }
+}
+
+impl CommitPipeline {
+    /// Empty pipeline.
+    pub fn new() -> CommitPipeline {
+        CommitPipeline::default()
+    }
+
+    /// Enqueue a commit whose record ends at `lsn`; its action runs once the
+    /// durable watermark reaches `lsn`.
+    pub fn submit(&self, lsn: Lsn, action: CommitAction) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.heap.lock().push(Pending { lsn, action });
+    }
+
+    /// Number of commits submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Number of commits completed (durable + action run).
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Commits currently awaiting durability.
+    pub fn pending(&self) -> usize {
+        self.heap.lock().len()
+    }
+
+    /// Smallest pending commit LSN, if any (drives the group-commit "X
+    /// transactions" trigger).
+    pub fn min_pending(&self) -> Option<Lsn> {
+        self.heap.lock().peek().map(|p| p.lsn)
+    }
+
+    /// Complete every pending commit with `lsn <= durable`. Actions run
+    /// outside the internal lock. Returns how many completed.
+    pub fn complete_upto(&self, durable: Lsn) -> usize {
+        let mut ready = Vec::new();
+        {
+            let mut heap = self.heap.lock();
+            while let Some(p) = heap.peek() {
+                if p.lsn <= durable {
+                    ready.push(heap.pop().unwrap());
+                } else {
+                    break;
+                }
+            }
+        }
+        let n = ready.len();
+        for p in ready {
+            // Count first: an action may wake a waiter that immediately
+            // reads `completed()`.
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            match p.action {
+                CommitAction::Notify(st) => st.complete(),
+                CommitAction::Callback(f) => f(),
+                CommitAction::Count => {}
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn completes_in_lsn_order_upto_watermark() {
+        let p = CommitPipeline::new();
+        let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![]));
+        for lsn in [300u64, 100, 200, 400] {
+            let log = Arc::clone(&log);
+            p.submit(
+                Lsn(lsn),
+                CommitAction::Callback(Box::new(move || log.lock().push(lsn))),
+            );
+        }
+        assert_eq!(p.pending(), 4);
+        assert_eq!(p.min_pending(), Some(Lsn(100)));
+        assert_eq!(p.complete_upto(Lsn(250)), 2);
+        assert_eq!(&*log.lock(), &[100, 200]);
+        assert_eq!(p.complete_upto(Lsn(250)), 0);
+        assert_eq!(p.complete_upto(Lsn(1000)), 2);
+        assert_eq!(&*log.lock(), &[100, 200, 300, 400]);
+        assert_eq!(p.submitted(), 4);
+        assert_eq!(p.completed(), 4);
+        assert_eq!(p.pending(), 0);
+        assert_eq!(p.min_pending(), None);
+    }
+
+    #[test]
+    fn handle_wait_wakes() {
+        let p = Arc::new(CommitPipeline::new());
+        let (h, st) = CommitHandle::new();
+        p.submit(Lsn(10), CommitAction::Notify(st));
+        assert!(!h.is_done());
+        let p2 = Arc::clone(&p);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            p2.complete_upto(Lsn(10));
+        });
+        h.wait();
+        assert!(h.is_done());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn count_action_counts() {
+        let p = CommitPipeline::new();
+        p.submit(Lsn(5), CommitAction::Count);
+        assert_eq!(p.complete_upto(Lsn(5)), 1);
+        assert_eq!(p.completed(), 1);
+    }
+
+    #[test]
+    fn concurrent_submit_and_complete() {
+        let p = Arc::new(CommitPipeline::new());
+        let ran = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let p = Arc::clone(&p);
+                let ran = Arc::clone(&ran);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        let ran = Arc::clone(&ran);
+                        p.submit(
+                            Lsn(t * 1000 + i),
+                            CommitAction::Callback(Box::new(move || {
+                                ran.fetch_add(1, Ordering::Relaxed);
+                            })),
+                        );
+                    }
+                });
+            }
+            let p = Arc::clone(&p);
+            s.spawn(move || {
+                for w in 0..50u64 {
+                    p.complete_upto(Lsn(w * 100));
+                    std::thread::yield_now();
+                }
+                p.complete_upto(Lsn::MAX);
+            });
+        });
+        // A final sweep in case the completer finished before late submitters.
+        p.complete_upto(Lsn::MAX);
+        assert_eq!(ran.load(Ordering::Relaxed), 4000);
+        assert_eq!(p.completed(), 4000);
+    }
+}

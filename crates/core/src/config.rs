@@ -1,0 +1,161 @@
+//! Log manager configuration.
+
+use std::time::Duration;
+
+/// Group-commit policy: "flush every X transactions, L bytes logged, or T
+/// time elapsed, whichever comes first" (§4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupCommitPolicy {
+    /// Flush once this many commit requests are pending.
+    pub max_pending_commits: usize,
+    /// Flush once this many unflushed bytes have accumulated.
+    pub max_pending_bytes: u64,
+    /// Flush once the oldest pending request has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> Self {
+        GroupCommitPolicy {
+            max_pending_commits: 64,
+            max_pending_bytes: 64 * 1024,
+            max_wait: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Configuration for a [`crate::manager::LogManager`] or a standalone buffer.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// In-memory ring size in bytes. Must be a power of two.
+    pub buffer_size: usize,
+    /// Number of active slots in the consolidation array. The paper finds
+    /// 3–4 optimal on a 64-context machine (§A.4, Figure 12) and fixes 4.
+    pub carray_slots: usize,
+    /// Size of the preallocated slot pool the array recycles through
+    /// (§A.1: "we avoid memory management overheads by allocating a large
+    /// number of consolidation structures at startup").
+    pub carray_pool: usize,
+    /// Node pool size for the delegated-release queue (CDME).
+    pub release_queue_pool: usize,
+    /// A CDME thread refuses to delegate with probability `1/treadmill_inv`
+    /// to break delegation treadmills (§A.3). 0 disables refusal.
+    pub treadmill_inv: u32,
+    /// Chunk size for flush-daemon copies from the ring to the device.
+    pub flush_chunk: usize,
+    /// Group-commit policy for the flush daemon.
+    pub group_commit: GroupCommitPolicy,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            buffer_size: 64 << 20,
+            carray_slots: 4,
+            carray_pool: 64,
+            release_queue_pool: 4096,
+            treadmill_inv: 32,
+            flush_chunk: 1 << 20,
+            group_commit: GroupCommitPolicy::default(),
+        }
+    }
+}
+
+impl LogConfig {
+    /// Validate invariants; returns a human-readable error for the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.buffer_size.is_power_of_two() || self.buffer_size < 4096 {
+            return Err(format!(
+                "buffer_size must be a power of two >= 4096 (got {})",
+                self.buffer_size
+            ));
+        }
+        if self.carray_slots == 0 {
+            return Err("carray_slots must be >= 1".into());
+        }
+        if self.carray_pool < 2 * self.carray_slots {
+            return Err(format!(
+                "carray_pool ({}) must be at least 2x carray_slots ({})",
+                self.carray_pool, self.carray_slots
+            ));
+        }
+        if self.release_queue_pool < 64 {
+            return Err("release_queue_pool must be >= 64".into());
+        }
+        if self.flush_chunk == 0 || self.flush_chunk > self.buffer_size {
+            return Err("flush_chunk must be in 1..=buffer_size".into());
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the ring size (also clamps the flush chunk
+    /// so the configuration remains valid for small test rings).
+    pub fn with_buffer_size(mut self, bytes: usize) -> Self {
+        self.buffer_size = bytes;
+        self.flush_chunk = self.flush_chunk.min(bytes);
+        self
+    }
+
+    /// Builder-style setter for the consolidation-array slot count.
+    pub fn with_carray_slots(mut self, slots: usize) -> Self {
+        self.carray_slots = slots;
+        self.carray_pool = self.carray_pool.max(2 * slots);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(LogConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_buffer_size() {
+        let c = LogConfig::default().with_buffer_size(1000);
+        assert!(c.validate().is_err());
+        let c = LogConfig::default().with_buffer_size(2048);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_slots() {
+        let c = LogConfig {
+            carray_slots: 0,
+            ..LogConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_carray_slots_grows_pool() {
+        let c = LogConfig::default().with_carray_slots(40);
+        assert!(c.carray_pool >= 80);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_small_pool() {
+        let c = LogConfig {
+            carray_pool: 3,
+            ..LogConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_flush_chunk() {
+        let c = LogConfig {
+            flush_chunk: 0,
+            ..LogConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = LogConfig::default().with_buffer_size(4096);
+        c.flush_chunk = 8192;
+        assert!(c.validate().is_err());
+    }
+}

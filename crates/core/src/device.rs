@@ -1,0 +1,387 @@
+//! Log devices: where flushed bytes go.
+//!
+//! §3.2 and §6.1 of the paper evaluate four latency classes, created "by
+//! using a combination of asynchronous I/O and high resolution timers to
+//! impose additional response times": ramdisk (~0), fast flash (100 µs), fast
+//! magnetic disk (1 ms) and slow magnetic disk (10 ms). [`SimDevice`] does the
+//! same — an in-memory append store plus an injected synchronous `sync()`
+//! latency. [`FileDevice`] writes a real file with `fdatasync` for users who
+//! want actual durability, and [`NullDevice`] discards writes so the
+//! log-insert microbenchmarks (§6.3) measure pure buffer performance.
+
+use crate::error::Result;
+use crate::lsn::Lsn;
+use parking_lot::Mutex;
+use std::io::{Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Abstraction over the durable end of the log.
+///
+/// The flush daemon appends byte runs in LSN order and calls [`LogDevice::sync`]
+/// to make them durable; recovery reads them back with
+/// [`LogDevice::read_at`].
+pub trait LogDevice: Send + Sync {
+    /// Append `data` at the device's write offset.
+    fn append(&self, data: &[u8]) -> Result<()>;
+
+    /// Make all appended bytes durable. This is where simulated write latency
+    /// is charged, mirroring the paper's methodology.
+    fn sync(&self) -> Result<()>;
+
+    /// Read up to `dst.len()` bytes starting at byte `offset`; returns the
+    /// number of bytes read (0 at end of log).
+    fn read_at(&self, offset: u64, dst: &mut [u8]) -> Result<usize>;
+
+    /// Number of bytes appended so far.
+    fn len(&self) -> u64;
+
+    /// True if the device has no content.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if writes are discarded (microbenchmark mode): the flush daemon
+    /// then skips the copy entirely and reclaims ring space directly.
+    fn discards(&self) -> bool {
+        false
+    }
+
+    /// Nominal sync latency, for reporting.
+    fn nominal_latency(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Point-in-time copy of the device's durable contents, if the device
+    /// supports it. Crash-injection tests use this to capture exactly the
+    /// bytes that survived (ring contents are lost, as in a real crash).
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// Sleep for `d` with sub-millisecond precision: short waits spin on the
+/// monotonic clock (like the paper's high-resolution timers), longer waits
+/// sleep and spin out the remainder.
+pub fn precise_sleep(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let deadline = Instant::now() + d;
+    if d > Duration::from_micros(500) {
+        std::thread::sleep(d - Duration::from_micros(300));
+    }
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Discards everything; tracks only length. Used by the Figure-8/11/12
+/// microbenchmarks ("log insertions without flushes to disk").
+#[derive(Debug, Default)]
+pub struct NullDevice {
+    len: AtomicU64,
+}
+
+impl NullDevice {
+    /// New discarding device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LogDevice for NullDevice {
+    fn append(&self, data: &[u8]) -> Result<()> {
+        self.len.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+    fn read_at(&self, _offset: u64, _dst: &mut [u8]) -> Result<usize> {
+        Ok(0)
+    }
+    fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+    fn discards(&self) -> bool {
+        true
+    }
+}
+
+/// In-memory append store with injected sync latency. `latency == 0` models
+/// the paper's ramdisk; 100 µs a fast flash drive; 1 ms / 10 ms magnetic
+/// drives.
+#[derive(Debug)]
+pub struct SimDevice {
+    data: Mutex<Vec<u8>>,
+    latency: Duration,
+}
+
+impl SimDevice {
+    /// New simulated device with the given per-sync latency.
+    pub fn new(latency: Duration) -> Self {
+        SimDevice {
+            data: Mutex::new(Vec::new()),
+            latency,
+        }
+    }
+
+    /// Snapshot the full device contents (tests / crash simulation).
+    pub fn contents(&self) -> Vec<u8> {
+        self.data.lock().clone()
+    }
+
+    /// Truncate to `len` bytes — used by crash-injection tests to model a
+    /// torn tail.
+    pub fn truncate(&self, len: u64) {
+        self.data.lock().truncate(len as usize);
+    }
+}
+
+impl LogDevice for SimDevice {
+    fn append(&self, data: &[u8]) -> Result<()> {
+        self.data.lock().extend_from_slice(data);
+        Ok(())
+    }
+    fn sync(&self) -> Result<()> {
+        precise_sleep(self.latency);
+        Ok(())
+    }
+    fn read_at(&self, offset: u64, dst: &mut [u8]) -> Result<usize> {
+        let data = self.data.lock();
+        if offset >= data.len() as u64 {
+            return Ok(0);
+        }
+        let start = offset as usize;
+        let n = dst.len().min(data.len() - start);
+        dst[..n].copy_from_slice(&data[start..start + n]);
+        Ok(n)
+    }
+    fn len(&self) -> u64 {
+        self.data.lock().len() as u64
+    }
+    fn nominal_latency(&self) -> Duration {
+        self.latency
+    }
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.contents())
+    }
+}
+
+/// A real log file: appends then `fdatasync`s.
+#[derive(Debug)]
+pub struct FileDevice {
+    file: Mutex<std::fs::File>,
+    len: AtomicU64,
+    path: std::path::PathBuf,
+}
+
+impl FileDevice {
+    /// Open (create/truncate) the log file at `path`.
+    pub fn create(path: impl Into<std::path::PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(FileDevice {
+            file: Mutex::new(file),
+            len: AtomicU64::new(0),
+            path,
+        })
+    }
+
+    /// Open an existing log file for recovery.
+    pub fn open(path: impl Into<std::path::PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(FileDevice {
+            file: Mutex::new(file),
+            len: AtomicU64::new(len),
+            path,
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl LogDevice for FileDevice {
+    fn append(&self, data: &[u8]) -> Result<()> {
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::End(0))?;
+        f.write_all(data)?;
+        self.len.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+    fn read_at(&self, offset: u64, dst: &mut [u8]) -> Result<usize> {
+        use std::io::Read;
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(offset))?;
+        let mut total = 0;
+        while total < dst.len() {
+            let n = f.read(&mut dst[total..])?;
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        Ok(total)
+    }
+    fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+/// Convenience selector mirroring the paper's device classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Discard writes (microbenchmark mode).
+    Null,
+    /// In-memory, zero injected latency (ramdisk, the paper's "0 ms" series).
+    Ram,
+    /// 100 µs per sync (fast flash drive).
+    Flash,
+    /// 1 ms per sync (fast magnetic disk).
+    FastDisk,
+    /// 10 ms per sync (slow magnetic disk).
+    SlowDisk,
+    /// Arbitrary injected latency in microseconds.
+    CustomUs(u64),
+    /// Real file at the given path.
+    File(std::path::PathBuf),
+}
+
+impl DeviceKind {
+    /// Instantiate the device.
+    pub fn build(&self) -> Result<std::sync::Arc<dyn LogDevice>> {
+        Ok(match self {
+            DeviceKind::Null => std::sync::Arc::new(NullDevice::new()),
+            DeviceKind::Ram => std::sync::Arc::new(SimDevice::new(Duration::ZERO)),
+            DeviceKind::Flash => {
+                std::sync::Arc::new(SimDevice::new(Duration::from_micros(100)))
+            }
+            DeviceKind::FastDisk => {
+                std::sync::Arc::new(SimDevice::new(Duration::from_millis(1)))
+            }
+            DeviceKind::SlowDisk => {
+                std::sync::Arc::new(SimDevice::new(Duration::from_millis(10)))
+            }
+            DeviceKind::CustomUs(us) => {
+                std::sync::Arc::new(SimDevice::new(Duration::from_micros(*us)))
+            }
+            DeviceKind::File(p) => std::sync::Arc::new(FileDevice::create(p)?),
+        })
+    }
+}
+
+/// Compute where a recovery scan should begin given a device: byte 0.
+/// (Single-file model; partition/wraparound management is intentionally out
+/// of scope, matching the microbenchmark setup of §6.)
+pub fn scan_start(_device: &dyn LogDevice) -> Lsn {
+    Lsn::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_device_discards() {
+        let d = NullDevice::new();
+        d.append(b"hello").unwrap();
+        assert_eq!(d.len(), 5);
+        assert!(d.discards());
+        let mut buf = [0u8; 4];
+        assert_eq!(d.read_at(0, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn sim_device_roundtrip() {
+        let d = SimDevice::new(Duration::ZERO);
+        d.append(b"hello ").unwrap();
+        d.append(b"world").unwrap();
+        d.sync().unwrap();
+        assert_eq!(d.len(), 11);
+        let mut buf = vec![0u8; 11];
+        assert_eq!(d.read_at(0, &mut buf).unwrap(), 11);
+        assert_eq!(&buf, b"hello world");
+        let mut tail = vec![0u8; 20];
+        assert_eq!(d.read_at(6, &mut tail).unwrap(), 5);
+        assert_eq!(&tail[..5], b"world");
+        assert_eq!(d.read_at(11, &mut tail).unwrap(), 0);
+    }
+
+    #[test]
+    fn sim_device_latency_charged_on_sync() {
+        let d = SimDevice::new(Duration::from_millis(2));
+        d.append(b"x").unwrap();
+        let t = Instant::now();
+        d.sync().unwrap();
+        assert!(t.elapsed() >= Duration::from_millis(2));
+        assert_eq!(d.nominal_latency(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn sim_device_truncate_models_torn_tail() {
+        let d = SimDevice::new(Duration::ZERO);
+        d.append(b"0123456789").unwrap();
+        d.truncate(4);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.contents(), b"0123".to_vec());
+    }
+
+    #[test]
+    fn file_device_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("aether-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let d = FileDevice::create(&path).unwrap();
+        d.append(b"abcdef").unwrap();
+        d.sync().unwrap();
+        assert_eq!(d.len(), 6);
+        let mut buf = vec![0u8; 6];
+        assert_eq!(d.read_at(0, &mut buf).unwrap(), 6);
+        assert_eq!(&buf, b"abcdef");
+        drop(d);
+        let d2 = FileDevice::open(&path).unwrap();
+        assert_eq!(d2.len(), 6);
+        assert_eq!(d2.path(), path.as_path());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn device_kind_builds() {
+        assert!(DeviceKind::Null.build().unwrap().discards());
+        assert_eq!(
+            DeviceKind::Flash.build().unwrap().nominal_latency(),
+            Duration::from_micros(100)
+        );
+        assert_eq!(
+            DeviceKind::CustomUs(250).build().unwrap().nominal_latency(),
+            Duration::from_micros(250)
+        );
+        assert!(DeviceKind::Ram.build().unwrap().is_empty());
+    }
+
+    #[test]
+    fn precise_sleep_short_and_long() {
+        let t = Instant::now();
+        precise_sleep(Duration::from_micros(50));
+        assert!(t.elapsed() >= Duration::from_micros(50));
+        let t = Instant::now();
+        precise_sleep(Duration::from_millis(1));
+        assert!(t.elapsed() >= Duration::from_millis(1));
+        precise_sleep(Duration::ZERO); // no-op
+    }
+}

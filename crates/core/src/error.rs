@@ -1,0 +1,85 @@
+//! Error types for the log manager.
+
+use std::fmt;
+
+/// Errors surfaced by the log manager.
+///
+/// The hot insert path is infallible by construction (back-pressure blocks
+/// instead of failing); errors arise only at the edges: device I/O, recovery
+/// scans, and configuration validation.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying device I/O failure.
+    Io(std::io::Error),
+    /// A record failed validation during a recovery scan (torn write, bad
+    /// checksum, or impossible length). Scans stop at the first such record:
+    /// per §5.2 of the paper, recovery must stop at the first gap.
+    Corrupt {
+        /// LSN at which the corruption was detected.
+        at: crate::Lsn,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Configuration rejected (e.g. non-power-of-two buffer size).
+    Config(String),
+    /// The log manager has been shut down.
+    Shutdown,
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log device I/O error: {e}"),
+            LogError::Corrupt { at, reason } => {
+                write!(f, "corrupt log record at LSN {at}: {reason}")
+            }
+            LogError::Config(msg) => write!(f, "invalid log configuration: {msg}"),
+            LogError::Shutdown => write!(f, "log manager is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LogError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lsn;
+
+    #[test]
+    fn display_variants() {
+        let e = LogError::Corrupt {
+            at: Lsn(64),
+            reason: "bad checksum".into(),
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(LogError::Shutdown.to_string().contains("shut down"));
+        assert!(LogError::Config("x".into()).to_string().contains("x"));
+        let io: LogError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let io: LogError = std::io::Error::other("boom").into();
+        assert!(io.source().is_some());
+        assert!(LogError::Shutdown.source().is_none());
+    }
+}

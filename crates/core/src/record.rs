@@ -1,0 +1,314 @@
+//! Log record layout.
+//!
+//! A log record is a fixed 32-byte header followed by an arbitrary payload
+//! (§5 of the paper: "a standard header followed by an arbitrary payload").
+//! Records are padded to 8-byte alignment so that headers never straddle an
+//! odd boundary; the pad bytes are zero. Buffer allocation is *composable*:
+//! the concatenation of two well-formed records is itself a well-formed
+//! sequence — this is exactly the property the consolidation array exploits
+//! when it carves one group allocation into many records.
+//!
+//! Shore-MT's record-size distribution (peaks at 40 B and 264 B, average
+//! ~120 B, max 12 kiB, §5/§6.3.1) informs the defaults used by the
+//! microbenchmarks in `aether-bench`.
+
+use crate::lsn::Lsn;
+
+/// Size in bytes of the on-log record header.
+pub const HEADER_SIZE: usize = 32;
+
+/// Records are padded to this alignment in the log stream.
+pub const RECORD_ALIGN: usize = 8;
+
+/// Maximum payload the log accepts in one record. Shore-MT's largest record
+/// is 12 kiB; we allow up to 1 MiB so the skew experiments (§A.3, Fig. 11) can
+/// push outliers to 64 kiB and beyond.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Magic tag stored in the top byte of `flags` word for torn-write detection.
+pub const RECORD_MAGIC: u8 = 0xA7;
+
+/// The type of a log record.
+///
+/// `aether-core` itself is policy-free: it treats these as opaque tags. The
+/// storage manager (`aether-storage`) gives them ARIES semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// Physiological page update (redo + undo payload).
+    Update = 1,
+    /// Transaction commit.
+    Commit = 2,
+    /// Transaction abort (end of rollback).
+    Abort = 3,
+    /// Compensation log record written during rollback.
+    Clr = 4,
+    /// Fuzzy checkpoint begin.
+    CheckpointBegin = 5,
+    /// Fuzzy checkpoint end (carries ATT + DPT).
+    CheckpointEnd = 6,
+    /// Record inserted by microbenchmarks; payload is arbitrary filler.
+    Filler = 7,
+    /// Transaction end (after commit becomes durable; releases ATT entry).
+    End = 8,
+}
+
+impl RecordKind {
+    /// Decode from the on-log byte.
+    pub fn from_u8(v: u8) -> Option<RecordKind> {
+        Some(match v {
+            1 => RecordKind::Update,
+            2 => RecordKind::Commit,
+            3 => RecordKind::Abort,
+            4 => RecordKind::Clr,
+            5 => RecordKind::CheckpointBegin,
+            6 => RecordKind::CheckpointEnd,
+            7 => RecordKind::Filler,
+            8 => RecordKind::End,
+            _ => return None,
+        })
+    }
+}
+
+/// Round `len` up to [`RECORD_ALIGN`].
+#[inline]
+pub const fn align_up(len: usize) -> usize {
+    (len + RECORD_ALIGN - 1) & !(RECORD_ALIGN - 1)
+}
+
+/// Total on-log footprint (header + payload + pad) of a record with
+/// `payload_len` bytes of payload.
+#[inline]
+pub const fn on_log_size(payload_len: usize) -> usize {
+    align_up(HEADER_SIZE + payload_len)
+}
+
+/// Cheap 32-bit checksum over the payload.
+///
+/// Processes 8 bytes per step (xor-rotate-multiply); this keeps the insert
+/// path fast enough to reach multi-GB/s in the Figure-8 microbenchmarks while
+/// still catching torn writes during recovery scans.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().unwrap());
+        acc = (acc ^ v).rotate_left(23).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        let v = u64::from_le_bytes(last);
+        acc = (acc ^ v).rotate_left(23).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    }
+    (acc ^ (acc >> 32)) as u32
+}
+
+/// The decoded header of a log record.
+///
+/// On-log layout (little-endian):
+///
+/// ```text
+/// offset  field
+/// 0       total_len   u32   header + payload + pad, multiple of 8
+/// 4       payload_len u32
+/// 8       kind        u8
+/// 9       magic       u8    RECORD_MAGIC
+/// 10      reserved    u16
+/// 12      checksum    u32   checksum(payload)
+/// 16      txn         u64   transaction id (0 = none)
+/// 24      prev_lsn    u64   previous record of the same transaction
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordHeader {
+    /// Total footprint of the record in the log stream (aligned).
+    pub total_len: u32,
+    /// Exact payload length in bytes.
+    pub payload_len: u32,
+    /// Record type tag.
+    pub kind: RecordKind,
+    /// Payload checksum.
+    pub checksum: u32,
+    /// Owning transaction (0 for records not tied to a transaction).
+    pub txn: u64,
+    /// Backward chain within the transaction (undo chain). `Lsn::ZERO` ends
+    /// the chain.
+    pub prev_lsn: Lsn,
+}
+
+impl RecordHeader {
+    /// Build a header for `payload` (computes length fields and checksum).
+    pub fn new(kind: RecordKind, txn: u64, prev_lsn: Lsn, payload: &[u8]) -> RecordHeader {
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "payload of {} bytes exceeds MAX_PAYLOAD",
+            payload.len()
+        );
+        RecordHeader {
+            total_len: on_log_size(payload.len()) as u32,
+            payload_len: payload.len() as u32,
+            kind,
+            checksum: checksum(payload),
+            txn,
+            prev_lsn,
+        }
+    }
+
+    /// Serialize into the fixed 32-byte on-log form.
+    pub fn encode(&self) -> [u8; HEADER_SIZE] {
+        let mut out = [0u8; HEADER_SIZE];
+        out[0..4].copy_from_slice(&self.total_len.to_le_bytes());
+        out[4..8].copy_from_slice(&self.payload_len.to_le_bytes());
+        out[8] = self.kind as u8;
+        out[9] = RECORD_MAGIC;
+        // bytes 10..12 reserved, zero
+        out[12..16].copy_from_slice(&self.checksum.to_le_bytes());
+        out[16..24].copy_from_slice(&self.txn.to_le_bytes());
+        out[24..32].copy_from_slice(&self.prev_lsn.raw().to_le_bytes());
+        out
+    }
+
+    /// Decode and validate a header. Returns `None` for anything that cannot
+    /// be a live record (zeroed space, torn write, impossible lengths) — a
+    /// recovery scan treats that as the end of the log.
+    pub fn decode(buf: &[u8; HEADER_SIZE]) -> Option<RecordHeader> {
+        let total_len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let kind = RecordKind::from_u8(buf[8])?;
+        if buf[9] != RECORD_MAGIC {
+            return None;
+        }
+        if total_len as usize != on_log_size(payload_len as usize) {
+            return None;
+        }
+        if payload_len as usize > MAX_PAYLOAD {
+            return None;
+        }
+        let checksum = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+        let txn = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let prev_lsn = Lsn(u64::from_le_bytes(buf[24..32].try_into().unwrap()));
+        Some(RecordHeader {
+            total_len,
+            payload_len,
+            kind,
+            checksum,
+            txn,
+            prev_lsn,
+        })
+    }
+
+    /// Verify `payload` against the stored checksum.
+    pub fn verify(&self, payload: &[u8]) -> bool {
+        payload.len() == self.payload_len as usize && checksum(payload) == self.checksum
+    }
+}
+
+/// A fully decoded record as produced by recovery scans ([`crate::reader`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// LSN at which the record starts.
+    pub lsn: Lsn,
+    /// Decoded header.
+    pub header: RecordHeader,
+    /// Owned copy of the payload.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// LSN of the byte just past this record — where the next record starts.
+    pub fn next_lsn(&self) -> Lsn {
+        self.lsn.advance(self.header.total_len as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_multiples_of_eight() {
+        assert_eq!(align_up(0), 0);
+        assert_eq!(align_up(1), 8);
+        assert_eq!(align_up(8), 8);
+        assert_eq!(align_up(9), 16);
+        assert_eq!(align_up(32 + 40), 72);
+    }
+
+    #[test]
+    fn on_log_size_includes_header_and_pad() {
+        assert_eq!(on_log_size(0), 32);
+        assert_eq!(on_log_size(1), 40);
+        assert_eq!(on_log_size(8), 40);
+        // the paper's two record-size peaks
+        assert_eq!(on_log_size(40 - 32), 40);
+        assert_eq!(on_log_size(264 - 32), 264);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let payload = b"some physiological redo bytes";
+        let h = RecordHeader::new(RecordKind::Update, 77, Lsn(4096), payload);
+        let enc = h.encode();
+        let dec = RecordHeader::decode(&enc).expect("valid header");
+        assert_eq!(dec, h);
+        assert!(dec.verify(payload));
+        assert!(!dec.verify(b"tampered payload bytes here!!"));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // All zeroes: kind 0 is invalid.
+        assert!(RecordHeader::decode(&[0u8; HEADER_SIZE]).is_none());
+        // Valid header with the magic byte flipped.
+        let h = RecordHeader::new(RecordKind::Commit, 1, Lsn::ZERO, b"x");
+        let mut enc = h.encode();
+        enc[9] = 0;
+        assert!(RecordHeader::decode(&enc).is_none());
+        // Length mismatch.
+        let mut enc2 = h.encode();
+        enc2[0..4].copy_from_slice(&123u32.to_le_bytes());
+        assert!(RecordHeader::decode(&enc2).is_none());
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for k in [
+            RecordKind::Update,
+            RecordKind::Commit,
+            RecordKind::Abort,
+            RecordKind::Clr,
+            RecordKind::CheckpointBegin,
+            RecordKind::CheckpointEnd,
+            RecordKind::Filler,
+            RecordKind::End,
+        ] {
+            assert_eq!(RecordKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(RecordKind::from_u8(0), None);
+        assert_eq!(RecordKind::from_u8(99), None);
+    }
+
+    #[test]
+    fn checksum_differs_on_flip() {
+        let a = vec![7u8; 1000];
+        let mut b = a.clone();
+        b[999] ^= 1;
+        assert_ne!(checksum(&a), checksum(&b));
+        b[999] ^= 1;
+        assert_eq!(checksum(&a), checksum(&b));
+        assert_ne!(checksum(&a[..999]), checksum(&a));
+    }
+
+    #[test]
+    fn record_next_lsn() {
+        let payload = vec![1u8; 100];
+        let h = RecordHeader::new(RecordKind::Filler, 0, Lsn::ZERO, &payload);
+        let r = Record {
+            lsn: Lsn(1000),
+            header: h,
+            payload,
+        };
+        assert_eq!(r.next_lsn(), Lsn(1000 + on_log_size(100) as u64));
+    }
+}

@@ -1,0 +1,231 @@
+//! Instrumentation: counters and phase timers.
+//!
+//! The paper's evaluation leans on time breakdowns ("log mgr. work",
+//! "log mgr. contention", Figures 2 and 7). We reproduce those categories by
+//! timing the three insert phases — acquire (contention), fill (work) and
+//! release (ordering wait) — with cheap monotonic-clock reads guarded so the
+//! microbenchmarks can disable them entirely.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Aggregate counters for a log buffer. All counters are monotonically
+/// increasing; read a consistent-enough view via [`BufferStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct BufferStats {
+    timing_enabled: AtomicBool,
+    inserts: CachePadded<AtomicU64>,
+    bytes: CachePadded<AtomicU64>,
+    /// Inserts that acquired the mutex without contention (fast path).
+    direct_acquires: CachePadded<AtomicU64>,
+    /// Inserts that joined a consolidation-array group as followers.
+    consolidations: CachePadded<AtomicU64>,
+    /// Group-leader acquisitions (one per consolidated group).
+    group_acquires: CachePadded<AtomicU64>,
+    /// Buffer releases delegated to a predecessor (CDME only).
+    delegated_releases: CachePadded<AtomicU64>,
+    /// Nanoseconds spent waiting to acquire buffer space (contention).
+    acquire_wait_ns: CachePadded<AtomicU64>,
+    /// Nanoseconds spent copying into the buffer (work).
+    fill_ns: CachePadded<AtomicU64>,
+    /// Nanoseconds spent waiting for in-order release.
+    release_wait_ns: CachePadded<AtomicU64>,
+}
+
+/// A point-in-time copy of [`BufferStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total records inserted.
+    pub inserts: u64,
+    /// Total bytes inserted (on-log footprint).
+    pub bytes: u64,
+    /// Fast-path (uncontended) acquisitions.
+    pub direct_acquires: u64,
+    /// Follower joins in consolidation groups.
+    pub consolidations: u64,
+    /// Leader acquisitions for consolidation groups.
+    pub group_acquires: u64,
+    /// Delegated buffer releases (CDME).
+    pub delegated_releases: u64,
+    /// ns waiting in acquire.
+    pub acquire_wait_ns: u64,
+    /// ns copying payloads.
+    pub fill_ns: u64,
+    /// ns waiting for in-order release.
+    pub release_wait_ns: u64,
+}
+
+impl BufferStats {
+    /// New stats block; timing disabled (counter-only) by default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable or disable phase timing. Counters are always maintained.
+    pub fn set_timing(&self, on: bool) {
+        self.timing_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether phase timing is on.
+    #[inline]
+    pub fn timing(&self) -> bool {
+        self.timing_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Start a phase timer iff timing is enabled.
+    #[inline]
+    pub fn phase_start(&self) -> Option<Instant> {
+        if self.timing() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Record one insert of `bytes` on-log bytes.
+    #[inline]
+    pub fn record_insert(&self, bytes: u64) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Count a fast-path acquisition.
+    #[inline]
+    pub fn record_direct(&self) {
+        self.direct_acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a follower consolidation.
+    #[inline]
+    pub fn record_consolidation(&self) {
+        self.consolidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a group-leader acquisition.
+    #[inline]
+    pub fn record_group_acquire(&self) {
+        self.group_acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a delegated release.
+    #[inline]
+    pub fn record_delegated(&self) {
+        self.delegated_releases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Close an acquire-phase timer.
+    #[inline]
+    pub fn phase_acquire(&self, t: Option<Instant>) {
+        if let Some(t) = t {
+            self.acquire_wait_ns
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Close a fill-phase timer.
+    #[inline]
+    pub fn phase_fill(&self, t: Option<Instant>) {
+        if let Some(t) = t {
+            self.fill_ns
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Close a release-phase timer.
+    #[inline]
+    pub fn phase_release(&self, t: Option<Instant>) {
+        if let Some(t) = t {
+            self.release_wait_ns
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy out the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            direct_acquires: self.direct_acquires.load(Ordering::Relaxed),
+            consolidations: self.consolidations.load(Ordering::Relaxed),
+            group_acquires: self.group_acquires.load(Ordering::Relaxed),
+            delegated_releases: self.delegated_releases.load(Ordering::Relaxed),
+            acquire_wait_ns: self.acquire_wait_ns.load(Ordering::Relaxed),
+            fill_ns: self.fill_ns.load(Ordering::Relaxed),
+            release_wait_ns: self.release_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (self - earlier), for interval reporting.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            inserts: self.inserts - earlier.inserts,
+            bytes: self.bytes - earlier.bytes,
+            direct_acquires: self.direct_acquires - earlier.direct_acquires,
+            consolidations: self.consolidations - earlier.consolidations,
+            group_acquires: self.group_acquires - earlier.group_acquires,
+            delegated_releases: self.delegated_releases - earlier.delegated_releases,
+            acquire_wait_ns: self.acquire_wait_ns - earlier.acquire_wait_ns,
+            fill_ns: self.fill_ns - earlier.fill_ns,
+            release_wait_ns: self.release_wait_ns - earlier.release_wait_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = BufferStats::new();
+        s.record_insert(120);
+        s.record_insert(40);
+        s.record_direct();
+        s.record_consolidation();
+        s.record_group_acquire();
+        s.record_delegated();
+        let snap = s.snapshot();
+        assert_eq!(snap.inserts, 2);
+        assert_eq!(snap.bytes, 160);
+        assert_eq!(snap.direct_acquires, 1);
+        assert_eq!(snap.consolidations, 1);
+        assert_eq!(snap.group_acquires, 1);
+        assert_eq!(snap.delegated_releases, 1);
+    }
+
+    #[test]
+    fn timing_disabled_by_default() {
+        let s = BufferStats::new();
+        assert!(s.phase_start().is_none());
+        s.set_timing(true);
+        let t = s.phase_start();
+        assert!(t.is_some());
+        s.phase_acquire(t);
+        assert!(s.snapshot().acquire_wait_ns > 0 || s.snapshot().acquire_wait_ns == 0);
+    }
+
+    #[test]
+    fn timers_record_when_enabled() {
+        let s = BufferStats::new();
+        s.set_timing(true);
+        let t = s.phase_start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        s.phase_fill(t);
+        assert!(s.snapshot().fill_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let s = BufferStats::new();
+        s.record_insert(10);
+        let a = s.snapshot();
+        s.record_insert(30);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.inserts, 1);
+        assert_eq!(d.bytes, 30);
+    }
+}

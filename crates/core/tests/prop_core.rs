@@ -1,0 +1,210 @@
+//! Property-based tests for aether-core's lowest layers: the ring buffer,
+//! the consolidation array's group partitioning, and the delegated-release
+//! queue's ordering guarantees.
+
+use aether_core::buffer::BufferCore;
+use aether_core::carray::CArray;
+use aether_core::mcs::ReleaseQueue;
+use aether_core::ring::Ring;
+use aether_core::{LogConfig, Lsn};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_roundtrips_at_any_offset(
+        cap_pow in 6u32..16,
+        offset in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let cap = 1usize << cap_pow;
+        prop_assume!(data.len() <= cap);
+        let ring = Ring::new(cap);
+        // SAFETY: single-threaded, exclusive access.
+        unsafe { ring.write_at(offset, &data) };
+        let mut out = vec![0u8; data.len()];
+        unsafe { ring.read_at(offset, &mut out) };
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn ring_disjoint_writes_do_not_interfere(
+        a_off in 0u64..1000,
+        a_len in 1usize..200,
+        gap in 0u64..500,
+        b_len in 1usize..200,
+    ) {
+        let ring = Ring::new(1 << 12);
+        let b_off = a_off + a_len as u64 + gap;
+        prop_assume!(b_off + b_len as u64 - a_off <= (1 << 12));
+        let a = vec![0xAAu8; a_len];
+        let b = vec![0xBBu8; b_len];
+        unsafe {
+            ring.write_at(a_off, &a);
+            ring.write_at(b_off, &b);
+        }
+        let mut out_a = vec![0u8; a_len];
+        let mut out_b = vec![0u8; b_len];
+        unsafe {
+            ring.read_at(a_off, &mut out_a);
+            ring.read_at(b_off, &mut out_b);
+        }
+        prop_assert!(out_a.iter().all(|&x| x == 0xAA));
+        prop_assert!(out_b.iter().all(|&x| x == 0xBB));
+    }
+
+    #[test]
+    fn carray_group_offsets_tile_exactly(
+        sizes in proptest::collection::vec(8u64..2048, 1..40),
+    ) {
+        // Sequential joins into one slot must tile [0, total) contiguously
+        // in join order — that is what lets followers compute their record
+        // positions with no further communication.
+        let ca = CArray::new(1, 4, 1 << 20);
+        let mut joins = Vec::new();
+        for &s in &sizes {
+            joins.push((ca.join(s), s));
+        }
+        let total = ca.close_and_replace(joins[0].0.slot);
+        prop_assert_eq!(total, sizes.iter().sum::<u64>());
+        let mut expect = 0u64;
+        for (j, s) in &joins {
+            prop_assert_eq!(j.offset, expect);
+            expect += s;
+        }
+        // Drain the group so the slot recycles cleanly.
+        joins[0].0.slot.notify(Lsn(0), total, 0);
+        let mut last = 0;
+        for (j, s) in &joins {
+            last += 1;
+            let done = j.slot.release_member(*s);
+            prop_assert_eq!(done, last == joins.len());
+        }
+        joins[0].0.slot.free();
+    }
+
+    #[test]
+    fn release_queue_orders_any_release_permutation(
+        lens in proptest::collection::vec(1u64..500, 1..20),
+        seed in any::<u64>(),
+    ) {
+        // Join in LSN order, release in an arbitrary permutation (via rayon-
+        // free manual shuffle); the released watermark must land exactly at
+        // the total, with no gaps at any intermediate point.
+        let core = BufferCore::new(&LogConfig::default().with_buffer_size(1 << 20));
+        core.set_auto_reclaim(true);
+        // treadmill_inv = 0: always delegate. A refusal would spin waiting
+        // for a predecessor that this single-threaded test releases *later*
+        // in the permutation — a deadlock by test construction, not by
+        // protocol (refusal requires a concurrent predecessor to make
+        // progress; the multi-threaded stress in `mcs` covers it).
+        let q = ReleaseQueue::new(64, 0);
+        let mut handles = Vec::new();
+        let mut at = 0u64;
+        for &l in &lens {
+            handles.push(q.join(Lsn(at), Lsn(at + l)));
+            at += l;
+        }
+        // Deterministic shuffle.
+        let mut order: Vec<usize> = (0..handles.len()).collect();
+        let mut s = seed | 1;
+        for i in (1..order.len()).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        for &i in &order {
+            q.release(handles[i], &core);
+            // Watermark is always a prefix boundary: equal to the sum of a
+            // prefix of lens.
+            let w = core.released_lsn().raw();
+            let mut acc = 0u64;
+            let mut is_prefix = w == 0;
+            for &l in &lens {
+                acc += l;
+                if acc == w {
+                    is_prefix = true;
+                    break;
+                }
+                if acc > w {
+                    break;
+                }
+            }
+            prop_assert!(is_prefix, "watermark {} is not a record boundary", w);
+        }
+        prop_assert_eq!(core.released_lsn(), Lsn(at));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn segmented_device_equals_flat_stream(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..3000), 1..30),
+        seg_pow in 12u32..15,
+        read_at in any::<u16>(),
+    ) {
+        use aether_core::device::LogDevice;
+        use aether_core::partition::{MemSegmentFactory, SegmentedDevice};
+        let seg = SegmentedDevice::new(Box::new(MemSegmentFactory), 1 << seg_pow).unwrap();
+        let mut flat = Vec::new();
+        for c in &chunks {
+            seg.append(c).unwrap();
+            flat.extend_from_slice(c);
+        }
+        seg.sync().unwrap();
+        prop_assert_eq!(seg.len(), flat.len() as u64);
+        // Full read stitches across segments.
+        let mut out = vec![0u8; flat.len()];
+        prop_assert_eq!(seg.read_at(0, &mut out).unwrap(), flat.len());
+        prop_assert_eq!(&out, &flat);
+        // Random partial read agrees with the flat stream.
+        let at = (read_at as usize) % flat.len();
+        let want = (flat.len() - at).min(512);
+        let mut part = vec![0u8; want];
+        prop_assert_eq!(seg.read_at(at as u64, &mut part).unwrap(), want);
+        prop_assert_eq!(&part[..], &flat[at..at + want]);
+        // Snapshot equals the stream (nothing truncated yet).
+        prop_assert_eq!(seg.snapshot().unwrap(), flat);
+    }
+}
+
+#[test]
+fn carray_many_slots_under_parallel_joins() {
+    // Heavier, non-proptest stress: several active slots, parallel joiners,
+    // total bytes conserved.
+    let ca = Arc::new(CArray::new(4, 16, 1 << 24));
+    let total_bytes = std::sync::atomic::AtomicU64::new(0);
+    let released_bytes = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let ca = Arc::clone(&ca);
+            let total_bytes = &total_bytes;
+            let released_bytes = &released_bytes;
+            s.spawn(move || {
+                for i in 0..500u64 {
+                    let size = 16 + (t * 13 + i * 7) % 256;
+                    total_bytes.fetch_add(size, std::sync::atomic::Ordering::Relaxed);
+                    let j = ca.join(size);
+                    if j.offset == 0 {
+                        let group = ca.close_and_replace(j.slot);
+                        j.slot.notify(Lsn(0), group, 0);
+                    }
+                    let (_, group, _) = j.slot.wait();
+                    if j.slot.release_member(size) {
+                        released_bytes
+                            .fetch_add(group, std::sync::atomic::Ordering::Relaxed);
+                        j.slot.free();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        total_bytes.load(std::sync::atomic::Ordering::Relaxed),
+        released_bytes.load(std::sync::atomic::Ordering::Relaxed),
+        "every joined byte must be released exactly once"
+    );
+}

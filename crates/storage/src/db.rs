@@ -1,0 +1,881 @@
+//! The database facade: transactions over tables, WAL through `aether-core`,
+//! commit protocols, checkpoints, crash and recovery.
+
+use crate::error::{StorageError, StorageResult};
+use crate::lock::{LockConfig, LockId, LockManager, LockMode};
+use crate::page::PageId;
+use crate::store::PageStore;
+use crate::table::Table;
+use crate::txn::{CommitOutcome, CommitProtocol, Transaction, TxnManager, TxnStatus, UndoEntry};
+use crate::wal::{CheckpointPayload, ClrPayload, UpdatePayload};
+use aether_core::commit::{CommitAction, CommitHandle};
+use aether_core::device::LogDevice;
+use aether_core::{BufferKind, DeviceKind, LogConfig, LogManager, Lsn, RecordKind};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Database construction options.
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Log-buffer insertion algorithm.
+    pub buffer: BufferKind,
+    /// Log device class.
+    pub device: DeviceKind,
+    /// Log manager tuning.
+    pub log_config: LogConfig,
+    /// Commit protocol (the §3/§4 experiment axis).
+    pub protocol: CommitProtocol,
+    /// Lock-manager tuning.
+    pub lock_config: LockConfig,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            buffer: BufferKind::Hybrid,
+            device: DeviceKind::Ram,
+            log_config: LogConfig::default(),
+            protocol: CommitProtocol::Baseline,
+            lock_config: LockConfig::default(),
+        }
+    }
+}
+
+/// What survives a crash: the durable log prefix, the page store, and the
+/// schema (which a real system would read from its catalog pages).
+pub struct CrashImage {
+    /// Bytes of the log device at crash time (ring contents are lost).
+    pub log_bytes: Vec<u8>,
+    /// Deep copy of the page store at crash time.
+    pub store: Arc<PageStore>,
+    /// Schema: (record_size, dense_rows) per table id.
+    pub schema: Vec<(usize, u64)>,
+}
+
+impl std::fmt::Debug for CrashImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrashImage")
+            .field("log_bytes", &self.log_bytes.len())
+            .field("stored_pages", &self.store.len())
+            .field("tables", &self.schema.len())
+            .finish()
+    }
+}
+
+/// Aggregate database counters (feed the Figure-2/7 time breakdowns).
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Nanoseconds committing transactions spent blocked in the log flush
+    /// (delays A + C of Figure 1; zero under flush pipelining).
+    pub flush_wait_ns: std::sync::atomic::AtomicU64,
+    /// Transactions committed (submitted; durability may lag for async
+    /// protocols).
+    pub commits: std::sync::atomic::AtomicU64,
+    /// Transactions aborted.
+    pub aborts: std::sync::atomic::AtomicU64,
+}
+
+impl DbStats {
+    /// Flush-wait total in ns.
+    pub fn flush_wait_ns(&self) -> u64 {
+        self.flush_wait_ns.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    /// Commits submitted.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    /// Aborts performed.
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// The storage manager facade.
+pub struct Db {
+    log: Arc<LogManager>,
+    locks: Arc<LockManager>,
+    tables: RwLock<Vec<Arc<Table>>>,
+    txns: Arc<TxnManager>,
+    store: Arc<PageStore>,
+    opts: DbOptions,
+    stats: DbStats,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("tables", &self.tables.read().len())
+            .field("protocol", &self.opts.protocol)
+            .field("buffer", &self.opts.buffer)
+            .finish()
+    }
+}
+
+impl Db {
+    /// Open an empty database with `opts`.
+    pub fn open(opts: DbOptions) -> Arc<Db> {
+        let log = Arc::new(
+            LogManager::builder()
+                .config(opts.log_config.clone())
+                .buffer(opts.buffer)
+                .device(opts.device.clone())
+                .build(),
+        );
+        Self::assemble(opts, log, PageStore::new())
+    }
+
+    /// Open with a caller-supplied log device (crash tests share a
+    /// [`aether_core::device::SimDevice`]).
+    pub fn open_with_device(opts: DbOptions, device: Arc<dyn LogDevice>) -> Arc<Db> {
+        let log = Arc::new(
+            LogManager::builder()
+                .config(opts.log_config.clone())
+                .buffer(opts.buffer)
+                .device_instance(device)
+                .build(),
+        );
+        Self::assemble(opts, log, PageStore::new())
+    }
+
+    pub(crate) fn assemble(opts: DbOptions, log: Arc<LogManager>, store: Arc<PageStore>) -> Arc<Db> {
+        let locks = LockManager::new(opts.lock_config.clone());
+        Arc::new(Db {
+            log,
+            locks,
+            tables: RwLock::new(Vec::new()),
+            txns: Arc::new(TxnManager::new()),
+            store,
+            opts,
+            stats: DbStats::default(),
+        })
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// The log manager (experiments read stats and watermarks from here).
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// The lock manager.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// The page store.
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+
+    /// Options the database was opened with.
+    pub fn options(&self) -> &DbOptions {
+        &self.opts
+    }
+
+    /// The transaction manager (ATT).
+    pub fn txn_manager(&self) -> &Arc<TxnManager> {
+        &self.txns
+    }
+
+    // ------------------------------------------------------------------
+    // Schema
+    // ------------------------------------------------------------------
+
+    /// Create a table of `record_size`-byte records with `dense_rows` dense
+    /// keys preallocated; returns the table id.
+    pub fn create_table(&self, record_size: usize, dense_rows: u64) -> u32 {
+        let mut tables = self.tables.write();
+        let id = tables.len() as u32;
+        tables.push(Arc::new(Table::new(id, record_size, dense_rows)));
+        id
+    }
+
+    /// Look up a table by id.
+    pub fn table(&self, id: u32) -> StorageResult<Arc<Table>> {
+        self.tables
+            .read()
+            .get(id as usize)
+            .cloned()
+            .ok_or_else(|| StorageError::InvalidRecord(format!("no table {id}")))
+    }
+
+    /// Bulk-load one record during setup (unlogged; finish with
+    /// [`Db::setup_complete`]).
+    pub fn load(&self, table: u32, key: u64, record: &[u8]) -> StorageResult<()> {
+        self.table(table)?.load(key, record)?;
+        Ok(())
+    }
+
+    /// Flush all pages and take a checkpoint: makes the loaded state durable
+    /// so recovery never needs to replay the bulk load.
+    pub fn setup_complete(&self) {
+        self.flush_pages();
+        self.checkpoint();
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Transaction {
+        self.txns.begin()
+    }
+
+    /// Read `key` (S row lock, IS table lock).
+    pub fn read(&self, txn: &mut Transaction, table: u32, key: u64) -> StorageResult<Vec<u8>> {
+        self.check_active(txn)?;
+        let t = self.table(table)?;
+        self.lock(txn, LockId::table(table), LockMode::IS)?;
+        self.lock(txn, LockId::row(table, key), LockMode::S)?;
+        let rid = t.rid_of(key).ok_or(StorageError::KeyNotFound { table, key })?;
+        t.read(rid).ok_or(StorageError::KeyNotFound { table, key })
+    }
+
+    /// Read `key` with an X lock (read-for-update: avoids the S→X upgrade
+    /// deadlock in read-modify-write transactions).
+    pub fn read_for_update(
+        &self,
+        txn: &mut Transaction,
+        table: u32,
+        key: u64,
+    ) -> StorageResult<Vec<u8>> {
+        self.check_active(txn)?;
+        let t = self.table(table)?;
+        self.lock(txn, LockId::table(table), LockMode::IX)?;
+        self.lock(txn, LockId::row(table, key), LockMode::X)?;
+        let rid = t.rid_of(key).ok_or(StorageError::KeyNotFound { table, key })?;
+        t.read(rid).ok_or(StorageError::KeyNotFound { table, key })
+    }
+
+    /// Overwrite the record at `key` (IX table, X row; logs before/after).
+    pub fn update(
+        &self,
+        txn: &mut Transaction,
+        table: u32,
+        key: u64,
+        record: &[u8],
+    ) -> StorageResult<()> {
+        self.check_active(txn)?;
+        let t = self.table(table)?;
+        self.lock(txn, LockId::table(table), LockMode::IX)?;
+        self.lock(txn, LockId::row(table, key), LockMode::X)?;
+        let rid = t.rid_of(key).ok_or(StorageError::KeyNotFound { table, key })?;
+        let before = t.read_cell(rid);
+        if before[0] == 0 {
+            return Err(StorageError::KeyNotFound { table, key });
+        }
+        let after = t.make_cell(record)?;
+        self.log_and_apply(txn, &t, rid, before, after)
+    }
+
+    /// Read-modify-write convenience: `f` mutates the record in place.
+    pub fn update_with<F: FnOnce(&mut [u8])>(
+        &self,
+        txn: &mut Transaction,
+        table: u32,
+        key: u64,
+        f: F,
+    ) -> StorageResult<()> {
+        let mut rec = self.read_for_update(txn, table, key)?;
+        f(&mut rec);
+        self.update(txn, table, key, &rec)
+    }
+
+    /// Insert a new record at `key` (IX table, X row).
+    pub fn insert(
+        &self,
+        txn: &mut Transaction,
+        table: u32,
+        key: u64,
+        record: &[u8],
+    ) -> StorageResult<()> {
+        self.check_active(txn)?;
+        let t = self.table(table)?;
+        self.lock(txn, LockId::table(table), LockMode::IX)?;
+        self.lock(txn, LockId::row(table, key), LockMode::X)?;
+        // Existence check.
+        if let Some(rid) = t.rid_of(key) {
+            if t.read(rid).is_some() {
+                return Err(StorageError::DuplicateKey { table, key });
+            }
+            // Dense slot exists but is empty: insert in place.
+            let before = t.read_cell(rid);
+            let after = t.make_cell(record)?;
+            return self.log_and_apply(txn, &t, rid, before, after);
+        }
+        let rid = t.allocate_slot();
+        if !t.index().insert(key, rid) {
+            return Err(StorageError::DuplicateKey { table, key });
+        }
+        let before = t.read_cell(rid); // empty cell
+        let after = t.make_cell(record)?;
+        self.log_and_apply(txn, &t, rid, before, after)
+    }
+
+    /// Delete the record at `key` (IX table, X row).
+    pub fn delete(&self, txn: &mut Transaction, table: u32, key: u64) -> StorageResult<()> {
+        self.check_active(txn)?;
+        let t = self.table(table)?;
+        self.lock(txn, LockId::table(table), LockMode::IX)?;
+        self.lock(txn, LockId::row(table, key), LockMode::X)?;
+        let rid = t.rid_of(key).ok_or(StorageError::KeyNotFound { table, key })?;
+        let before = t.read_cell(rid);
+        if before[0] == 0 {
+            return Err(StorageError::KeyNotFound { table, key });
+        }
+        let after = t.empty_cell();
+        self.log_and_apply(txn, &t, rid, before, after)?;
+        if key >= t.dense_rows {
+            t.index().remove(key);
+        }
+        Ok(())
+    }
+
+    fn check_active(&self, txn: &Transaction) -> StorageResult<()> {
+        if txn.is_active() {
+            Ok(())
+        } else {
+            Err(StorageError::TxnNotActive(txn.id))
+        }
+    }
+
+    fn lock(&self, txn: &mut Transaction, id: LockId, mode: LockMode) -> StorageResult<()> {
+        self.locks.acquire(txn.id, id, mode)?;
+        txn.note_lock(id);
+        Ok(())
+    }
+
+    /// Log an update record (chained into the txn's undo chain), remember
+    /// the undo entry, and apply the after-image.
+    fn log_and_apply(
+        &self,
+        txn: &mut Transaction,
+        t: &Table,
+        rid: crate::page::Rid,
+        before: Vec<u8>,
+        after: Vec<u8>,
+    ) -> StorageResult<()> {
+        let page = PageId {
+            table: t.id,
+            page_no: rid.page_no,
+        };
+        let payload = UpdatePayload {
+            page,
+            slot: rid.slot,
+            before: before.clone(),
+            after: after.clone(),
+        };
+        let lsn = self
+            .log
+            .insert_chained(RecordKind::Update, txn.id, txn.last_lsn(), &payload.encode());
+        txn.set_last_lsn(lsn);
+        txn.note_undo(UndoEntry {
+            page,
+            slot: rid.slot,
+            before,
+            update_lsn: lsn,
+        });
+        t.apply_cell(rid, &after, lsn);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    /// Commit per the configured protocol.
+    pub fn commit(&self, txn: Transaction) -> StorageResult<CommitOutcome> {
+        self.commit_with(txn, None)
+    }
+
+    /// Commit with an optional completion callback (flush pipelining
+    /// drivers count completed transactions this way). The callback runs
+    /// when the commit is durable — immediately for blocking protocols.
+    pub fn commit_with(
+        &self,
+        mut txn: Transaction,
+        on_durable: Option<Box<dyn FnOnce() + Send>>,
+    ) -> StorageResult<CommitOutcome> {
+        self.check_active(&txn)?;
+
+        // Read-only transactions: nothing to harden.
+        if txn.undo.is_empty() {
+            txn.status = TxnStatus::Committed;
+            self.locks.release_all(txn.id, &txn.held);
+            self.txns.finish(txn.id);
+            if let Some(f) = on_durable {
+                f();
+            }
+            return Ok(CommitOutcome::Durable);
+        }
+
+        let (_, end) = self
+            .log
+            .insert_ext(RecordKind::Commit, txn.id, txn.last_lsn(), &[]);
+        txn.status = TxnStatus::Precommitted;
+        self.stats
+            .commits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let timed_flush = |lsn| {
+            let t = std::time::Instant::now();
+            self.log.flush_until(lsn);
+            self.stats.flush_wait_ns.fetch_add(
+                t.elapsed().as_nanos() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        };
+
+        match self.opts.protocol {
+            CommitProtocol::Baseline => {
+                // Flush first, *then* release locks: delay (B) of Figure 1.
+                timed_flush(end);
+                self.locks.release_all(txn.id, &txn.held);
+                self.txns.finish(txn.id);
+                if let Some(f) = on_durable {
+                    f();
+                }
+                Ok(CommitOutcome::Durable)
+            }
+            CommitProtocol::Elr => {
+                // ELR: locks drop before the flush; only this transaction
+                // waits for the I/O.
+                self.locks.release_all(txn.id, &txn.held);
+                timed_flush(end);
+                self.txns.finish(txn.id);
+                if let Some(f) = on_durable {
+                    f();
+                }
+                Ok(CommitOutcome::Durable)
+            }
+            CommitProtocol::AsyncCommit => {
+                self.locks.release_all(txn.id, &txn.held);
+                let txns = Arc::clone(&self.txns);
+                let id = txn.id;
+                self.log.commit_async(
+                    end,
+                    CommitAction::Callback(Box::new(move || {
+                        txns.finish(id);
+                        if let Some(f) = on_durable {
+                            f();
+                        }
+                    })),
+                );
+                Ok(CommitOutcome::Unsafe)
+            }
+            CommitProtocol::Pipelined => {
+                self.locks.release_all(txn.id, &txn.held);
+                let (handle, st) = CommitHandle::new();
+                let txns = Arc::clone(&self.txns);
+                let id = txn.id;
+                self.log.commit_async(
+                    end,
+                    CommitAction::Callback(Box::new(move || {
+                        txns.finish(id);
+                        // Run the driver callback *before* completing the
+                        // handle: a waiter on the handle must observe every
+                        // side effect of the commit's completion.
+                        if let Some(f) = on_durable {
+                            f();
+                        }
+                        st.complete();
+                    })),
+                );
+                Ok(CommitOutcome::Pipelined(handle))
+            }
+        }
+    }
+
+    /// Roll back: apply before-images in reverse, logging CLRs; then release
+    /// locks. Safe at any point before commit.
+    pub fn abort(&self, mut txn: Transaction) -> StorageResult<()> {
+        self.check_active(&txn)?;
+        let undo: Vec<UndoEntry> = txn.undo.drain(..).collect();
+        for (i, e) in undo.iter().enumerate().rev() {
+            let t = self.table(e.page.table)?;
+            let rid = crate::page::Rid {
+                page_no: e.page.page_no,
+                slot: e.slot,
+            };
+            // Index maintenance: undoing an insert removes the key; undoing
+            // a delete restores it.
+            let current = t.read_cell(rid);
+            self.fix_index_on_restore(&t, rid, &current, &e.before);
+            let undo_next = if i == 0 {
+                Lsn::ZERO
+            } else {
+                undo[i - 1].update_lsn
+            };
+            let clr = ClrPayload {
+                page: e.page,
+                slot: e.slot,
+                restored: e.before.clone(),
+                undo_next,
+            };
+            let lsn =
+                self.log
+                    .insert_chained(RecordKind::Clr, txn.id, txn.last_lsn(), &clr.encode());
+            txn.set_last_lsn(lsn);
+            t.apply_cell(rid, &e.before, lsn);
+        }
+        self.log
+            .insert_chained(RecordKind::Abort, txn.id, txn.last_lsn(), &[]);
+        txn.status = TxnStatus::Aborted;
+        self.stats
+            .aborts
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.locks.release_all(txn.id, &txn.held);
+        self.txns.finish(txn.id);
+        Ok(())
+    }
+
+    /// Shared by rollback and recovery-undo: adjust the hash index when a
+    /// cell restore flips presence.
+    pub(crate) fn fix_index_on_restore(
+        &self,
+        t: &Table,
+        rid: crate::page::Rid,
+        current: &[u8],
+        restored: &[u8],
+    ) {
+        let cur_present = current[0] == 1;
+        let res_present = restored[0] == 1;
+        if cur_present && !res_present {
+            // Undo of an insert: drop the key.
+            let key = u64::from_le_bytes(current[1..9].try_into().unwrap());
+            if key >= t.dense_rows {
+                t.index().remove(key);
+            }
+        } else if !cur_present && res_present {
+            // Undo of a delete: restore the key.
+            let key = u64::from_le_bytes(restored[1..9].try_into().unwrap());
+            if key >= t.dense_rows {
+                t.index().insert(key, rid);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints, crash, recovery
+    // ------------------------------------------------------------------
+
+    /// Write all dirty pages to the page store and mark them clean.
+    pub fn flush_pages(&self) {
+        let tables = self.tables.read();
+        for t in tables.iter() {
+            let id = t.id;
+            t.for_each_dirty(|page_no, frame| {
+                self.store.write(
+                    PageId {
+                        table: id,
+                        page_no,
+                    },
+                    frame.page_lsn,
+                    &frame.data,
+                );
+                frame.mark_clean();
+            });
+        }
+    }
+
+    /// Take a fuzzy checkpoint: begin record, ATT + DPT snapshot, end
+    /// record, flushed. Returns the checkpoint-begin LSN.
+    pub fn checkpoint(&self) -> Lsn {
+        let begin = self.log.insert(RecordKind::CheckpointBegin, 0, &[]);
+        let att = self.txns.att_snapshot();
+        let mut dpt = Vec::new();
+        for t in self.tables.read().iter() {
+            dpt.extend(t.dpt_snapshot());
+        }
+        let payload = CheckpointPayload { att, dpt };
+        let (_, end) = self
+            .log
+            .insert_ext(RecordKind::CheckpointEnd, 0, Lsn::ZERO, &payload.encode());
+        self.log.flush_until(end);
+        begin
+    }
+
+    /// The ARIES log-truncation point: everything strictly below this LSN
+    /// can be recycled because (a) every page it might redo has been flushed
+    /// (no dirty page's `rec_lsn` is below it) and (b) no active transaction
+    /// might undo through it (no active txn's first record is below it).
+    pub fn log_truncation_point(&self) -> Lsn {
+        let mut point = self.log.durable_lsn();
+        for t in self.tables.read().iter() {
+            for (_, rec_lsn) in t.dpt_snapshot() {
+                point = point.min(rec_lsn);
+            }
+        }
+        if let Some(oldest) = self.txns.oldest_first_lsn() {
+            point = point.min(oldest);
+        }
+        point
+    }
+
+    /// Capture what would survive a power failure right now: the durable log
+    /// prefix and the page store. The in-memory ring, frames, and lock state
+    /// are all lost. Panics if the log device cannot snapshot (Null).
+    pub fn crash(&self) -> CrashImage {
+        let log_bytes = self
+            .log
+            .device()
+            .snapshot()
+            .expect("crash simulation needs a snapshot-capable log device");
+        let schema = self
+            .tables
+            .read()
+            .iter()
+            .map(|t| (t.geom.record_size, t.dense_rows))
+            .collect();
+        CrashImage {
+            log_bytes,
+            store: self.store.deep_clone(),
+            schema,
+        }
+    }
+
+    /// Recover a database from a crash image (ARIES analysis/redo/undo).
+    /// See [`crate::recovery`] for the algorithm.
+    pub fn recover(image: CrashImage, opts: DbOptions) -> StorageResult<Arc<Db>> {
+        crate::recovery::recover(image, opts)
+    }
+
+    /// Internal: register a recovered table (recovery module only).
+    pub(crate) fn install_table(&self, t: Arc<Table>) {
+        let mut tables = self.tables.write();
+        debug_assert_eq!(tables.len(), t.id as usize);
+        tables.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: u64, size: usize, fill: u8) -> Vec<u8> {
+        let mut r = vec![fill; size];
+        r[..8].copy_from_slice(&key.to_le_bytes());
+        r
+    }
+
+    fn tiny_db(protocol: CommitProtocol) -> Arc<Db> {
+        let opts = DbOptions {
+            protocol,
+            log_config: LogConfig::default().with_buffer_size(1 << 20),
+            ..DbOptions::default()
+        };
+        let db = Db::open(opts);
+        let t = db.create_table(40, 100);
+        assert_eq!(t, 0);
+        for k in 0..100u64 {
+            db.load(0, k, &rec(k, 40, 1)).unwrap();
+        }
+        db.setup_complete();
+        db
+    }
+
+    #[test]
+    fn read_update_commit_roundtrip() {
+        let db = tiny_db(CommitProtocol::Baseline);
+        let mut txn = db.begin();
+        let before = db.read(&mut txn, 0, 5).unwrap();
+        assert_eq!(before[8], 1);
+        db.update_with(&mut txn, 0, 5, |r| r[8] = 42).unwrap();
+        let out = db.commit(txn).unwrap();
+        assert!(out.is_durable_now());
+        let mut txn2 = db.begin();
+        assert_eq!(db.read(&mut txn2, 0, 5).unwrap()[8], 42);
+        db.commit(txn2).unwrap();
+        assert_eq!(db.locks().granted_count(), 0);
+        assert_eq!(db.txn_manager().active_count(), 0);
+    }
+
+    #[test]
+    fn abort_restores_before_images() {
+        let db = tiny_db(CommitProtocol::Baseline);
+        let mut txn = db.begin();
+        db.update_with(&mut txn, 0, 7, |r| r[8] = 99).unwrap();
+        db.update_with(&mut txn, 0, 8, |r| r[8] = 98).unwrap();
+        db.abort(txn).unwrap();
+        let mut t2 = db.begin();
+        assert_eq!(db.read(&mut t2, 0, 7).unwrap()[8], 1);
+        assert_eq!(db.read(&mut t2, 0, 8).unwrap()[8], 1);
+        db.commit(t2).unwrap();
+        assert_eq!(db.locks().granted_count(), 0);
+    }
+
+    #[test]
+    fn insert_then_delete_with_index() {
+        let db = tiny_db(CommitProtocol::Elr);
+        let key = 1_000u64;
+        let mut txn = db.begin();
+        db.insert(&mut txn, 0, key, &rec(key, 40, 9)).unwrap();
+        db.commit(txn).unwrap();
+        let mut t2 = db.begin();
+        assert_eq!(db.read(&mut t2, 0, key).unwrap()[8], 9);
+        db.delete(&mut t2, 0, key).unwrap();
+        db.commit(t2).unwrap();
+        let mut t3 = db.begin();
+        assert!(matches!(
+            db.read(&mut t3, 0, key),
+            Err(StorageError::KeyNotFound { .. })
+        ));
+        db.commit(t3).unwrap();
+    }
+
+    #[test]
+    fn abort_of_insert_removes_index_entry() {
+        let db = tiny_db(CommitProtocol::Baseline);
+        let key = 5_000u64;
+        let mut txn = db.begin();
+        db.insert(&mut txn, 0, key, &rec(key, 40, 3)).unwrap();
+        db.abort(txn).unwrap();
+        assert!(db.table(0).unwrap().rid_of(key).is_none());
+        // Re-insert works after the aborted one.
+        let mut t2 = db.begin();
+        db.insert(&mut t2, 0, key, &rec(key, 40, 4)).unwrap();
+        db.commit(t2).unwrap();
+        let mut t3 = db.begin();
+        assert_eq!(db.read(&mut t3, 0, key).unwrap()[8], 4);
+        db.commit(t3).unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let db = tiny_db(CommitProtocol::Baseline);
+        let mut txn = db.begin();
+        assert!(matches!(
+            db.insert(&mut txn, 0, 5, &rec(5, 40, 2)),
+            Err(StorageError::DuplicateKey { .. })
+        ));
+        db.abort(txn).unwrap();
+    }
+
+    #[test]
+    fn pipelined_commit_completes_via_handle() {
+        let db = tiny_db(CommitProtocol::Pipelined);
+        let mut txn = db.begin();
+        db.update_with(&mut txn, 0, 3, |r| r[8] = 77).unwrap();
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let d2 = Arc::clone(&done);
+        let out = db
+            .commit_with(
+                txn,
+                Some(Box::new(move || {
+                    d2.store(true, std::sync::atomic::Ordering::SeqCst)
+                })),
+            )
+            .unwrap();
+        match out {
+            CommitOutcome::Pipelined(h) => h.wait(),
+            other => panic!("expected pipelined outcome, got {other:?}"),
+        }
+        assert!(done.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(db.txn_manager().active_count(), 0);
+    }
+
+    #[test]
+    fn async_commit_is_marked_unsafe() {
+        let db = tiny_db(CommitProtocol::AsyncCommit);
+        let mut txn = db.begin();
+        db.update_with(&mut txn, 0, 2, |r| r[8] = 50).unwrap();
+        let out = db.commit(txn).unwrap();
+        assert!(matches!(out, CommitOutcome::Unsafe));
+        // The update is visible immediately even though durability lags.
+        let mut t2 = db.begin();
+        assert_eq!(db.read(&mut t2, 0, 2).unwrap()[8], 50);
+        db.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn read_only_commit_is_free() {
+        let db = tiny_db(CommitProtocol::Baseline);
+        let flushes_before = db.log().flush_count();
+        let mut txn = db.begin();
+        let _ = db.read(&mut txn, 0, 1).unwrap();
+        let out = db.commit(txn).unwrap();
+        assert!(out.is_durable_now());
+        assert_eq!(db.log().flush_count(), flushes_before, "no flush for RO txn");
+    }
+
+    #[test]
+    fn elr_releases_locks_before_flush() {
+        // With a slow device, an ELR writer's locks must be available to a
+        // second transaction well before the writer's flush completes.
+        let opts = DbOptions {
+            protocol: CommitProtocol::Elr,
+            device: DeviceKind::CustomUs(20_000), // 20ms sync
+            log_config: LogConfig::default().with_buffer_size(1 << 20),
+            ..DbOptions::default()
+        };
+        let db = Db::open(opts);
+        db.create_table(40, 10);
+        for k in 0..10u64 {
+            db.load(0, k, &rec(k, 40, 1)).unwrap();
+        }
+        db.setup_complete();
+
+        let db2 = Arc::clone(&db);
+        let start = std::time::Instant::now();
+        let committer = std::thread::spawn(move || {
+            let mut txn = db2.begin();
+            db2.update_with(&mut txn, 0, 0, |r| r[8] = 2).unwrap();
+            db2.commit(txn).unwrap(); // blocks ~20ms on flush
+        });
+        // Give the committer time to insert its commit record and release.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let mut txn = db.begin();
+        let got = db.read_for_update(&mut txn, 0, 0);
+        let waited = start.elapsed();
+        committer.join().unwrap();
+        got.unwrap();
+        db.abort(txn).unwrap();
+        assert!(
+            waited < std::time::Duration::from_millis(18),
+            "ELR should hand over the lock before the 20ms flush finishes (waited {waited:?})"
+        );
+    }
+
+    #[test]
+    fn truncation_point_tracks_dirty_pages_and_active_txns() {
+        let db = tiny_db(CommitProtocol::Baseline);
+        // Clean DB, no active txns: truncation point == durable end.
+        db.flush_pages();
+        let clean_point = db.log_truncation_point();
+        assert_eq!(clean_point, db.log().durable_lsn());
+        // An active transaction pins the point at its first record.
+        let mut txn = db.begin();
+        db.update_with(&mut txn, 0, 1, |r| r[8] = 9).unwrap();
+        let first = txn.first_lsn().unwrap();
+        assert!(db.log_truncation_point() <= first);
+        db.commit(txn).unwrap();
+        // Dirty pages pin it at their rec_lsn until flushed.
+        let dirty_point = db.log_truncation_point();
+        assert!(dirty_point <= first);
+        db.flush_pages();
+        assert_eq!(db.log_truncation_point(), db.log().durable_lsn());
+    }
+
+    #[test]
+    fn checkpoint_writes_att_and_dpt() {
+        let db = tiny_db(CommitProtocol::Baseline);
+        let mut txn = db.begin();
+        db.update_with(&mut txn, 0, 1, |r| r[8] = 9).unwrap();
+        // Checkpoint while txn is active and page dirty.
+        db.checkpoint();
+        db.commit(txn).unwrap();
+        // Find the checkpoint-end record in the log.
+        let recs = db.log().reader().read_all().unwrap();
+        let cp = recs
+            .iter()
+            .rev()
+            .find(|r| r.header.kind == RecordKind::CheckpointEnd)
+            .expect("checkpoint end present");
+        let payload = CheckpointPayload::decode(&cp.payload).unwrap();
+        assert_eq!(payload.att.len(), 1, "one active txn at checkpoint");
+        assert!(!payload.dpt.is_empty(), "dirty page recorded");
+    }
+}

@@ -1,0 +1,40 @@
+//! # aether-storage — a miniature Shore-MT
+//!
+//! The Aether paper evaluates its logging techniques inside Shore-MT, a
+//! multi-threaded transactional storage manager. This crate is the
+//! from-scratch substrate that plays Shore-MT's role for the reproduction:
+//!
+//! * fixed-size-record **tables** over 8 KiB pages with page LSNs
+//!   ([`table`], [`page`]),
+//! * an in-memory **page store** standing in for the data volume
+//!   ([`store`]),
+//! * a hierarchical **lock manager** (IS/IX table locks, S/X row locks,
+//!   FIFO queues, timeout + wait-for-graph deadlock detection) ([`lock`]),
+//! * **transactions** with undo chains, rollback via before-images and CLRs,
+//!   and the four commit protocols the paper compares — Baseline, **ELR**,
+//!   Asynchronous commit, and **Flush Pipelining** ([`txn`]),
+//! * ARIES-style **recovery**: analysis / redo / undo with fuzzy checkpoints
+//!   ([`recovery`]),
+//! * a [`db::Db`] facade the benchmark workloads drive.
+//!
+//! Everything WAL-related delegates to `aether-core`: the storage manager
+//! inserts physiological update records through whichever log-buffer variant
+//! the experiment selects.
+
+#![warn(missing_docs)]
+
+pub mod checkpointer;
+pub mod db;
+pub mod error;
+pub mod lock;
+pub mod page;
+pub mod recovery;
+pub mod store;
+pub mod table;
+pub mod txn;
+pub mod wal;
+
+pub use db::{CrashImage, Db, DbOptions};
+pub use error::{StorageError, StorageResult};
+pub use lock::{LockId, LockMode};
+pub use txn::{CommitOutcome, CommitProtocol, Transaction};

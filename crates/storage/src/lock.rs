@@ -1,0 +1,600 @@
+//! The lock manager.
+//!
+//! Hierarchical two-level locking: intention locks (IS/IX) at table
+//! granularity, shared/exclusive (S/X) at row granularity — enough for the
+//! TPC-B and TATP transactions the paper drives, while keeping the lock
+//! manager itself uncontended so logging dominates (the paper uses
+//! Speculative Lock Inheritance for the same reason, §6.1).
+//!
+//! **Early Lock Release** is a *policy* of the commit path (see
+//! [`crate::txn`]): the lock manager just provides `release_all`, and the
+//! commit protocol decides whether to call it before or after the log flush.
+//! That is exactly DeWitt et al.'s formulation: locks may be released as soon
+//! as the commit record is *in the log buffer*, provided the client is not
+//! told before the record is durable (§3.1).
+//!
+//! Deadlock handling: FIFO queues plus either a wait timeout or a wait-for
+//! graph with cycle detection (victim = the requester that closes the cycle).
+
+use crate::error::{StorageError, StorageResult};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Lock modes. Intention modes (IS/IX) are taken at table granularity;
+/// S/X at row granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention shared (table).
+    IS,
+    /// Intention exclusive (table).
+    IX,
+    /// Shared (row).
+    S,
+    /// Exclusive (row).
+    X,
+}
+
+impl LockMode {
+    /// Standard compatibility matrix (no SIX; the workloads don't need it).
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IS, X) | (X, IS) => false,
+            (IS, _) | (_, IS) => true,
+            (IX, IX) => true,
+            (IX, _) | (_, IX) => false,
+            (S, S) => true,
+            (S, X) | (X, S) | (X, X) => false,
+        }
+    }
+
+    /// Whether holding `self` already covers a request for `other` from the
+    /// same transaction (mode dominance for re-entrant acquisition).
+    pub fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (X, _) => true,
+            (S, S) | (S, IS) => true,
+            (IX, IX) | (IX, IS) => true,
+            (IS, IS) => true,
+            _ => self == other,
+        }
+    }
+}
+
+/// What a lock protects: a whole table (`key == TABLE_KEY`) or one row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LockId {
+    /// Table id.
+    pub table: u32,
+    /// Row key, or [`LockId::TABLE_KEY`] for the table-level lock.
+    pub key: u64,
+}
+
+impl LockId {
+    /// Sentinel key for table-granularity locks.
+    pub const TABLE_KEY: u64 = u64::MAX;
+
+    /// Table-level lock id.
+    pub fn table(table: u32) -> LockId {
+        LockId {
+            table,
+            key: Self::TABLE_KEY,
+        }
+    }
+
+    /// Row-level lock id.
+    pub fn row(table: u32, key: u64) -> LockId {
+        debug_assert_ne!(key, Self::TABLE_KEY);
+        LockId { table, key }
+    }
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: u64,
+    mode: LockMode,
+    /// Set true by a granter; the waiter rechecks under the shard lock.
+    granted: bool,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    granted: Vec<(u64, LockMode)>,
+    waiters: VecDeque<Waiter>,
+}
+
+impl Entry {
+    /// Can `txn` acquire `mode` right now? Compatible with all other
+    /// holders, and FIFO-fair: no earlier waiter may be left behind.
+    fn can_grant(&self, txn: u64, mode: LockMode) -> bool {
+        let compat_granted = self
+            .granted
+            .iter()
+            .all(|&(t, m)| t == txn || m.compatible(mode));
+        // FIFO: grant only if this txn is the first waiter (or not a waiter
+        // at all and there are none).
+        let first_ok = match self.waiters.front() {
+            None => true,
+            Some(w) => w.txn == txn,
+        };
+        compat_granted && first_ok
+    }
+}
+
+struct Shard {
+    entries: Mutex<HashMap<LockId, Entry>>,
+    cv: Condvar,
+}
+
+/// Lock-manager tuning.
+#[derive(Debug, Clone)]
+pub struct LockConfig {
+    /// Hash shards over the lock table.
+    pub shards: usize,
+    /// Give up (deadlock victim) after waiting this long.
+    pub timeout: Duration,
+    /// Maintain a wait-for graph and abort cycle-closing requesters
+    /// immediately instead of waiting for the timeout.
+    pub detect_deadlocks: bool,
+}
+
+impl Default for LockConfig {
+    fn default() -> Self {
+        LockConfig {
+            shards: 64,
+            timeout: Duration::from_secs(10),
+            detect_deadlocks: true,
+        }
+    }
+}
+
+/// The lock manager.
+pub struct LockManager {
+    shards: Box<[Shard]>,
+    config: LockConfig,
+    /// Wait-for edges: blocked txn → txns it waits on. Guarded coarsely; the
+    /// graph is only touched on the slow path (an actual block).
+    waits_for: Mutex<HashMap<u64, Vec<u64>>>,
+    /// Total nanoseconds spent blocked in `acquire` (Figure 2/3/7 breakdowns:
+    /// this is delay (B), log-induced lock contention, when the holder is in
+    /// its commit flush).
+    wait_ns: std::sync::atomic::AtomicU64,
+    /// Number of acquires that had to block.
+    blocked_acquires: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockManager")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl LockManager {
+    /// Build with `config`.
+    pub fn new(config: LockConfig) -> Arc<LockManager> {
+        let shards = (0..config.shards.max(1))
+            .map(|_| Shard {
+                entries: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+            })
+            .collect();
+        Arc::new(LockManager {
+            shards,
+            config,
+            waits_for: Mutex::new(HashMap::new()),
+            wait_ns: std::sync::atomic::AtomicU64::new(0),
+            blocked_acquires: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Total nanoseconds spent blocked waiting for locks.
+    pub fn wait_ns(&self) -> u64 {
+        self.wait_ns.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of acquires that blocked.
+    pub fn blocked_acquires(&self) -> u64 {
+        self.blocked_acquires
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn shard(&self, id: LockId) -> &Shard {
+        // FNV-ish mix of table+key.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in id.table.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        for b in id.key.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Acquire `mode` on `id` for `txn`, blocking until granted. Re-entrant:
+    /// already-covering holds return immediately; S→X upgrades succeed when
+    /// `txn` is the sole holder.
+    ///
+    /// Errors with [`StorageError::Deadlock`] (detector) or
+    /// [`StorageError::LockTimeout`] (timeout) — both retryable; the caller
+    /// must roll the transaction back.
+    pub fn acquire(&self, txn: u64, id: LockId, mode: LockMode) -> StorageResult<()> {
+        let shard = self.shard(id);
+        let mut entries = shard.entries.lock();
+        let entry = entries.entry(id).or_default();
+
+        // Re-entrant / upgrade handling.
+        if let Some(pos) = entry.granted.iter().position(|&(t, _)| t == txn) {
+            let held = entry.granted[pos].1;
+            if held.covers(mode) {
+                return Ok(());
+            }
+            // Upgrade: allowed immediately iff no other holder conflicts.
+            let others_compatible = entry
+                .granted
+                .iter()
+                .all(|&(t, m)| t == txn || m.compatible(mode));
+            if others_compatible && entry.waiters.is_empty() {
+                entry.granted[pos].1 = mode;
+                return Ok(());
+            }
+            // Conservative: upgrades that would wait behind other holders
+            // are a classic deadlock source; fail fast as a victim.
+            return Err(StorageError::Deadlock { txn });
+        }
+
+        if entry.can_grant(txn, mode) {
+            entry.granted.push((txn, mode));
+            return Ok(());
+        }
+
+        // Slow path: enqueue and (optionally) run deadlock detection.
+        entry.waiters.push_back(Waiter {
+            txn,
+            mode,
+            granted: false,
+        });
+        if self.config.detect_deadlocks {
+            let holders: Vec<u64> = entry
+                .granted
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| t != txn)
+                .collect();
+            if self.would_deadlock(txn, &holders) {
+                // Remove ourselves and bail out as the victim.
+                entry.waiters.retain(|w| w.txn != txn);
+                return Err(StorageError::Deadlock { txn });
+            }
+        }
+
+        let deadline = Instant::now() + self.config.timeout;
+        let wait_started = Instant::now();
+        self.blocked_acquires
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let charge = |t: Instant| {
+            self.wait_ns.fetch_add(
+                t.elapsed().as_nanos() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        };
+        loop {
+            // A release may have granted us while we weren't looking.
+            let entry = entries.get_mut(&id).expect("entry vanished while waiting");
+            if let Some(w) = entry.waiters.iter().find(|w| w.txn == txn) {
+                if w.granted {
+                    entry.waiters.retain(|w| w.txn != txn);
+                    entry.granted.push((txn, mode));
+                    self.clear_waits(txn);
+                    charge(wait_started);
+                    return Ok(());
+                }
+            }
+            if shard.cv.wait_until(&mut entries, deadline).timed_out() {
+                let entry = entries.get_mut(&id).expect("entry vanished on timeout");
+                entry.waiters.retain(|w| w.txn != txn);
+                self.clear_waits(txn);
+                charge(wait_started);
+                return Err(StorageError::LockTimeout { txn });
+            }
+        }
+    }
+
+    /// Non-blocking acquire; `Ok(false)` when it would have to wait.
+    pub fn try_acquire(&self, txn: u64, id: LockId, mode: LockMode) -> StorageResult<bool> {
+        let shard = self.shard(id);
+        let mut entries = shard.entries.lock();
+        let entry = entries.entry(id).or_default();
+        if let Some(pos) = entry.granted.iter().position(|&(t, _)| t == txn) {
+            let held = entry.granted[pos].1;
+            if held.covers(mode) {
+                return Ok(true);
+            }
+            let others_compatible = entry
+                .granted
+                .iter()
+                .all(|&(t, m)| t == txn || m.compatible(mode));
+            if others_compatible && entry.waiters.is_empty() {
+                entry.granted[pos].1 = mode;
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        if entry.can_grant(txn, mode) {
+            entry.granted.push((txn, mode));
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Release one lock held by `txn`.
+    pub fn release(&self, txn: u64, id: LockId) {
+        let shard = self.shard(id);
+        let mut entries = shard.entries.lock();
+        let remove = if let Some(entry) = entries.get_mut(&id) {
+            entry.granted.retain(|&(t, _)| t != txn);
+            Self::grant_waiters(entry);
+            entry.granted.is_empty() && entry.waiters.is_empty()
+        } else {
+            false
+        };
+        if remove {
+            entries.remove(&id);
+        }
+        shard.cv.notify_all();
+    }
+
+    /// Release every lock in `held` — the commit/abort path. Under ELR this
+    /// is called *before* the log flush; under the baseline protocol, after.
+    pub fn release_all(&self, txn: u64, held: &[LockId]) {
+        for &id in held {
+            self.release(txn, id);
+        }
+        self.clear_waits(txn);
+    }
+
+    /// Mark grantable waiters (in FIFO order) — they complete the grant
+    /// themselves when they wake.
+    fn grant_waiters(entry: &mut Entry) {
+        // Walk waiters in order; grant a prefix of mutually-compatible ones.
+        let mut granted_modes: Vec<(u64, LockMode)> = entry.granted.clone();
+        for w in entry.waiters.iter_mut() {
+            if w.granted {
+                granted_modes.push((w.txn, w.mode));
+                continue;
+            }
+            let ok = granted_modes
+                .iter()
+                .all(|&(t, m)| t == w.txn || m.compatible(w.mode));
+            if ok {
+                w.granted = true;
+                granted_modes.push((w.txn, w.mode));
+            } else {
+                break; // strict FIFO beyond the first blocked waiter
+            }
+        }
+    }
+
+    /// Record `txn → holders` wait edges and check for a cycle including
+    /// `txn`. Returns true if waiting would deadlock.
+    fn would_deadlock(&self, txn: u64, holders: &[u64]) -> bool {
+        let mut g = self.waits_for.lock();
+        g.insert(txn, holders.to_vec());
+        // DFS from txn.
+        let mut stack: Vec<u64> = holders.to_vec();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == txn {
+                g.remove(&txn);
+                return true;
+            }
+            if seen.insert(t) {
+                if let Some(next) = g.get(&t) {
+                    stack.extend_from_slice(next);
+                }
+            }
+        }
+        false
+    }
+
+    fn clear_waits(&self, txn: u64) {
+        self.waits_for.lock().remove(&txn);
+    }
+
+    /// Number of locks currently granted (diagnostics/tests).
+    pub fn granted_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.entries
+                    .lock()
+                    .values()
+                    .map(|e| e.granted.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(timeout_ms: u64, detect: bool) -> Arc<LockManager> {
+        LockManager::new(LockConfig {
+            shards: 8,
+            timeout: Duration::from_millis(timeout_ms),
+            detect_deadlocks: detect,
+        })
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(IS.compatible(IS));
+        assert!(IS.compatible(IX));
+        assert!(IS.compatible(S));
+        assert!(!IS.compatible(X));
+        assert!(IX.compatible(IX));
+        assert!(!IX.compatible(S));
+        assert!(!IX.compatible(X));
+        assert!(S.compatible(S));
+        assert!(!S.compatible(X));
+        assert!(!X.compatible(X));
+    }
+
+    #[test]
+    fn covers_dominance() {
+        use LockMode::*;
+        assert!(X.covers(S));
+        assert!(X.covers(IX));
+        assert!(S.covers(S));
+        assert!(!S.covers(X));
+        assert!(IX.covers(IS));
+        assert!(!IS.covers(IX));
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_blocks() {
+        let m = mgr(50, false);
+        let id = LockId::row(1, 42);
+        m.acquire(1, id, LockMode::S).unwrap();
+        m.acquire(2, id, LockMode::S).unwrap();
+        assert!(!m.try_acquire(3, id, LockMode::X).unwrap());
+        assert!(matches!(
+            m.acquire(3, id, LockMode::X),
+            Err(StorageError::LockTimeout { txn: 3 })
+        ));
+        m.release_all(1, &[id]);
+        m.release_all(2, &[id]);
+        assert!(m.try_acquire(3, id, LockMode::X).unwrap());
+        m.release_all(3, &[id]);
+        assert_eq!(m.granted_count(), 0);
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let m = mgr(50, false);
+        let id = LockId::row(1, 7);
+        m.acquire(1, id, LockMode::S).unwrap();
+        m.acquire(1, id, LockMode::S).unwrap(); // re-entrant
+        m.acquire(1, id, LockMode::X).unwrap(); // sole-holder upgrade
+        assert!(!m.try_acquire(2, id, LockMode::S).unwrap());
+        m.release_all(1, &[id]);
+        assert!(m.try_acquire(2, id, LockMode::S).unwrap());
+    }
+
+    #[test]
+    fn blocked_then_granted_on_release() {
+        let m = mgr(5000, false);
+        let id = LockId::row(1, 1);
+        m.acquire(1, id, LockMode::X).unwrap();
+        let m2 = Arc::clone(&m);
+        let t = std::thread::spawn(move || m2.acquire(2, id, LockMode::X));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!t.is_finished());
+        m.release_all(1, &[id]);
+        t.join().unwrap().unwrap();
+        m.release_all(2, &[id]);
+    }
+
+    #[test]
+    fn fifo_ordering_of_waiters() {
+        let m = mgr(5000, false);
+        let id = LockId::row(9, 9);
+        m.acquire(1, id, LockMode::X).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = vec![];
+        for txn in 2..=4u64 {
+            let m = Arc::clone(&m);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                m.acquire(txn, id, LockMode::X).unwrap();
+                order.lock().push(txn);
+                std::thread::sleep(Duration::from_millis(5));
+                m.release_all(txn, &[id]);
+            }));
+            // Stagger arrivals so the queue order is deterministic.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        m.release_all(1, &[id]);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(&*order.lock(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn deadlock_detector_picks_victim() {
+        let m = mgr(5000, true);
+        let a = LockId::row(1, 1);
+        let b = LockId::row(1, 2);
+        m.acquire(1, a, LockMode::X).unwrap();
+        m.acquire(2, b, LockMode::X).unwrap();
+        let m2 = Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            // txn 1 waits for b (held by 2)
+            m2.acquire(1, b, LockMode::X)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // txn 2 requesting a closes the cycle → victim.
+        let r = m.acquire(2, a, LockMode::X);
+        assert!(matches!(r, Err(StorageError::Deadlock { txn: 2 })));
+        // Victim rolls back, releasing b; txn 1 proceeds.
+        m.release_all(2, &[b]);
+        t.join().unwrap().unwrap();
+        m.release_all(1, &[a, b]);
+    }
+
+    #[test]
+    fn upgrade_with_competitor_fails_fast() {
+        let m = mgr(100, true);
+        let id = LockId::row(3, 3);
+        m.acquire(1, id, LockMode::S).unwrap();
+        m.acquire(2, id, LockMode::S).unwrap();
+        // Upgrade would deadlock against the other S holder.
+        assert!(matches!(
+            m.acquire(1, id, LockMode::X),
+            Err(StorageError::Deadlock { txn: 1 })
+        ));
+        m.release_all(1, &[id]);
+        m.release_all(2, &[id]);
+    }
+
+    #[test]
+    fn intention_locks_at_table_level() {
+        let m = mgr(50, false);
+        let t = LockId::table(5);
+        m.acquire(1, t, LockMode::IX).unwrap();
+        m.acquire(2, t, LockMode::IX).unwrap();
+        m.acquire(3, t, LockMode::IS).unwrap();
+        assert!(!m.try_acquire(4, t, LockMode::S).unwrap());
+        m.release_all(1, &[t]);
+        m.release_all(2, &[t]);
+        assert!(m.try_acquire(4, t, LockMode::S).unwrap());
+        m.release_all(3, &[t]);
+        m.release_all(4, &[t]);
+    }
+
+    #[test]
+    fn concurrent_hammering_many_keys() {
+        let m = mgr(5000, true);
+        std::thread::scope(|s| {
+            for txn in 0..8u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let id = LockId::row(1, (txn * 31 + i) % 64);
+                        m.acquire(txn, id, LockMode::X).unwrap();
+                        m.release_all(txn, &[id]);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.granted_count(), 0);
+    }
+}

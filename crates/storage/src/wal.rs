@@ -1,0 +1,229 @@
+//! WAL payload formats for the storage manager.
+//!
+//! `aether-core` treats payloads as opaque bytes; this module gives them
+//! ARIES meaning. All encodings are little-endian and hand-rolled (no serde
+//! on the log hot path).
+
+use crate::page::{PageId, Rid};
+use aether_core::Lsn;
+
+/// A physiological cell update: before/after images of one cell on one page.
+///
+/// Inserts encode `before` = zeroed cell (presence 0); deletes encode `after`
+/// = zeroed cell. Redo applies `after`; undo applies `before`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdatePayload {
+    /// Page touched.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+    /// Cell image before the update.
+    pub before: Vec<u8>,
+    /// Cell image after the update.
+    pub after: Vec<u8>,
+}
+
+impl UpdatePayload {
+    /// Encode: `[table u32][page u32][slot u16][len u16][before][after]`.
+    /// Before and after images are always the same length (the cell size).
+    pub fn encode(&self) -> Vec<u8> {
+        debug_assert_eq!(self.before.len(), self.after.len());
+        let len = self.before.len();
+        let mut out = Vec::with_capacity(12 + 2 * len);
+        out.extend_from_slice(&self.page.table.to_le_bytes());
+        out.extend_from_slice(&self.page.page_no.to_le_bytes());
+        out.extend_from_slice(&self.slot.to_le_bytes());
+        out.extend_from_slice(&(len as u16).to_le_bytes());
+        out.extend_from_slice(&self.before);
+        out.extend_from_slice(&self.after);
+        out
+    }
+
+    /// Decode; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<UpdatePayload> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let table = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        let page_no = u32::from_le_bytes(buf[4..8].try_into().ok()?);
+        let slot = u16::from_le_bytes(buf[8..10].try_into().ok()?);
+        let len = u16::from_le_bytes(buf[10..12].try_into().ok()?) as usize;
+        if buf.len() != 12 + 2 * len {
+            return None;
+        }
+        Some(UpdatePayload {
+            page: PageId { table, page_no },
+            slot,
+            before: buf[12..12 + len].to_vec(),
+            after: buf[12 + len..].to_vec(),
+        })
+    }
+
+    /// RID touched by this update.
+    pub fn rid(&self) -> Rid {
+        Rid {
+            page_no: self.page.page_no,
+            slot: self.slot,
+        }
+    }
+}
+
+/// A compensation log record: the redo-only image written while undoing one
+/// [`UpdatePayload`] during rollback, plus the next record to undo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClrPayload {
+    /// Page touched by the compensation.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+    /// Cell image the compensation restores (the original `before`).
+    pub restored: Vec<u8>,
+    /// Undo chain continuation: the `prev_lsn` of the record just undone.
+    /// Recovery resumes undo here and never re-undoes compensated work.
+    pub undo_next: Lsn,
+}
+
+impl ClrPayload {
+    /// Encode: `[table][page][slot][len][restored][undo_next u64]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let len = self.restored.len();
+        let mut out = Vec::with_capacity(20 + len);
+        out.extend_from_slice(&self.page.table.to_le_bytes());
+        out.extend_from_slice(&self.page.page_no.to_le_bytes());
+        out.extend_from_slice(&self.slot.to_le_bytes());
+        out.extend_from_slice(&(len as u16).to_le_bytes());
+        out.extend_from_slice(&self.restored);
+        out.extend_from_slice(&self.undo_next.raw().to_le_bytes());
+        out
+    }
+
+    /// Decode; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<ClrPayload> {
+        if buf.len() < 20 {
+            return None;
+        }
+        let table = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        let page_no = u32::from_le_bytes(buf[4..8].try_into().ok()?);
+        let slot = u16::from_le_bytes(buf[8..10].try_into().ok()?);
+        let len = u16::from_le_bytes(buf[10..12].try_into().ok()?) as usize;
+        if buf.len() != 20 + len {
+            return None;
+        }
+        let restored = buf[12..12 + len].to_vec();
+        let undo_next = Lsn(u64::from_le_bytes(buf[12 + len..20 + len].try_into().ok()?));
+        Some(ClrPayload {
+            page: PageId { table, page_no },
+            slot,
+            restored,
+            undo_next,
+        })
+    }
+}
+
+/// Fuzzy-checkpoint end payload: the active-transaction table and dirty-page
+/// table at checkpoint time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointPayload {
+    /// Active transactions: (txn id, last LSN written).
+    pub att: Vec<(u64, Lsn)>,
+    /// Dirty pages: (packed page id, rec LSN).
+    pub dpt: Vec<(u64, Lsn)>,
+}
+
+impl CheckpointPayload {
+    /// Encode: `[n_att u32][n_dpt u32][att entries][dpt entries]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 16 * (self.att.len() + self.dpt.len()));
+        out.extend_from_slice(&(self.att.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dpt.len() as u32).to_le_bytes());
+        for (txn, lsn) in &self.att {
+            out.extend_from_slice(&txn.to_le_bytes());
+            out.extend_from_slice(&lsn.raw().to_le_bytes());
+        }
+        for (pid, lsn) in &self.dpt {
+            out.extend_from_slice(&pid.to_le_bytes());
+            out.extend_from_slice(&lsn.raw().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<CheckpointPayload> {
+        if buf.len() < 8 {
+            return None;
+        }
+        let n_att = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
+        let n_dpt = u32::from_le_bytes(buf[4..8].try_into().ok()?) as usize;
+        if buf.len() != 8 + 16 * (n_att + n_dpt) {
+            return None;
+        }
+        let mut at = 8;
+        let mut read_pair = |buf: &[u8]| {
+            let a = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+            let b = u64::from_le_bytes(buf[at + 8..at + 16].try_into().unwrap());
+            at += 16;
+            (a, b)
+        };
+        let mut att = Vec::with_capacity(n_att);
+        for _ in 0..n_att {
+            let (t, l) = read_pair(buf);
+            att.push((t, Lsn(l)));
+        }
+        let mut dpt = Vec::with_capacity(n_dpt);
+        for _ in 0..n_dpt {
+            let (p, l) = read_pair(buf);
+            dpt.push((p, Lsn(l)));
+        }
+        Some(CheckpointPayload { att, dpt })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_roundtrip() {
+        let u = UpdatePayload {
+            page: PageId { table: 3, page_no: 77 },
+            slot: 12,
+            before: vec![1; 41],
+            after: vec![2; 41],
+        };
+        let enc = u.encode();
+        assert_eq!(UpdatePayload::decode(&enc).unwrap(), u);
+        assert_eq!(u.rid(), Rid { page_no: 77, slot: 12 });
+        assert!(UpdatePayload::decode(&enc[..10]).is_none());
+        assert!(UpdatePayload::decode(&[0; 13]).is_none());
+    }
+
+    #[test]
+    fn clr_roundtrip() {
+        let c = ClrPayload {
+            page: PageId { table: 1, page_no: 2 },
+            slot: 3,
+            restored: vec![7; 20],
+            undo_next: Lsn(4096),
+        };
+        let enc = c.encode();
+        assert_eq!(ClrPayload::decode(&enc).unwrap(), c);
+        assert!(ClrPayload::decode(&enc[..19]).is_none());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let cp = CheckpointPayload {
+            att: vec![(1, Lsn(100)), (2, Lsn(200))],
+            dpt: vec![(PageId { table: 0, page_no: 5 }.pack(), Lsn(50))],
+        };
+        let enc = cp.encode();
+        assert_eq!(CheckpointPayload::decode(&enc).unwrap(), cp);
+        let empty = CheckpointPayload::default();
+        assert_eq!(
+            CheckpointPayload::decode(&empty.encode()).unwrap(),
+            empty
+        );
+        assert!(CheckpointPayload::decode(&enc[..7]).is_none());
+        assert!(CheckpointPayload::decode(&enc[..enc.len() - 1]).is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! # aether — a scalable approach to logging
+//!
+//! Umbrella crate for the reproduction of Johnson et al., *"Aether: A
+//! Scalable Approach to Logging"* (PVLDB 3(1), 2010). Re-exports the three
+//! member crates:
+//!
+//! * [`log`] (`aether-core`) — the log manager: five log-buffer insertion
+//!   algorithms (baseline, consolidation array, decoupled fill, hybrid,
+//!   delegated release), flush daemon with group commit, flush pipelining,
+//!   simulated and real log devices.
+//! * [`storage`] (`aether-storage`) — a miniature Shore-MT: tables, lock
+//!   manager with Early Lock Release, transactions, ARIES recovery.
+//! * [`bench`] (`aether-bench`) — TPC-B / TATP / TPC-C-lite workloads,
+//!   closed-loop driver, and the microbenchmark harness behind every figure
+//!   of the paper.
+//!
+//! See `examples/` for runnable walkthroughs (`quickstart`, `banking`,
+//! `telecom`, `crash_recovery`) and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! experiment index.
+
+pub use aether_bench as bench;
+pub use aether_core as log;
+pub use aether_storage as storage;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use aether_core::{
+        BufferKind, DeviceKind, LogConfig, LogManager, Lsn, RecordKind,
+    };
+    pub use aether_storage::{
+        CommitOutcome, CommitProtocol, CrashImage, Db, DbOptions,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_resolve() {
+        use crate::prelude::*;
+        let _ = BufferKind::Hybrid;
+        let _ = DeviceKind::Ram;
+        let _ = CommitProtocol::Pipelined;
+        let _ = Lsn::ZERO;
+    }
+}

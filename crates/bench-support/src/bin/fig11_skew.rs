@@ -25,9 +25,7 @@ fn outlier_list() -> Vec<usize> {
 fn main() {
     let ms = env_or("AETHER_MS", 400u64);
     let threads = env_or("AETHER_THREADS", 8usize);
-    println!(
-        "# Figure 11: bimodal record sizes (48B + 1-in-60 outlier), {threads} threads"
-    );
+    println!("# Figure 11: bimodal record sizes (48B + 1-in-60 outlier), {threads} threads");
     println!("variant\toutlier_bytes\tgb_per_s\tdelegated");
     for kind in [BufferKind::Hybrid, BufferKind::Delegated] {
         for &outlier in &outlier_list() {

@@ -32,7 +32,9 @@ fn main() {
         "# Figure 13: inter-log dependencies, TPC-C-lite trace, {txns} txns, {} records, {warehouses} warehouses",
         trace.len()
     );
-    println!("partitioning\tn_logs\tcross_edges\tedges_per_record\ttight_edges\tmulti_log_txn_frac");
+    println!(
+        "partitioning\tn_logs\tcross_edges\tedges_per_record\ttight_edges\tmulti_log_txn_frac"
+    );
     for partitioning in [Partitioning::RoundRobinTxn, Partitioning::ByWarehouse] {
         let label = match partitioning {
             Partitioning::RoundRobinTxn => "round_robin",

@@ -10,9 +10,9 @@
 //! `AETHER_MS` (run length per bar), `AETHER_ACCOUNTS`.
 
 use aether_bench::driver::{run_closed_loop, DriverConfig};
+use aether_bench::env_or;
 use aether_bench::measure::Breakdown;
 use aether_bench::tpcb::{Tpcb, TpcbConfig};
-use aether_bench::env_or;
 use aether_core::{BufferKind, DeviceKind, LogConfig};
 use aether_storage::{CommitProtocol, Db, DbOptions};
 use std::sync::Arc;

@@ -51,6 +51,10 @@ fn main() {
     for &size in &size_list() {
         let payload = size.saturating_sub(HEADER_SIZE).max(8);
         let r = run_thread_local(threads, payload, Duration::from_millis(ms));
-        println!("CD_in_L1\t{size}\t{:.3}\t{:.0}", r.gbps(), r.inserts_per_s());
+        println!(
+            "CD_in_L1\t{size}\t{:.3}\t{:.0}",
+            r.gbps(),
+            r.inserts_per_s()
+        );
     }
 }

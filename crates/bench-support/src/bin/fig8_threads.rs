@@ -26,7 +26,10 @@ fn thread_list() -> Vec<usize> {
 fn main() {
     let ms = env_or("AETHER_MS", 400u64);
     let payload = env_or("AETHER_PAYLOAD", 120usize - HEADER_SIZE);
-    println!("# Figure 8 (left): insert bandwidth vs threads ({}B records)", payload + HEADER_SIZE);
+    println!(
+        "# Figure 8 (left): insert bandwidth vs threads ({}B records)",
+        payload + HEADER_SIZE
+    );
     println!("mode\tvariant\tthreads\tmb_per_s\tinserts_per_s\tgroups\tconsolidated");
     for backoff in [false, true] {
         let mode = if backoff { "backoff" } else { "direct" };

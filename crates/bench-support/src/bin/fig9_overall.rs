@@ -45,12 +45,11 @@ fn main() {
             });
             let tatp = Arc::new(Tatp::setup(&db, TatpConfig { subscribers }));
             let t = Arc::clone(&tatp);
-            let body = move |db: &Db,
-                             txn: &mut aether_storage::Transaction,
-                             rng: &mut rand::rngs::StdRng,
-                             _c: usize| {
-                t.run(TatpTxn::UpdateLocation, db, txn, rng)
-            };
+            let body =
+                move |db: &Db,
+                      txn: &mut aether_storage::Transaction,
+                      rng: &mut rand::rngs::StdRng,
+                      _c: usize| { t.run(TatpTxn::UpdateLocation, db, txn, rng) };
             let r = run_closed_loop(
                 &db,
                 &DriverConfig {

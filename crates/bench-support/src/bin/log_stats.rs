@@ -50,7 +50,9 @@ fn main() {
     println!("== TPC-B log profile ==");
     println!(
         "{}",
-        LogProfile::scan(Arc::clone(db.log().device())).unwrap().report()
+        LogProfile::scan(Arc::clone(db.log().device()))
+            .unwrap()
+            .report()
     );
 
     // --- TATP standard mix ---
@@ -59,7 +61,12 @@ fn main() {
         device: DeviceKind::Ram,
         ..DbOptions::default()
     });
-    let tatp = Arc::new(Tatp::setup(&db, TatpConfig { subscribers: 20_000 }));
+    let tatp = Arc::new(Tatp::setup(
+        &db,
+        TatpConfig {
+            subscribers: 20_000,
+        },
+    ));
     let t = Arc::clone(&tatp);
     let body = move |db: &Db,
                      txn: &mut aether_storage::Transaction,
@@ -81,6 +88,8 @@ fn main() {
     println!("== TATP (standard mix) log profile ==");
     println!(
         "{}",
-        LogProfile::scan(Arc::clone(db.log().device())).unwrap().report()
+        LogProfile::scan(Arc::clone(db.log().device()))
+            .unwrap()
+            .report()
     );
 }

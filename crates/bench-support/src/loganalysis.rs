@@ -81,11 +81,7 @@ impl LogProfile {
 
     /// The distribution's modes (most frequent sizes), most frequent first.
     pub fn top_sizes(&self, n: usize) -> Vec<(u32, u64)> {
-        let mut v: Vec<(u32, u64)> = self
-            .size_histogram
-            .iter()
-            .map(|(&s, &c)| (s, c))
-            .collect();
+        let mut v: Vec<(u32, u64)> = self.size_histogram.iter().map(|(&s, &c)| (s, c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v

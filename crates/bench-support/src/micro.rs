@@ -13,8 +13,8 @@
 //! exercised deterministically.
 
 use aether_core::buffer::{
-    BaselineBuffer, BufferCore, BufferKind, ConsolidationBuffer, DecoupledBuffer,
-    DelegatedBuffer, HybridBuffer, LogBuffer,
+    BaselineBuffer, BufferCore, BufferKind, ConsolidationBuffer, DecoupledBuffer, DelegatedBuffer,
+    HybridBuffer, LogBuffer,
 };
 use aether_core::record::{on_log_size, RecordKind, HEADER_SIZE};
 use aether_core::{LogConfig, Lsn};
@@ -261,8 +261,12 @@ pub fn run_thread_local(threads: usize, payload: usize, duration: Duration) -> M
                 let rec = on_log_size(payload);
                 let mut at = 0usize;
                 let mut inserts = 0u64;
-                let header =
-                    aether_core::record::RecordHeader::new(RecordKind::Filler, 0, Lsn::ZERO, &template);
+                let header = aether_core::record::RecordHeader::new(
+                    RecordKind::Filler,
+                    0,
+                    Lsn::ZERO,
+                    &template,
+                );
                 while !stop.load(Ordering::Relaxed) {
                     for _ in 0..64 {
                         if at + rec > local.len() {
@@ -315,7 +319,11 @@ mod tests {
     fn all_variants_make_progress() {
         for kind in BufferKind::ALL {
             let r = quick(kind, false);
-            assert!(r.inserts > 100, "{kind:?} produced only {} inserts", r.inserts);
+            assert!(
+                r.inserts > 100,
+                "{kind:?} produced only {} inserts",
+                r.inserts
+            );
             assert!(r.mbps() > 0.0);
             assert!(r.inserts_per_s() > 0.0);
         }
@@ -324,10 +332,7 @@ mod tests {
     #[test]
     fn backoff_mode_consolidates() {
         let r = quick(BufferKind::Hybrid, true);
-        assert!(
-            r.group_acquires > 0,
-            "backoff mode must form groups: {r:?}"
-        );
+        assert!(r.group_acquires > 0, "backoff mode must form groups: {r:?}");
         assert_eq!(r.group_acquires + r.consolidations, r.inserts);
     }
 

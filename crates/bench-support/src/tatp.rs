@@ -123,7 +123,8 @@ impl Tatp {
         let special_facility = db.create_table(SPECIAL_FACILITY_SIZE, n * 4);
         let call_forwarding = db.create_table(CALL_FORWARDING_SIZE, n * 12);
         for s in 0..n {
-            db.load(subscriber, s, &keyed_record(s, SUBSCRIBER_SIZE, 1)).unwrap();
+            db.load(subscriber, s, &keyed_record(s, SUBSCRIBER_SIZE, 1))
+                .unwrap();
             for t in 0..4u64 {
                 if ai_present(s, t) {
                     let k = s * 4 + t;
@@ -292,7 +293,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut counts: HashMap<TatpTxn, u32> = HashMap::new();
         for _ in 0..10_000 {
-            *counts.entry(tatp.pick(TatpMix::Standard, &mut rng)).or_default() += 1;
+            *counts
+                .entry(tatp.pick(TatpMix::Standard, &mut rng))
+                .or_default() += 1;
         }
         let pct = |t: TatpTxn| *counts.get(&t).unwrap_or(&0) as f64 / 100.0;
         assert!((pct(TatpTxn::GetSubscriberData) - 35.0).abs() < 3.0);

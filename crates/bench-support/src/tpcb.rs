@@ -102,13 +102,16 @@ impl Tpcb {
         let branches = db.create_table(RECORD_SIZE, cfg.branches);
         let history = db.create_table(HISTORY_SIZE, 0);
         for k in 0..cfg.accounts {
-            db.load(accounts, k, &balance_record(k, RECORD_SIZE)).unwrap();
+            db.load(accounts, k, &balance_record(k, RECORD_SIZE))
+                .unwrap();
         }
         for k in 0..cfg.tellers {
-            db.load(tellers, k, &balance_record(k, RECORD_SIZE)).unwrap();
+            db.load(tellers, k, &balance_record(k, RECORD_SIZE))
+                .unwrap();
         }
         for k in 0..cfg.branches {
-            db.load(branches, k, &balance_record(k, RECORD_SIZE)).unwrap();
+            db.load(branches, k, &balance_record(k, RECORD_SIZE))
+                .unwrap();
         }
         db.setup_complete();
         let zipf = Zipf::new(cfg.accounts, cfg.skew);

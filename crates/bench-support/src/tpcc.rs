@@ -169,7 +169,11 @@ impl DependencyReport {
 }
 
 /// Analyze inter-log dependencies for `trace` partitioned `n_logs` ways.
-pub fn analyze(trace: &[TraceRecord], n_logs: usize, partitioning: Partitioning) -> DependencyReport {
+pub fn analyze(
+    trace: &[TraceRecord],
+    n_logs: usize,
+    partitioning: Partitioning,
+) -> DependencyReport {
     use std::collections::{HashMap, HashSet};
     assert!(n_logs >= 1);
     let log_of = |r: &TraceRecord| -> usize {

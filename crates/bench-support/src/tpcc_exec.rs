@@ -123,7 +123,8 @@ impl TpccExec {
         let orders = db.create_table(ORDER_SIZE, 0);
         let history = db.create_table(ORDER_SIZE, 0);
         for k in 0..cfg.warehouses {
-            db.load(warehouse, k, &money_record(k, RECORD_SIZE)).unwrap();
+            db.load(warehouse, k, &money_record(k, RECORD_SIZE))
+                .unwrap();
         }
         for k in 0..n_d {
             db.load(district, k, &money_record(k, RECORD_SIZE)).unwrap();
@@ -161,12 +162,7 @@ impl TpccExec {
     /// NewOrder: bump the district's next-order counter, decrement stock for
     /// 5–15 order lines (sorted by stock key to avoid deadlocks, as real
     /// engines do), insert the order row.
-    pub fn new_order(
-        &self,
-        db: &Db,
-        txn: &mut Transaction,
-        rng: &mut StdRng,
-    ) -> StorageResult<()> {
+    pub fn new_order(&self, db: &Db, txn: &mut Transaction, rng: &mut StdRng) -> StorageResult<()> {
         let w = rng.gen_range(0..self.cfg.warehouses);
         let d = w * self.cfg.districts_per_w + rng.gen_range(0..self.cfg.districts_per_w);
         db.update_with(txn, self.district, d, |r| bump_amount(r, 1))?;

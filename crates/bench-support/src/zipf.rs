@@ -88,7 +88,11 @@ mod tests {
             }
         }
         // At s=1.5 the top-10 items carry most of the mass.
-        assert!(hot as f64 / n as f64 > 0.5, "hot fraction {}", hot as f64 / n as f64);
+        assert!(
+            hot as f64 / n as f64 > 0.5,
+            "hot fraction {}",
+            hot as f64 / n as f64
+        );
     }
 
     #[test]
@@ -117,11 +121,59 @@ mod tests {
     }
 
     #[test]
+    fn rank_frequency_ratios_exact_in_pmf() {
+        // The defining power law, checked against the CDF construction with
+        // no sampling noise: pmf(r) / pmf(0) == (1 / (r+1))^s.
+        for &s in &[0.0f64, 1.0, 2.0] {
+            let z = Zipf::new(200, s);
+            for r in [1u64, 3, 9, 99] {
+                let expect = 1.0 / ((r + 1) as f64).powf(s);
+                let got = z.pmf(r) / z.pmf(0);
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "s={s} rank {r}: pmf ratio {got}, expected {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_frequency_ratios_hold_in_samples() {
+        // Sampled frequencies must track the same ratios: at s=0 every rank
+        // is equally likely, at s=1 rank r is (r+1)x rarer than rank 0, at
+        // s=2 it is (r+1)^2 x rarer.
+        for &s in &[0.0f64, 1.0, 2.0] {
+            let n = 50u64;
+            let z = Zipf::new(n, s);
+            let mut rng = StdRng::seed_from_u64(0x21BF + s.to_bits());
+            let draws = 400_000u64;
+            let mut counts = vec![0u64; n as usize];
+            for _ in 0..draws {
+                counts[z.sample(&mut rng) as usize] += 1;
+            }
+            for r in [1usize, 4, 9] {
+                let expect = 1.0 / ((r + 1) as f64).powf(s);
+                let got = counts[r] as f64 / counts[0] as f64;
+                assert!(
+                    (got / expect - 1.0).abs() < 0.10,
+                    "s={s} rank {r}: sampled ratio {got:.4}, expected {expect:.4} \
+                     ({} vs {} draws)",
+                    counts[r],
+                    counts[0]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn extreme_skew_hits_item_zero() {
         let z = Zipf::new(1000, 5.0);
         let mut rng = StdRng::seed_from_u64(1);
         let zeros = (0..1000).filter(|_| z.sample(&mut rng) == 0).count();
-        assert!(zeros > 900, "s=5 should almost always return item 0: {zeros}");
+        assert!(
+            zeros > 900,
+            "s=5 should almost always return item 0: {zeros}"
+        );
     }
 
     #[test]

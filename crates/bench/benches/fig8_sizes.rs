@@ -10,7 +10,11 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_sizes");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
-    for kind in [BufferKind::Baseline, BufferKind::Hybrid, BufferKind::Delegated] {
+    for kind in [
+        BufferKind::Baseline,
+        BufferKind::Hybrid,
+        BufferKind::Delegated,
+    ] {
         for record in [48usize, 120, 1160, 12296] {
             let cfg = MicroConfig {
                 kind,

@@ -23,23 +23,18 @@ fn bench(c: &mut Criterion) {
                 backoff: true,
                 ..MicroConfig::default()
             };
-            g.bench_with_input(
-                BenchmarkId::new(kind.label(), threads),
-                &cfg,
-                |b, cfg| {
-                    // Report seconds per MB inserted: lower is better, and
-                    // the inverse is the paper's bandwidth axis.
-                    b.iter_custom(|iters| {
-                        let mut total = Duration::ZERO;
-                        for _ in 0..iters {
-                            let r = run_micro(cfg);
-                            total +=
-                                Duration::from_secs_f64(r.wall_s / (r.bytes as f64 / 1e6));
-                        }
-                        total
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(kind.label(), threads), &cfg, |b, cfg| {
+                // Report seconds per MB inserted: lower is better, and
+                // the inverse is the paper's bandwidth axis.
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let r = run_micro(cfg);
+                        total += Duration::from_secs_f64(r.wall_s / (r.bytes as f64 / 1e6));
+                    }
+                    total
+                });
+            });
         }
     }
     g.finish();

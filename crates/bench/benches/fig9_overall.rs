@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20).measurement_time(Duration::from_secs(3));
     for (label, protocol, buffer) in [
         ("baseline", CommitProtocol::Baseline, BufferKind::Baseline),
-        ("elr_pipelining", CommitProtocol::Pipelined, BufferKind::Baseline),
+        (
+            "elr_pipelining",
+            CommitProtocol::Pipelined,
+            BufferKind::Baseline,
+        ),
         ("aether", CommitProtocol::Pipelined, BufferKind::Hybrid),
     ] {
         let db = Db::open(DbOptions {
@@ -25,7 +29,12 @@ fn bench(c: &mut Criterion) {
             device: DeviceKind::Flash,
             ..DbOptions::default()
         });
-        let tatp = Arc::new(Tatp::setup(&db, TatpConfig { subscribers: 20_000 }));
+        let tatp = Arc::new(Tatp::setup(
+            &db,
+            TatpConfig {
+                subscribers: 20_000,
+            },
+        ));
         let mut rng = StdRng::seed_from_u64(9);
         g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
             b.iter(|| {

@@ -105,7 +105,10 @@ mod tests {
                 lsns
             }));
         }
-        let mut all: Vec<Lsn> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<Lsn> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort();
         all.dedup();
         assert_eq!(all.len(), 8 * 500);

@@ -188,7 +188,12 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..per {
                         let size = 8 + (i % 7) * 32;
-                        b.insert(RecordKind::Filler, t as u64, Lsn::ZERO, &vec![t as u8; size]);
+                        b.insert(
+                            RecordKind::Filler,
+                            t as u64,
+                            Lsn::ZERO,
+                            &vec![t as u8; size],
+                        );
                     }
                 });
             }

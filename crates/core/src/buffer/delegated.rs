@@ -165,7 +165,10 @@ mod tests {
         let c = b.insert(RecordKind::Filler, 1, Lsn::ZERO, &[2; 100]);
         assert_eq!(a, Lsn::ZERO);
         assert_eq!(c, Lsn(on_log_size(8) as u64));
-        assert_eq!(b.core().released_lsn(), Lsn((on_log_size(8) + on_log_size(100)) as u64));
+        assert_eq!(
+            b.core().released_lsn(),
+            Lsn((on_log_size(8) + on_log_size(100)) as u64)
+        );
         assert_eq!(b.kind(), BufferKind::Delegated);
     }
 
@@ -180,7 +183,12 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..per {
                         let size = 8 + (i % 11) * 16;
-                        b.insert(RecordKind::Filler, t as u64, Lsn::ZERO, &vec![t as u8; size]);
+                        b.insert(
+                            RecordKind::Filler,
+                            t as u64,
+                            Lsn::ZERO,
+                            &vec![t as u8; size],
+                        );
                     }
                 });
             }

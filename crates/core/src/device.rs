@@ -197,7 +197,10 @@ impl FileDevice {
     /// Open an existing log file for recovery.
     pub fn open(path: impl Into<std::path::PathBuf>) -> Result<Self> {
         let path = path.into();
-        let file = std::fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)?;
         let len = file.metadata()?.len();
         Ok(FileDevice {
             file: Mutex::new(file),
@@ -268,15 +271,9 @@ impl DeviceKind {
         Ok(match self {
             DeviceKind::Null => std::sync::Arc::new(NullDevice::new()),
             DeviceKind::Ram => std::sync::Arc::new(SimDevice::new(Duration::ZERO)),
-            DeviceKind::Flash => {
-                std::sync::Arc::new(SimDevice::new(Duration::from_micros(100)))
-            }
-            DeviceKind::FastDisk => {
-                std::sync::Arc::new(SimDevice::new(Duration::from_millis(1)))
-            }
-            DeviceKind::SlowDisk => {
-                std::sync::Arc::new(SimDevice::new(Duration::from_millis(10)))
-            }
+            DeviceKind::Flash => std::sync::Arc::new(SimDevice::new(Duration::from_micros(100))),
+            DeviceKind::FastDisk => std::sync::Arc::new(SimDevice::new(Duration::from_millis(1))),
+            DeviceKind::SlowDisk => std::sync::Arc::new(SimDevice::new(Duration::from_millis(10))),
             DeviceKind::CustomUs(us) => {
                 std::sync::Arc::new(SimDevice::new(Duration::from_micros(*us)))
             }

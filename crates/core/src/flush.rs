@@ -207,7 +207,10 @@ fn daemon_loop(
     chunk: usize,
 ) {
     let mut scratch = vec![0u8; chunk];
-    let poll = policy.max_wait.min(Duration::from_micros(500)).max(Duration::from_micros(50));
+    let poll = policy
+        .max_wait
+        .min(Duration::from_micros(500))
+        .max(Duration::from_micros(50));
     // Group-commit batching window: once triggered, linger briefly so
     // commits arriving "just behind" the trigger join this flush instead of
     // waiting a full device sync. Scaled to the device (zero for ramdisks —
@@ -295,7 +298,15 @@ mod tests {
     use crate::device::SimDevice;
     use crate::record::RecordKind;
 
-    fn setup(latency_us: u64) -> (Arc<BufferCore>, Arc<SimDevice>, Arc<CommitPipeline>, FlushDaemon, BaselineBuffer) {
+    fn setup(
+        latency_us: u64,
+    ) -> (
+        Arc<BufferCore>,
+        Arc<SimDevice>,
+        Arc<CommitPipeline>,
+        FlushDaemon,
+        BaselineBuffer,
+    ) {
         let cfg = LogConfig::default().with_buffer_size(1 << 16);
         let core = BufferCore::new(&cfg);
         let device = Arc::new(SimDevice::new(Duration::from_micros(latency_us)));
@@ -371,7 +382,11 @@ mod tests {
         while core.durable_lsn() < core.released_lsn() && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
-        assert_eq!(core.durable_lsn(), core.released_lsn(), "T policy must fire");
+        assert_eq!(
+            core.durable_lsn(),
+            core.released_lsn(),
+            "T policy must fire"
+        );
     }
 
     #[test]

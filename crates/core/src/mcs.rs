@@ -100,8 +100,9 @@ impl ReleaseQueue {
     /// Pool of `pool_size` nodes; see [`crate::LogConfig::treadmill_inv`].
     pub fn new(pool_size: usize, treadmill_inv: u32) -> ReleaseQueue {
         assert!(pool_size >= 2, "release queue needs at least 2 nodes");
-        let nodes: Box<[CachePadded<QNode>]> =
-            (0..pool_size).map(|_| CachePadded::new(QNode::new())).collect();
+        let nodes: Box<[CachePadded<QNode>]> = (0..pool_size)
+            .map(|_| CachePadded::new(QNode::new()))
+            .collect();
         let free = SegQueue::new();
         for i in 0..pool_size as u32 {
             free.push(i);
@@ -153,8 +154,7 @@ impl ReleaseQueue {
     pub fn release(&self, h: ReleaseHandle, core: &BufferCore) {
         let n = &self.nodes[h.idx as usize];
         if h.had_pred {
-            let refuse =
-                self.treadmill_inv != 0 && fast_rand().is_multiple_of(self.treadmill_inv);
+            let refuse = self.treadmill_inv != 0 && fast_rand().is_multiple_of(self.treadmill_inv);
             if !refuse
                 && n.state
                     .compare_exchange(FILLING, DELEGATED, Ordering::AcqRel, Ordering::Acquire)

@@ -93,14 +93,18 @@ pub fn checksum(data: &[u8]) -> u32 {
     let mut chunks = data.chunks_exact(8);
     for c in &mut chunks {
         let v = u64::from_le_bytes(c.try_into().unwrap());
-        acc = (acc ^ v).rotate_left(23).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        acc = (acc ^ v)
+            .rotate_left(23)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D);
     }
     let rem = chunks.remainder();
     if !rem.is_empty() {
         let mut last = [0u8; 8];
         last[..rem.len()].copy_from_slice(rem);
         let v = u64::from_le_bytes(last);
-        acc = (acc ^ v).rotate_left(23).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        acc = (acc ^ v)
+            .rotate_left(23)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D);
     }
     (acc ^ (acc >> 32)) as u32
 }

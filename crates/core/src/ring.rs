@@ -67,7 +67,10 @@ impl Ring {
     /// Panics if `src.len()` exceeds the ring capacity.
     #[inline]
     pub unsafe fn write_at(&self, at: u64, src: &[u8]) {
-        assert!(src.len() as u64 <= self.capacity(), "write larger than ring");
+        assert!(
+            src.len() as u64 <= self.capacity(),
+            "write larger than ring"
+        );
         let idx = (at & self.mask) as usize;
         let cap = self.capacity() as usize;
         let first = src.len().min(cap - idx);

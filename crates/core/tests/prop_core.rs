@@ -194,8 +194,7 @@ fn carray_many_slots_under_parallel_joins() {
                     }
                     let (_, group, _) = j.slot.wait();
                     if j.slot.release_member(size) {
-                        released_bytes
-                            .fetch_add(group, std::sync::atomic::Ordering::Relaxed);
+                        released_bytes.fetch_add(group, std::sync::atomic::Ordering::Relaxed);
                         j.slot.free();
                     }
                 }

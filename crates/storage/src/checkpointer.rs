@@ -147,7 +147,7 @@ mod tests {
         let taken = ck.count();
         assert!(taken >= 2, "daemon must checkpoint periodically: {taken}");
         ck.stop(); // idempotent
-        // The log contains checkpoint-end records.
+                   // The log contains checkpoint-end records.
         db.log().flush_all();
         let ends = db
             .log()
@@ -162,9 +162,8 @@ mod tests {
 
     #[test]
     fn checkpointing_recycles_segments_under_load() {
-        let segments = Arc::new(
-            SegmentedDevice::new(Box::new(MemSegmentFactory), 16 * 1024).unwrap(),
-        );
+        let segments =
+            Arc::new(SegmentedDevice::new(Box::new(MemSegmentFactory), 16 * 1024).unwrap());
         let db = Db::open_with_device(
             DbOptions {
                 protocol: CommitProtocol::Elr,

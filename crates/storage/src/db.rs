@@ -78,7 +78,8 @@ pub struct DbStats {
 impl DbStats {
     /// Flush-wait total in ns.
     pub fn flush_wait_ns(&self) -> u64 {
-        self.flush_wait_ns.load(std::sync::atomic::Ordering::Relaxed)
+        self.flush_wait_ns
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
     /// Commits submitted.
     pub fn commits(&self) -> u64 {
@@ -137,7 +138,11 @@ impl Db {
         Self::assemble(opts, log, PageStore::new())
     }
 
-    pub(crate) fn assemble(opts: DbOptions, log: Arc<LogManager>, store: Arc<PageStore>) -> Arc<Db> {
+    pub(crate) fn assemble(
+        opts: DbOptions,
+        log: Arc<LogManager>,
+        store: Arc<PageStore>,
+    ) -> Arc<Db> {
         let locks = LockManager::new(opts.lock_config.clone());
         Arc::new(Db {
             log,
@@ -231,7 +236,9 @@ impl Db {
         let t = self.table(table)?;
         self.lock(txn, LockId::table(table), LockMode::IS)?;
         self.lock(txn, LockId::row(table, key), LockMode::S)?;
-        let rid = t.rid_of(key).ok_or(StorageError::KeyNotFound { table, key })?;
+        let rid = t
+            .rid_of(key)
+            .ok_or(StorageError::KeyNotFound { table, key })?;
         t.read(rid).ok_or(StorageError::KeyNotFound { table, key })
     }
 
@@ -247,7 +254,9 @@ impl Db {
         let t = self.table(table)?;
         self.lock(txn, LockId::table(table), LockMode::IX)?;
         self.lock(txn, LockId::row(table, key), LockMode::X)?;
-        let rid = t.rid_of(key).ok_or(StorageError::KeyNotFound { table, key })?;
+        let rid = t
+            .rid_of(key)
+            .ok_or(StorageError::KeyNotFound { table, key })?;
         t.read(rid).ok_or(StorageError::KeyNotFound { table, key })
     }
 
@@ -263,7 +272,9 @@ impl Db {
         let t = self.table(table)?;
         self.lock(txn, LockId::table(table), LockMode::IX)?;
         self.lock(txn, LockId::row(table, key), LockMode::X)?;
-        let rid = t.rid_of(key).ok_or(StorageError::KeyNotFound { table, key })?;
+        let rid = t
+            .rid_of(key)
+            .ok_or(StorageError::KeyNotFound { table, key })?;
         let before = t.read_cell(rid);
         if before[0] == 0 {
             return Err(StorageError::KeyNotFound { table, key });
@@ -322,7 +333,9 @@ impl Db {
         let t = self.table(table)?;
         self.lock(txn, LockId::table(table), LockMode::IX)?;
         self.lock(txn, LockId::row(table, key), LockMode::X)?;
-        let rid = t.rid_of(key).ok_or(StorageError::KeyNotFound { table, key })?;
+        let rid = t
+            .rid_of(key)
+            .ok_or(StorageError::KeyNotFound { table, key })?;
         let before = t.read_cell(rid);
         if before[0] == 0 {
             return Err(StorageError::KeyNotFound { table, key });
@@ -369,9 +382,12 @@ impl Db {
             before: before.clone(),
             after: after.clone(),
         };
-        let lsn = self
-            .log
-            .insert_chained(RecordKind::Update, txn.id, txn.last_lsn(), &payload.encode());
+        let lsn = self.log.insert_chained(
+            RecordKind::Update,
+            txn.id,
+            txn.last_lsn(),
+            &payload.encode(),
+        );
         txn.set_last_lsn(lsn);
         txn.note_undo(UndoEntry {
             page,
@@ -568,14 +584,8 @@ impl Db {
         for t in tables.iter() {
             let id = t.id;
             t.for_each_dirty(|page_no, frame| {
-                self.store.write(
-                    PageId {
-                        table: id,
-                        page_no,
-                    },
-                    frame.page_lsn,
-                    &frame.data,
-                );
+                self.store
+                    .write(PageId { table: id, page_no }, frame.page_lsn, &frame.data);
                 frame.mark_clean();
             });
         }
@@ -591,9 +601,9 @@ impl Db {
             dpt.extend(t.dpt_snapshot());
         }
         let payload = CheckpointPayload { att, dpt };
-        let (_, end) = self
-            .log
-            .insert_ext(RecordKind::CheckpointEnd, 0, Lsn::ZERO, &payload.encode());
+        let (_, end) =
+            self.log
+                .insert_ext(RecordKind::CheckpointEnd, 0, Lsn::ZERO, &payload.encode());
         self.log.flush_until(end);
         begin
     }
@@ -798,7 +808,11 @@ mod tests {
         let _ = db.read(&mut txn, 0, 1).unwrap();
         let out = db.commit(txn).unwrap();
         assert!(out.is_durable_now());
-        assert_eq!(db.log().flush_count(), flushes_before, "no flush for RO txn");
+        assert_eq!(
+            db.log().flush_count(),
+            flushes_before,
+            "no flush for RO txn"
+        );
     }
 
     #[test]

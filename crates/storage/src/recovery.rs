@@ -69,8 +69,7 @@ pub fn recover_with_stats(
     // otherwise the dead tail bytes would terminate every future scan early.
     let device: Arc<SimDevice> = Arc::new(SimDevice::new(Duration::ZERO));
     device.append(&image.log_bytes)?;
-    let records =
-        LogReader::new(Arc::clone(&device) as Arc<dyn LogDevice>).read_all()?;
+    let records = LogReader::new(Arc::clone(&device) as Arc<dyn LogDevice>).read_all()?;
     let valid_end = records.last().map(|r| r.next_lsn()).unwrap_or(Lsn::ZERO);
     device.truncate(valid_end.raw());
     let log = Arc::new(
@@ -170,8 +169,7 @@ pub fn recover_with_stats(
     }
 
     // ---------------- Undo (reverse global LSN order) ----------------
-    let mut heap: BinaryHeap<(Lsn, u64)> =
-        losers.iter().map(|(&t, &l)| (l, t)).collect();
+    let mut heap: BinaryHeap<(Lsn, u64)> = losers.iter().map(|(&t, &l)| (l, t)).collect();
     // Where each loser's new undo chain currently ends (for CLR chaining).
     let mut chain: HashMap<u64, Lsn> = losers.clone();
     while let Some((lsn, txn)) = heap.pop() {
@@ -194,9 +192,9 @@ pub fn recover_with_stats(
                     undo_next: rec.header.prev_lsn,
                 };
                 let prev = chain[&txn];
-                let clr_lsn =
-                    db.log()
-                        .insert_chained(RecordKind::Clr, txn, prev, &clr.encode());
+                let clr_lsn = db
+                    .log()
+                    .insert_chained(RecordKind::Clr, txn, prev, &clr.encode());
                 chain.insert(txn, clr_lsn);
                 t.apply_cell(rid, &u.before, clr_lsn);
                 stats.clrs_written += 1;
@@ -290,7 +288,8 @@ mod tests {
         let db = fresh_db(CommitProtocol::Baseline, 50);
         for k in 0..10u64 {
             let mut t = db.begin();
-            db.update_with(&mut t, 0, k, |r| r[8] = 100 + k as u8).unwrap();
+            db.update_with(&mut t, 0, k, |r| r[8] = 100 + k as u8)
+                .unwrap();
             db.commit(t).unwrap();
         }
         let image = db.crash();
@@ -403,7 +402,8 @@ mod tests {
         db2.commit(t).unwrap();
         // Appends continue without colliding with the recovered row.
         let mut t = db2.begin();
-        db2.insert(&mut t, 0, 2000, &rec_bytes(2000, 40, 8)).unwrap();
+        db2.insert(&mut t, 0, 2000, &rec_bytes(2000, 40, 8))
+            .unwrap();
         db2.commit(t).unwrap();
         let mut t = db2.begin();
         assert_eq!(db2.read(&mut t, 0, 2000).unwrap()[8], 8);

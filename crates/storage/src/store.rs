@@ -79,7 +79,10 @@ mod tests {
     fn write_read_roundtrip() {
         let s = PageStore::new();
         assert!(s.is_empty());
-        let id = PageId { table: 1, page_no: 2 };
+        let id = PageId {
+            table: 1,
+            page_no: 2,
+        };
         let mut data = vec![0u8; PAGE_SIZE];
         data[17] = 99;
         s.write(id, Lsn(1000), &data);
@@ -87,13 +90,21 @@ mod tests {
         assert_eq!(lsn, Lsn(1000));
         assert_eq!(back[17], 99);
         assert_eq!(s.len(), 1);
-        assert!(s.read(PageId { table: 1, page_no: 3 }).is_none());
+        assert!(s
+            .read(PageId {
+                table: 1,
+                page_no: 3
+            })
+            .is_none());
     }
 
     #[test]
     fn overwrite_replaces() {
         let s = PageStore::new();
-        let id = PageId { table: 0, page_no: 0 };
+        let id = PageId {
+            table: 0,
+            page_no: 0,
+        };
         s.write(id, Lsn(1), &vec![1u8; PAGE_SIZE]);
         s.write(id, Lsn(2), &vec![2u8; PAGE_SIZE]);
         let (lsn, data) = s.read(id).unwrap();

@@ -262,9 +262,8 @@ impl Table {
                 let off = self.geom.offset(slot);
                 if g.data[off] == 1 {
                     last_occupied = Some((page_no as u32, slot));
-                    let key = u64::from_le_bytes(
-                        g.data[off + 1..off + 9].try_into().expect("key bytes"),
-                    );
+                    let key =
+                        u64::from_le_bytes(g.data[off + 1..off + 9].try_into().expect("key bytes"));
                     if key >= self.dense_rows {
                         self.index.insert(
                             key,
@@ -423,10 +422,34 @@ mod tests {
         let t = Table::new(0, 4000, 0); // 2 slots/page
         assert_eq!(t.geom.slots_per_page, 2);
         let rids: Vec<Rid> = (0..5).map(|_| t.allocate_slot()).collect();
-        assert_eq!(rids[0], Rid { page_no: 0, slot: 0 });
-        assert_eq!(rids[1], Rid { page_no: 0, slot: 1 });
-        assert_eq!(rids[2], Rid { page_no: 1, slot: 0 });
-        assert_eq!(rids[4], Rid { page_no: 2, slot: 0 });
+        assert_eq!(
+            rids[0],
+            Rid {
+                page_no: 0,
+                slot: 0
+            }
+        );
+        assert_eq!(
+            rids[1],
+            Rid {
+                page_no: 0,
+                slot: 1
+            }
+        );
+        assert_eq!(
+            rids[2],
+            Rid {
+                page_no: 1,
+                slot: 0
+            }
+        );
+        assert_eq!(
+            rids[4],
+            Rid {
+                page_no: 2,
+                slot: 0
+            }
+        );
     }
 
     #[test]

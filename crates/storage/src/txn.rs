@@ -321,7 +321,10 @@ mod tests {
         t.note_lock(LockId::table(1));
         assert_eq!(t.held.len(), 2);
         t.note_undo(UndoEntry {
-            page: PageId { table: 1, page_no: 0 },
+            page: PageId {
+                table: 1,
+                page_no: 0,
+            },
             slot: 3,
             before: vec![0; 10],
             update_lsn: Lsn(100),

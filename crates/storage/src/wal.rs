@@ -185,14 +185,23 @@ mod tests {
     #[test]
     fn update_roundtrip() {
         let u = UpdatePayload {
-            page: PageId { table: 3, page_no: 77 },
+            page: PageId {
+                table: 3,
+                page_no: 77,
+            },
             slot: 12,
             before: vec![1; 41],
             after: vec![2; 41],
         };
         let enc = u.encode();
         assert_eq!(UpdatePayload::decode(&enc).unwrap(), u);
-        assert_eq!(u.rid(), Rid { page_no: 77, slot: 12 });
+        assert_eq!(
+            u.rid(),
+            Rid {
+                page_no: 77,
+                slot: 12
+            }
+        );
         assert!(UpdatePayload::decode(&enc[..10]).is_none());
         assert!(UpdatePayload::decode(&[0; 13]).is_none());
     }
@@ -200,7 +209,10 @@ mod tests {
     #[test]
     fn clr_roundtrip() {
         let c = ClrPayload {
-            page: PageId { table: 1, page_no: 2 },
+            page: PageId {
+                table: 1,
+                page_no: 2,
+            },
             slot: 3,
             restored: vec![7; 20],
             undo_next: Lsn(4096),
@@ -214,15 +226,19 @@ mod tests {
     fn checkpoint_roundtrip() {
         let cp = CheckpointPayload {
             att: vec![(1, Lsn(100)), (2, Lsn(200))],
-            dpt: vec![(PageId { table: 0, page_no: 5 }.pack(), Lsn(50))],
+            dpt: vec![(
+                PageId {
+                    table: 0,
+                    page_no: 5,
+                }
+                .pack(),
+                Lsn(50),
+            )],
         };
         let enc = cp.encode();
         assert_eq!(CheckpointPayload::decode(&enc).unwrap(), cp);
         let empty = CheckpointPayload::default();
-        assert_eq!(
-            CheckpointPayload::decode(&empty.encode()).unwrap(),
-            empty
-        );
+        assert_eq!(CheckpointPayload::decode(&empty.encode()).unwrap(), empty);
         assert!(CheckpointPayload::decode(&enc[..7]).is_none());
         assert!(CheckpointPayload::decode(&enc[..enc.len() - 1]).is_none());
     }

@@ -36,12 +36,17 @@ fn main() {
     }
     // One transaction is mid-flight when the power goes out.
     let mut in_flight = db.begin();
-    db.update_with(&mut in_flight, 0, 50, |r| r[8] = 123).unwrap();
+    db.update_with(&mut in_flight, 0, 50, |r| r[8] = 123)
+        .unwrap();
     db.log().flush_all(); // its update record reaches the disk...
     let image = db.crash(); // ...but no commit record does
     std::mem::forget(in_flight);
 
-    println!("crash image: {} log bytes, {} stored pages", image.log_bytes.len(), image.store.len());
+    println!(
+        "crash image: {} log bytes, {} stored pages",
+        image.log_bytes.len(),
+        image.store.len()
+    );
     let (db2, stats) = recover_with_stats(image, opts).unwrap();
     println!(
         "recovery: {} records scanned, {} winners, {} losers, {} redone, {} CLRs",
@@ -49,9 +54,17 @@ fn main() {
     );
     let mut txn = db2.begin();
     for k in 0..10u64 {
-        assert_eq!(db2.read(&mut txn, 0, k).unwrap()[8], 200, "committed work survived");
+        assert_eq!(
+            db2.read(&mut txn, 0, k).unwrap()[8],
+            200,
+            "committed work survived"
+        );
     }
-    assert_eq!(db2.read(&mut txn, 0, 50).unwrap()[8], 1, "in-flight work rolled back");
+    assert_eq!(
+        db2.read(&mut txn, 0, 50).unwrap()[8],
+        1,
+        "in-flight work rolled back"
+    );
     db2.commit(txn).unwrap();
     println!("ELR: all 10 commits survived; the in-flight transaction was undone\n");
 
@@ -82,5 +95,7 @@ fn main() {
     assert_eq!(stats.winners, 0);
     assert_eq!(v, 1);
     println!("after crash the 'committed' update is GONE (value back to {v})");
-    println!("asynchronous commit trades durability for speed — Aether's point is you can have both");
+    println!(
+        "asynchronous commit trades durability for speed — Aether's point is you can have both"
+    );
 }

@@ -52,7 +52,11 @@ fn main() {
     // 4. Recovery scan: read the whole durable prefix back.
     log.flush_all();
     let records = log.reader().read_all().expect("clean log scans cleanly");
-    println!("scan found {} records; first = {:?}", records.len(), records[0].header.kind);
+    println!(
+        "scan found {} records; first = {:?}",
+        records.len(),
+        records[0].header.kind
+    );
     assert_eq!(records.len() as u64, log.stats().inserts);
     println!("quickstart OK");
 }

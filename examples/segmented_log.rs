@@ -12,9 +12,8 @@ use aether::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let segments = Arc::new(
-        SegmentedDevice::new(Box::new(MemSegmentFactory), 64 * 1024).expect("segments"),
-    );
+    let segments =
+        Arc::new(SegmentedDevice::new(Box::new(MemSegmentFactory), 64 * 1024).expect("segments"));
     let opts = DbOptions {
         protocol: CommitProtocol::Elr,
         ..DbOptions::default()

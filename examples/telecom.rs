@@ -21,7 +21,12 @@ fn main() {
         device: DeviceKind::Flash,
         ..DbOptions::default()
     });
-    let tatp = Arc::new(Tatp::setup(&db, TatpConfig { subscribers: 20_000 }));
+    let tatp = Arc::new(Tatp::setup(
+        &db,
+        TatpConfig {
+            subscribers: 20_000,
+        },
+    ));
     println!("TATP loaded: {} subscribers", tatp.config().subscribers);
 
     let per_type: parking_lot::Mutex<HashMap<TatpTxn, (u64, u64)>> =

@@ -1,0 +1,237 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Keeps the bench sources and `cargo bench` working without the real
+//! dependency: same macro + builder surface, but measurement is a simple
+//! warmup-then-sample loop printing mean wall time per iteration as TSV
+//! (`group/id<TAB>mean_ns<TAB>iters`). No statistics, plots or baselines —
+//! swap the real criterion back in for publication-grade numbers.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Names one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Standard two-part id.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (accepted, not currently reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    sample_size: u64,
+    measurement_time: Duration,
+    /// (total elapsed, total iterations) accumulated by the measure loop.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; the routine's return value is black-boxed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + per-iteration estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let est = start.elapsed().max(Duration::from_nanos(1));
+        let budget_iters = (self.measurement_time.as_nanos() / est.as_nanos()).max(1) as u64;
+        let iters = budget_iters.min(self.sample_size.max(1) * 1000).max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Like [`Bencher::iter`] but the routine times itself: it receives an
+    /// iteration count and returns the elapsed time for that many iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        // One calibration call, then a measured batch sized to the budget.
+        let est = routine(1).max(Duration::from_nanos(1));
+        let budget_iters = (self.measurement_time.as_nanos() / est.as_nanos()).max(1) as u64;
+        let iters = budget_iters.min(self.sample_size.max(1)).max(1);
+        let total = routine(iters);
+        self.result = Some((total, iters));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Target sample count (shim: scales the measured batch).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Throughput annotation (ignored by the shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((total, iters)) => {
+                let mean_ns = total.as_nanos() as f64 / iters as f64;
+                println!("{}/{}\t{:.1}\t{}", self.name, id, mean_ns, iters);
+            }
+            None => println!("{}/{}\t(no measurement)", self.name, id),
+        }
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.id.clone();
+        self.run(&name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a plain routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = id.into();
+        self.run(&name, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: u64,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+        }
+    }
+
+    /// Benchmark a plain routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collects bench functions into one group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5).measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x + 1
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_custom_scales_to_budget() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t2");
+        g.sample_size(3).measurement_time(Duration::from_millis(2));
+        let mut calls = Vec::new();
+        g.bench_with_input(BenchmarkId::from_parameter(1), &(), |b, _| {
+            b.iter_custom(|iters| {
+                calls.push(iters);
+                Duration::from_micros(100 * iters)
+            })
+        });
+        assert_eq!(calls[0], 1);
+        assert!(calls[1] >= 1);
+    }
+}

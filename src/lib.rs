@@ -24,12 +24,8 @@ pub use aether_storage as storage;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
-    pub use aether_core::{
-        BufferKind, DeviceKind, LogConfig, LogManager, Lsn, RecordKind,
-    };
-    pub use aether_storage::{
-        CommitOutcome, CommitProtocol, CrashImage, Db, DbOptions,
-    };
+    pub use aether_core::{BufferKind, DeviceKind, LogConfig, LogManager, Lsn, RecordKind};
+    pub use aether_storage::{CommitOutcome, CommitProtocol, CrashImage, Db, DbOptions};
 }
 
 #[cfg(test)]

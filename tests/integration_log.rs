@@ -2,12 +2,24 @@
 //! same *observable log* — a dense, gap-free, checksummed record stream —
 //! under concurrency, back-pressure and mixed record sizes.
 
+use aether::bench::env_or;
 use aether::prelude::*;
 use aether_core::device::{LogDevice, SimDevice};
 use aether_core::record::RecordKind;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Stress-size knobs so CI can bound suite runtime (defaults reproduce the
+/// full local run): `AETHER_TEST_THREADS` scales worker counts,
+/// `AETHER_TEST_ITERS` scales per-thread iteration counts.
+fn test_threads(default: usize) -> usize {
+    env_or("AETHER_TEST_THREADS", default).max(2)
+}
+
+fn test_iters(default: usize) -> usize {
+    env_or("AETHER_TEST_ITERS", default).max(10)
+}
 
 fn stress_one(kind: BufferKind, threads: usize, per: usize) {
     let device = Arc::new(SimDevice::new(Duration::ZERO));
@@ -49,7 +61,7 @@ fn stress_one(kind: BufferKind, threads: usize, per: usize) {
 #[test]
 fn all_variants_produce_dense_valid_logs() {
     for kind in BufferKind::ALL {
-        stress_one(kind, 8, 300);
+        stress_one(kind, test_threads(8), test_iters(300));
     }
 }
 
@@ -111,15 +123,14 @@ fn concurrent_committers_share_flushes() {
             .device(DeviceKind::CustomUs(5_000))
             .build(),
     );
-    let threads = 8u64;
-    let per = 20u64;
+    let threads = test_threads(8) as u64;
+    let per = test_iters(20) as u64;
     std::thread::scope(|s| {
         for t in 0..threads {
             let log = Arc::clone(&log);
             s.spawn(move || {
                 for _ in 0..per {
-                    let (_, end) =
-                        log.insert_ext(RecordKind::Commit, t, Lsn::ZERO, &[0u8; 80]);
+                    let (_, end) = log.insert_ext(RecordKind::Commit, t, Lsn::ZERO, &[0u8; 80]);
                     log.flush_until(end);
                 }
             });
@@ -143,18 +154,20 @@ fn back_pressure_with_slow_device_never_deadlocks() {
             .device(DeviceKind::CustomUs(500))
             .build(),
     );
+    let threads = test_threads(4) as u64;
+    let per = test_iters(100) as u64;
     std::thread::scope(|s| {
-        for t in 0..4u64 {
+        for t in 0..threads {
             let log = Arc::clone(&log);
             s.spawn(move || {
-                for _ in 0..100 {
+                for _ in 0..per {
                     log.insert(RecordKind::Update, t, &[7u8; 2000]);
                 }
             });
         }
     });
     log.flush_all();
-    assert_eq!(log.stats().inserts, 400);
+    assert_eq!(log.stats().inserts, threads * per);
     assert_eq!(log.durable_lsn(), Lsn(log.stats().bytes));
 }
 
@@ -183,16 +196,18 @@ fn commit_handles_complete_across_protocol_paths() {
     // Pipelined completion arrives via the daemon thread; wait from several
     // client threads simultaneously.
     let log = Arc::new(LogManager::builder().device(DeviceKind::Flash).build());
+    let threads = test_threads(8) as u64;
+    let per = test_iters(20) as u64;
     std::thread::scope(|s| {
-        for t in 0..8u64 {
+        for t in 0..threads {
             let log = Arc::clone(&log);
             s.spawn(move || {
-                for _ in 0..20 {
+                for _ in 0..per {
                     let prev = log.insert(RecordKind::Update, t, &[9u8; 64]);
                     log.commit(t, prev).wait();
                 }
             });
         }
     });
-    assert_eq!(log.pipeline().completed(), 8 * 20);
+    assert_eq!(log.pipeline().completed(), threads * per);
 }

@@ -3,6 +3,7 @@
 //! survives and (2) every surviving value was actually written by some
 //! committed transaction — across buffer variants and safe commit protocols.
 
+use aether::bench::env_or;
 use aether::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,8 +45,7 @@ fn crash_mid_flight(protocol: CommitProtocol, buffer: BufferKind) {
     db.setup_complete();
 
     let stop = Arc::new(AtomicBool::new(false));
-    let acked: Arc<Vec<AtomicU64>> =
-        Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
+    let acked: Arc<Vec<AtomicU64>> = Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
     let submitted: Arc<Vec<AtomicU64>> =
         Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
 
@@ -77,11 +77,12 @@ fn crash_mid_flight(protocol: CommitProtocol, buffer: BufferKind) {
         // Let the workers race, then pull the plug mid-flight. Any ack that
         // happened before this point must survive the crash; acks racing
         // with the snapshot are indeterminate, so capture the floor first.
-        std::thread::sleep(std::time::Duration::from_millis(150));
-        let acked_floor: Vec<u64> = acked
-            .iter()
-            .map(|a| a.load(Ordering::SeqCst))
-            .collect();
+        // `AETHER_TEST_CRASH_MS` bounds the racing window for CI.
+        std::thread::sleep(std::time::Duration::from_millis(env_or(
+            "AETHER_TEST_CRASH_MS",
+            150,
+        )));
+        let acked_floor: Vec<u64> = acked.iter().map(|a| a.load(Ordering::SeqCst)).collect();
         let image = db.crash();
         stop.store(true, Ordering::Relaxed);
         (image, acked_floor)
@@ -136,7 +137,8 @@ fn randomized_crash_points_converge() {
     // Random single-threaded workload with aborts mixed in; crash after a
     // random prefix; recover; every committed value must match the model.
     let mut rng = StdRng::seed_from_u64(0xC4A5);
-    for round in 0..5 {
+    let rounds = env_or("AETHER_TEST_ROUNDS", 5).max(1);
+    for round in 0..rounds {
         let o = opts(CommitProtocol::Elr, BufferKind::Hybrid);
         let db = Db::open(o.clone());
         let keys = 16u64;

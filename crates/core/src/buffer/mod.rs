@@ -258,6 +258,12 @@ pub struct BufferCore {
     space_waiters: AtomicUsize,
     space_mutex: Mutex<()>,
     space_cv: Condvar,
+    /// Threads blocked in [`BufferCore::wait_durable`]; the durable-advance
+    /// path only takes the watch mutex when this is non-zero, keeping the
+    /// auto-reclaim hot path notification-free.
+    watch_waiters: AtomicUsize,
+    watch_mutex: Mutex<()>,
+    watch_cv: Condvar,
     /// Counters and phase timers.
     pub stats: BufferStats,
 }
@@ -290,6 +296,9 @@ impl BufferCore {
             space_waiters: AtomicUsize::new(0),
             space_mutex: Mutex::new(()),
             space_cv: Condvar::new(),
+            watch_waiters: AtomicUsize::new(0),
+            watch_mutex: Mutex::new(()),
+            watch_cv: Condvar::new(),
             stats: BufferStats::new(),
         })
     }
@@ -389,6 +398,54 @@ impl BufferCore {
         if self.space_waiters.load(Ordering::SeqCst) > 0 {
             let _g = self.space_mutex.lock();
             self.space_cv.notify_all();
+        }
+        if self.watch_waiters.load(Ordering::SeqCst) > 0 {
+            let _g = self.watch_mutex.lock();
+            self.watch_cv.notify_all();
+        }
+    }
+
+    /// Block until the durable watermark reaches `lsn`; returns the current
+    /// durable LSN. The notification-based replacement for spin/sleep polls
+    /// on [`BufferCore::durable_lsn`] — the log shipper and tests wait here.
+    pub fn wait_durable(&self, lsn: Lsn) -> Lsn {
+        loop {
+            let d = self.durable.load();
+            if d >= lsn {
+                return d;
+            }
+            self.watch_waiters.fetch_add(1, Ordering::SeqCst);
+            let mut g = self.watch_mutex.lock();
+            // Re-check under the lock: an advance between the load above and
+            // the waiter registration must not be missed.
+            if self.durable.load() < lsn {
+                self.watch_cv.wait(&mut g);
+            }
+            drop(g);
+            self.watch_waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Like [`BufferCore::wait_durable`] but gives up after `timeout`;
+    /// returns the durable LSN at wake-up (which may be below `lsn`).
+    pub fn wait_durable_timeout(&self, lsn: Lsn, timeout: std::time::Duration) -> Lsn {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let d = self.durable.load();
+            if d >= lsn {
+                return d;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return d;
+            }
+            self.watch_waiters.fetch_add(1, Ordering::SeqCst);
+            let mut g = self.watch_mutex.lock();
+            if self.durable.load() < lsn {
+                self.watch_cv.wait_for(&mut g, deadline - now);
+            }
+            drop(g);
+            self.watch_waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -574,6 +631,29 @@ mod tests {
         assert!(!t.is_finished());
         core.advance_durable(Lsn(1));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_durable_wakes_on_advance() {
+        let core = small_core();
+        let core2 = Arc::clone(&core);
+        let t = std::thread::spawn(move || core2.wait_durable(Lsn(100)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!t.is_finished());
+        core.advance_durable(Lsn(64)); // not enough: waiter re-arms
+        core.advance_durable(Lsn(128));
+        assert_eq!(t.join().unwrap(), Lsn(128));
+        // Already satisfied: returns immediately.
+        assert_eq!(core.wait_durable(Lsn(5)), Lsn(128));
+    }
+
+    #[test]
+    fn wait_durable_timeout_expires() {
+        let core = small_core();
+        let t = std::time::Instant::now();
+        let d = core.wait_durable_timeout(Lsn(1000), std::time::Duration::from_millis(20));
+        assert!(t.elapsed() >= std::time::Duration::from_millis(20));
+        assert_eq!(d, Lsn::ZERO);
     }
 
     #[test]

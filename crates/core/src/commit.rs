@@ -8,11 +8,12 @@
 //! client handle, invoking a callback, or simply counting). Only the daemon
 //! ever blocks on I/O; agent threads never context-switch for a commit.
 
-use crate::lsn::Lsn;
-use parking_lot::{Condvar, Mutex};
+use crate::lsn::{AtomicLsn, Lsn};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Completion state shared between a [`CommitHandle`] and the pipeline.
 #[derive(Debug, Default)]
@@ -181,6 +182,191 @@ impl CommitPipeline {
     }
 }
 
+/// When a commit may be acknowledged, relative to log shipping (the
+/// replication analogue of the paper's commit-protocol axis).
+///
+/// The local `fdatasync` is always required — these policies only *add*
+/// replica acknowledgements to the durability condition. Group commit
+/// amortizes the extra round-trip exactly as it amortizes the sync: the
+/// shipper forwards one byte run per flush group, the replica acks the run,
+/// and every commit in the group completes on that single ack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// Local durability only; replicas apply the shipped log asynchronously.
+    /// A primary failure may lose commits the replicas have not received yet.
+    Async,
+    /// Local durability plus at least this many replica acks (classic
+    /// semi-synchronous replication is `SemiSync(1)`).
+    SemiSync(usize),
+    /// Local durability plus `acks` of `replicas` acknowledgements — a
+    /// majority quorum is `Quorum { acks: 2, replicas: 3 }`.
+    Quorum {
+        /// Acks required before commit completion.
+        acks: usize,
+        /// Expected replica count (documentation/validation; the gate counts
+        /// registered replicas itself).
+        replicas: usize,
+    },
+}
+
+impl DurabilityPolicy {
+    /// Replica acks required before a commit may complete.
+    pub fn required_acks(&self) -> usize {
+        match *self {
+            DurabilityPolicy::Async => 0,
+            DurabilityPolicy::SemiSync(k) => k,
+            DurabilityPolicy::Quorum { acks, .. } => acks,
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> String {
+        match *self {
+            DurabilityPolicy::Async => "async".into(),
+            DurabilityPolicy::SemiSync(k) => format!("semisync{k}"),
+            DurabilityPolicy::Quorum { acks, replicas } => format!("quorum{acks}of{replicas}"),
+        }
+    }
+}
+
+/// One replica's acknowledgement watermark: the highest LSN the replica has
+/// durably received. Advanced by the shipper when acks arrive; read by the
+/// [`CommitGate`] when deciding which commits may complete.
+#[derive(Debug, Default)]
+pub struct ReplicaAck {
+    acked: AtomicLsn,
+}
+
+impl ReplicaAck {
+    /// Record an ack up to `lsn` (acks are cumulative; regressions ignored).
+    pub fn advance(&self, lsn: Lsn) {
+        self.acked.fetch_max(lsn);
+    }
+
+    /// Highest acknowledged LSN.
+    pub fn acked(&self) -> Lsn {
+        self.acked.load()
+    }
+}
+
+/// Gates commit completion on replica acknowledgements.
+///
+/// The flush daemon asks the gate for the *effective* commit watermark —
+/// `min(local durable, k-th highest replica ack)` — before completing
+/// pipelined commits, and blocking committers wait here after their local
+/// flush. With the default [`DurabilityPolicy::Async`] the gate is
+/// transparent: effective == durable and no waiting ever happens.
+#[derive(Debug, Default)]
+pub struct CommitGate {
+    policy: RwLock<Option<DurabilityPolicy>>,
+    replicas: RwLock<Vec<Arc<ReplicaAck>>>,
+    /// Set when replication is known dead (primary failure simulation):
+    /// waiters stop blocking, but their commits report *unreplicated*.
+    poisoned: std::sync::atomic::AtomicBool,
+    wait_mutex: Mutex<()>,
+    wait_cv: Condvar,
+}
+
+impl CommitGate {
+    /// New gate with no policy (equivalent to [`DurabilityPolicy::Async`]).
+    pub fn new() -> CommitGate {
+        CommitGate::default()
+    }
+
+    /// Install the durability policy.
+    pub fn set_policy(&self, policy: DurabilityPolicy) {
+        *self.policy.write() = Some(policy);
+        self.notify();
+    }
+
+    /// The installed policy, if any.
+    pub fn policy(&self) -> Option<DurabilityPolicy> {
+        *self.policy.read()
+    }
+
+    /// Register a replica; the returned handle is advanced as its acks
+    /// arrive.
+    pub fn register_replica(&self) -> Arc<ReplicaAck> {
+        let ack = Arc::new(ReplicaAck::default());
+        self.replicas.write().push(Arc::clone(&ack));
+        ack
+    }
+
+    /// Number of registered replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.read().len()
+    }
+
+    /// The replication floor: the highest LSN acknowledged by at least the
+    /// required number of replicas ([`Lsn::MAX`] when no acks are required,
+    /// [`Lsn::ZERO`] when fewer replicas than required are registered).
+    pub fn replicated_floor(&self) -> Lsn {
+        let required = match *self.policy.read() {
+            Some(p) => p.required_acks(),
+            None => 0,
+        };
+        if required == 0 {
+            return Lsn::MAX;
+        }
+        let replicas = self.replicas.read();
+        if replicas.len() < required {
+            return Lsn::ZERO;
+        }
+        let mut acks: Vec<Lsn> = replicas.iter().map(|r| r.acked()).collect();
+        acks.sort_unstable_by(|a, b| b.cmp(a)); // descending
+        acks[required - 1]
+    }
+
+    /// The effective commit watermark given the local durable LSN. A
+    /// poisoned gate no longer holds anything back (replication is dead;
+    /// blocking forever helps nobody) — callers learn whether a given LSN
+    /// actually replicated from [`CommitGate::wait_effective`]'s return.
+    pub fn effective(&self, durable: Lsn) -> Lsn {
+        if self.is_poisoned() {
+            return durable;
+        }
+        durable.min(self.replicated_floor())
+    }
+
+    /// Declare replication dead: release all waiters. Their commits remain
+    /// locally durable but report as unreplicated unless the floor already
+    /// covered them. Used when the primary "fails" mid-commit — the real
+    /// analogue is the client connection dying with an indeterminate
+    /// outcome.
+    pub fn poison(&self) {
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        self.notify();
+    }
+
+    /// Whether [`CommitGate::poison`] was called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Wake threads blocked in [`CommitGate::wait_effective`]. Called after
+    /// any ack advance or flush.
+    pub fn notify(&self) {
+        let _g = self.wait_mutex.lock();
+        self.wait_cv.notify_all();
+    }
+
+    /// Block until the effective watermark (given the caller-supplied live
+    /// durable LSN) reaches `lsn`. Returns whether the replication
+    /// requirement was genuinely met for `lsn` — false only when a
+    /// poisoned gate released the wait before enough acks arrived.
+    pub fn wait_effective(&self, lsn: Lsn, durable: impl Fn() -> Lsn) -> bool {
+        // Bounded condvar waits: a notify racing ahead of waiter registration
+        // costs one 200µs re-check instead of a hang.
+        let mut g = self.wait_mutex.lock();
+        while self.effective(durable()) < lsn {
+            self.wait_cv.wait_for(&mut g, Duration::from_micros(200));
+        }
+        drop(g);
+        self.replicated_floor() >= lsn
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +418,105 @@ mod tests {
         p.submit(Lsn(5), CommitAction::Count);
         assert_eq!(p.complete_upto(Lsn(5)), 1);
         assert_eq!(p.completed(), 1);
+    }
+
+    #[test]
+    fn gate_async_policy_is_transparent() {
+        let g = CommitGate::new();
+        assert_eq!(g.effective(Lsn(500)), Lsn(500));
+        g.set_policy(DurabilityPolicy::Async);
+        assert_eq!(g.effective(Lsn(500)), Lsn(500));
+        assert_eq!(DurabilityPolicy::Async.required_acks(), 0);
+        // No waiting with a satisfied watermark.
+        g.wait_effective(Lsn(100), || Lsn(100));
+    }
+
+    #[test]
+    fn gate_semisync_waits_for_one_ack() {
+        let g = CommitGate::new();
+        g.set_policy(DurabilityPolicy::SemiSync(1));
+        // No replicas registered yet: nothing can commit.
+        assert_eq!(g.effective(Lsn(500)), Lsn::ZERO);
+        let r = g.register_replica();
+        assert_eq!(g.effective(Lsn(500)), Lsn::ZERO);
+        r.advance(Lsn(300));
+        assert_eq!(g.effective(Lsn(500)), Lsn(300));
+        r.advance(Lsn(800));
+        assert_eq!(
+            g.effective(Lsn(500)),
+            Lsn(500),
+            "local durability still gates"
+        );
+        // Regressions are ignored.
+        r.advance(Lsn(100));
+        assert_eq!(r.acked(), Lsn(800));
+    }
+
+    #[test]
+    fn gate_quorum_takes_kth_highest_ack() {
+        let g = CommitGate::new();
+        g.set_policy(DurabilityPolicy::Quorum {
+            acks: 2,
+            replicas: 3,
+        });
+        assert_eq!(
+            DurabilityPolicy::Quorum {
+                acks: 2,
+                replicas: 3
+            }
+            .label(),
+            "quorum2of3"
+        );
+        let r1 = g.register_replica();
+        let r2 = g.register_replica();
+        let r3 = g.register_replica();
+        assert_eq!(g.replica_count(), 3);
+        r1.advance(Lsn(900));
+        assert_eq!(g.replicated_floor(), Lsn::ZERO, "one ack is not a quorum");
+        r2.advance(Lsn(400));
+        assert_eq!(g.replicated_floor(), Lsn(400));
+        r3.advance(Lsn(600));
+        assert_eq!(
+            g.replicated_floor(),
+            Lsn(600),
+            "2nd highest of {{900,400,600}}"
+        );
+    }
+
+    #[test]
+    fn gate_wait_effective_wakes_on_ack() {
+        let g = Arc::new(CommitGate::new());
+        g.set_policy(DurabilityPolicy::SemiSync(1));
+        let r = g.register_replica();
+        let g2 = Arc::clone(&g);
+        let t = std::thread::spawn(move || g2.wait_effective(Lsn(100), || Lsn(100)));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!t.is_finished());
+        r.advance(Lsn(100));
+        g.notify();
+        assert!(t.join().unwrap(), "requirement met: acked to 100");
+    }
+
+    #[test]
+    fn gate_poison_releases_waiters_as_unreplicated() {
+        let g = Arc::new(CommitGate::new());
+        g.set_policy(DurabilityPolicy::SemiSync(1));
+        let r = g.register_replica();
+        r.advance(Lsn(50));
+        let g2 = Arc::clone(&g);
+        let t = std::thread::spawn(move || g2.wait_effective(Lsn(100), || Lsn(100)));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!t.is_finished());
+        g.poison();
+        assert!(
+            !t.join().unwrap(),
+            "released by poison without the ack: unreplicated"
+        );
+        // But an LSN the floor already covered still reports replicated,
+        // and a poisoned gate no longer holds anything back.
+        assert!(g.wait_effective(Lsn(40), || Lsn(100)));
+        assert_eq!(g.effective(Lsn(100)), Lsn(100));
+        assert!(g.is_poisoned());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! completes pending commits via the [`CommitPipeline`].
 
 use crate::buffer::BufferCore;
-use crate::commit::CommitPipeline;
+use crate::commit::{CommitGate, CommitPipeline};
 use crate::config::GroupCommitPolicy;
 use crate::device::LogDevice;
 use crate::lsn::Lsn;
@@ -131,11 +131,12 @@ impl std::fmt::Debug for FlushDaemon {
 
 impl FlushDaemon {
     /// Spawn the daemon over `core`/`device`, completing commits through
-    /// `pipeline`.
+    /// `pipeline` once they clear `gate` (local durability + replica acks).
     pub fn spawn(
         core: Arc<BufferCore>,
         device: Arc<dyn LogDevice>,
         pipeline: Arc<CommitPipeline>,
+        gate: Arc<CommitGate>,
         policy: GroupCommitPolicy,
         chunk: usize,
     ) -> FlushDaemon {
@@ -144,7 +145,7 @@ impl FlushDaemon {
         let co = Arc::clone(&core);
         let thread = std::thread::Builder::new()
             .name("aether-flushd".into())
-            .spawn(move || daemon_loop(sh, co, device, pipeline, policy, chunk))
+            .spawn(move || daemon_loop(sh, co, device, pipeline, gate, policy, chunk))
             .expect("spawn flush daemon");
         FlushDaemon {
             shared,
@@ -203,6 +204,7 @@ fn daemon_loop(
     core: Arc<BufferCore>,
     device: Arc<dyn LogDevice>,
     pipeline: Arc<CommitPipeline>,
+    gate: Arc<CommitGate>,
     policy: GroupCommitPolicy,
     chunk: usize,
 ) {
@@ -280,12 +282,15 @@ fn daemon_loop(
             core.advance_durable(target);
         }
 
-        // Reattach: complete pipelined commits, wake blocking flushers.
-        pipeline.complete_upto(target);
+        // Reattach: complete pipelined commits that are both durable and
+        // sufficiently replicated (the gate is transparent without a
+        // policy), wake blocking flushers, and nudge gate waiters.
+        pipeline.complete_upto(gate.effective(target));
         {
             let _g = shared.inner.lock();
             shared.waiter_cv.notify_all();
         }
+        gate.notify();
     }
 }
 
@@ -315,6 +320,7 @@ mod tests {
             Arc::clone(&core),
             device.clone() as Arc<dyn LogDevice>,
             Arc::clone(&pipeline),
+            Arc::new(CommitGate::new()),
             GroupCommitPolicy::default(),
             4096,
         );
@@ -372,21 +378,17 @@ mod tests {
             Arc::clone(&core),
             device.clone() as Arc<dyn LogDevice>,
             pipeline,
+            Arc::new(CommitGate::new()),
             policy.clone(),
             4096,
         );
         let buf = BaselineBuffer::new(Arc::clone(&core));
         buf.insert(RecordKind::Filler, 1, Lsn::ZERO, &[0; 64]);
         daemon.note_commit(&policy); // starts the T clock
-        let deadline = Instant::now() + Duration::from_millis(500);
-        while core.durable_lsn() < core.released_lsn() && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        assert_eq!(
-            core.durable_lsn(),
-            core.released_lsn(),
-            "T policy must fire"
-        );
+                                     // Durable-watch notification instead of a sleep-poll loop.
+        let target = core.released_lsn();
+        let durable = core.wait_durable_timeout(target, Duration::from_millis(500));
+        assert_eq!(durable, target, "T policy must fire");
     }
 
     #[test]

@@ -62,9 +62,10 @@ pub mod ring;
 pub mod stats;
 
 pub use buffer::{BufferKind, LogBuffer};
+pub use commit::{CommitGate, DurabilityPolicy, ReplicaAck};
 pub use config::LogConfig;
 pub use device::DeviceKind;
 pub use error::{LogError, Result};
 pub use lsn::Lsn;
-pub use manager::LogManager;
+pub use manager::{DurableWatch, LogManager};
 pub use record::{RecordHeader, RecordKind};

@@ -2,7 +2,7 @@
 //! pipeline behind one facade.
 
 use crate::buffer::{BufferCore, BufferKind, LogBuffer};
-use crate::commit::{CommitAction, CommitHandle, CommitPipeline};
+use crate::commit::{CommitAction, CommitGate, CommitHandle, CommitPipeline, DurabilityPolicy};
 use crate::config::LogConfig;
 use crate::device::{DeviceKind, LogDevice};
 use crate::error::Result;
@@ -93,6 +93,7 @@ impl LogManagerBuilder {
         let core = BufferCore::with_start(&self.config, start);
         let buffer = self.buffer.build(Arc::clone(&core), &self.config);
         let pipeline = Arc::new(CommitPipeline::new());
+        let gate = Arc::new(CommitGate::new());
         let daemon = if device.discards() {
             // Microbenchmark mode: no daemon; releasing reclaims directly.
             core.set_auto_reclaim(true);
@@ -102,6 +103,7 @@ impl LogManagerBuilder {
                 Arc::clone(&core),
                 Arc::clone(&device),
                 Arc::clone(&pipeline),
+                Arc::clone(&gate),
                 self.config.group_commit.clone(),
                 self.config.flush_chunk,
             ))
@@ -112,6 +114,7 @@ impl LogManagerBuilder {
             buffer,
             device,
             pipeline,
+            gate,
             flush_shared,
             daemon: parking_lot::Mutex::new(daemon),
             config: self.config,
@@ -128,6 +131,9 @@ pub struct LogManager {
     buffer: Arc<dyn LogBuffer>,
     device: Arc<dyn LogDevice>,
     pipeline: Arc<CommitPipeline>,
+    /// Replication gate: commit completion additionally waits on replica
+    /// acks per the installed [`DurabilityPolicy`] (transparent by default).
+    gate: Arc<CommitGate>,
     /// Shared daemon state, used lock-free-ish on the commit path so any
     /// number of committers can wait concurrently (group commit).
     flush_shared: Option<Arc<crate::flush::FlushShared>>,
@@ -218,32 +224,21 @@ impl LogManager {
         self.flush_until(target);
     }
 
-    /// Register `action` to run once `lsn` is durable (flush pipelining:
+    /// Register `action` to run once `lsn` is committable — durable locally
+    /// *and* sufficiently replicated per the gate policy (flush pipelining:
     /// the caller does **not** block). Returns immediately.
     pub fn commit_async(&self, lsn: Lsn, action: CommitAction) {
-        if self.core.durable_lsn() >= lsn {
-            // Already durable: run inline.
-            match action {
-                CommitAction::Notify(st) => {
-                    self.pipeline.submit(lsn, CommitAction::Notify(st));
-                    self.pipeline.complete_upto(self.core.durable_lsn());
-                }
-                CommitAction::Callback(f) => {
-                    self.pipeline.submit(lsn, CommitAction::Callback(f));
-                    self.pipeline.complete_upto(self.core.durable_lsn());
-                }
-                CommitAction::Count => {
-                    self.pipeline.submit(lsn, CommitAction::Count);
-                    self.pipeline.complete_upto(self.core.durable_lsn());
-                }
-            }
+        if self.commit_lsn() >= lsn {
+            // Already committable: run inline.
+            self.pipeline.submit(lsn, action);
+            self.pipeline.complete_upto(self.commit_lsn());
             return;
         }
         self.pipeline.submit(lsn, action);
         match &self.flush_shared {
             Some(shared) => shared.note_commit(&self.config.group_commit),
             None => {
-                self.pipeline.complete_upto(self.core.durable_lsn());
+                self.pipeline.complete_upto(self.commit_lsn());
             }
         }
     }
@@ -285,6 +280,59 @@ impl LogManager {
         &self.device
     }
 
+    /// A notification handle over the durable watermark: waiting replaces
+    /// spin/sleep polling of [`LogManager::durable_lsn`]. Used by the log
+    /// shipper to tail the durable frontier, and by tests.
+    pub fn durable_watch(&self) -> DurableWatch {
+        DurableWatch {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The replication commit gate (register replicas, install a policy).
+    pub fn commit_gate(&self) -> &Arc<CommitGate> {
+        &self.gate
+    }
+
+    /// Install a replication durability policy; see [`DurabilityPolicy`].
+    pub fn set_durability_policy(&self, policy: DurabilityPolicy) {
+        self.gate.set_policy(policy);
+        self.replication_recheck();
+    }
+
+    /// Highest LSN at which commits may currently complete:
+    /// `min(durable, replicated floor)`.
+    pub fn commit_lsn(&self) -> Lsn {
+        self.gate.effective(self.core.durable_lsn())
+    }
+
+    /// Re-evaluate the commit gate after replica acks advanced: completes
+    /// newly-eligible pipelined commits and wakes blocking committers. The
+    /// shipper calls this once per ack batch — one recheck per flush group,
+    /// not per transaction, preserving group-commit amortization.
+    pub fn replication_recheck(&self) {
+        self.pipeline.complete_upto(self.commit_lsn());
+        self.gate.notify();
+    }
+
+    /// Block until `lsn` is fully committable: durable locally (group-commit
+    /// flush machinery) and replicated per the gate policy. With no policy
+    /// installed this is exactly [`LogManager::flush_until`]. Returns
+    /// whether the replication requirement was met — false only when the
+    /// gate was poisoned (replication declared dead) before enough acks
+    /// arrived, in which case the commit is locally durable but its
+    /// replicated fate is indeterminate.
+    #[must_use = "a false return means the commit did not replicate"]
+    pub fn wait_committed(&self, lsn: Lsn) -> bool {
+        self.flush_until(lsn);
+        if self.gate.policy().map(|p| p.required_acks()).unwrap_or(0) > 0 {
+            let core = Arc::clone(&self.core);
+            self.gate.wait_effective(lsn, move || core.durable_lsn())
+        } else {
+            true
+        }
+    }
+
     /// A recovery-scan reader over the device from LSN 0.
     pub fn reader(&self) -> LogReader {
         LogReader::new(Arc::clone(&self.device))
@@ -302,6 +350,42 @@ impl LogManager {
 impl Drop for LogManager {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// A waitable view of a log's durable watermark (see
+/// [`LogManager::durable_watch`]). Cloneable and detached from the manager's
+/// lifetime: it holds only the shared buffer core.
+#[derive(Clone)]
+pub struct DurableWatch {
+    core: Arc<BufferCore>,
+}
+
+impl std::fmt::Debug for DurableWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableWatch")
+            .field("durable", &self.core.durable_lsn())
+            .finish()
+    }
+}
+
+impl DurableWatch {
+    /// Current durable LSN.
+    pub fn current(&self) -> Lsn {
+        self.core.durable_lsn()
+    }
+
+    /// Block until the durable watermark reaches `lsn`; returns the durable
+    /// LSN observed at wake-up.
+    pub fn wait_for(&self, lsn: Lsn) -> Lsn {
+        self.core.wait_durable(lsn)
+    }
+
+    /// Block until the durable watermark exceeds `past` or `timeout`
+    /// elapses; returns the durable LSN at wake-up. The timeout keeps
+    /// tailing loops (the log shipper) responsive to shutdown.
+    pub fn wait_past(&self, past: Lsn, timeout: std::time::Duration) -> Lsn {
+        self.core.wait_durable_timeout(past.advance(1), timeout)
     }
 }
 
@@ -361,11 +445,12 @@ mod tests {
             );
         }
         log.flush_all();
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
-        while counter.load(std::sync::atomic::Ordering::Relaxed) < 20
-            && std::time::Instant::now() < deadline
-        {
-            std::thread::sleep(Duration::from_millis(1));
+        // Durable-watch notification instead of a sleep-poll: once the log
+        // is durable, callbacks complete momentarily (daemon reattach).
+        log.durable_watch().wait_for(log.released_lsn());
+        let mut backoff = crate::buffer::WaitBackoff::new();
+        while counter.load(std::sync::atomic::Ordering::Relaxed) < 20 {
+            backoff.wait();
         }
         assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 20);
     }

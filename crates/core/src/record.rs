@@ -83,30 +83,84 @@ pub const fn on_log_size(payload_len: usize) -> usize {
     align_up(HEADER_SIZE + payload_len)
 }
 
-/// Cheap 32-bit checksum over the payload.
-///
-/// Processes 8 bytes per step (xor-rotate-multiply); this keeps the insert
-/// path fast enough to reach multi-GB/s in the Figure-8 microbenchmarks while
-/// still catching torn writes during recovery scans.
-pub fn checksum(data: &[u8]) -> u32 {
-    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
-    let mut chunks = data.chunks_exact(8);
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup tables for
+/// slice-by-4 processing, generated at compile time. CRC32 is the standard
+/// frame check for both on-disk log records and on-wire replication frames:
+/// unlike the previous xor-rotate-multiply hash, it detects all burst errors
+/// up to 32 bits and has well-understood behavior under bit flips.
+const CRC32_TABLES: [[u32; 256]; 4] = {
+    let mut tables = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            b += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 4 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+/// Feed `data` into a running (pre-finalization) CRC32 state. Start from
+/// [`CRC32_INIT`]; finalize with [`crc32_finish`]. Streaming form so callers
+/// (the record frame, the replication wire frame) can checksum a header and
+/// a payload without concatenating them.
+pub fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(4);
     for c in &mut chunks {
-        let v = u64::from_le_bytes(c.try_into().unwrap());
-        acc = (acc ^ v)
-            .rotate_left(23)
-            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let v = crc ^ u32::from_le_bytes(c.try_into().unwrap());
+        crc = CRC32_TABLES[3][(v & 0xFF) as usize]
+            ^ CRC32_TABLES[2][((v >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[1][((v >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[0][(v >> 24) as usize];
     }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut last = [0u8; 8];
-        last[..rem.len()].copy_from_slice(rem);
-        let v = u64::from_le_bytes(last);
-        acc = (acc ^ v)
-            .rotate_left(23)
-            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC32_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
-    (acc ^ (acc >> 32)) as u32
+    crc
+}
+
+/// Initial CRC32 state for [`crc32_update`].
+pub const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+/// Finalize a running CRC32 state.
+#[inline]
+pub const fn crc32_finish(crc: u32) -> u32 {
+    crc ^ 0xFFFF_FFFF
+}
+
+/// One-shot CRC32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC32_INIT, data))
+}
+
+/// Checksum over a record *frame*: the 32-byte header (with the checksum
+/// field itself zeroed) followed by the payload. Covering the header — not
+/// just the payload — means a torn or bit-flipped header field (txn id,
+/// prev-LSN chain pointer) fails verification instead of silently steering
+/// recovery or a replica down a wrong undo chain.
+pub fn checksum(header_zeroed: &[u8; HEADER_SIZE], payload: &[u8]) -> u32 {
+    crc32_finish(crc32_update(
+        crc32_update(CRC32_INIT, header_zeroed),
+        payload,
+    ))
 }
 
 /// The decoded header of a log record.
@@ -120,7 +174,7 @@ pub fn checksum(data: &[u8]) -> u32 {
 /// 8       kind        u8
 /// 9       magic       u8    RECORD_MAGIC
 /// 10      reserved    u16
-/// 12      checksum    u32   checksum(payload)
+/// 12      checksum    u32   CRC32 over header (checksum zeroed) + payload
 /// 16      txn         u64   transaction id (0 = none)
 /// 24      prev_lsn    u64   previous record of the same transaction
 /// ```
@@ -132,7 +186,7 @@ pub struct RecordHeader {
     pub payload_len: u32,
     /// Record type tag.
     pub kind: RecordKind,
-    /// Payload checksum.
+    /// Frame checksum: CRC32 over the zero-checksum header plus payload.
     pub checksum: u32,
     /// Owning transaction (0 for records not tied to a transaction).
     pub txn: u64,
@@ -142,32 +196,42 @@ pub struct RecordHeader {
 }
 
 impl RecordHeader {
-    /// Build a header for `payload` (computes length fields and checksum).
+    /// Build a header for `payload` (computes length fields and the frame
+    /// CRC32 over header + payload).
     pub fn new(kind: RecordKind, txn: u64, prev_lsn: Lsn, payload: &[u8]) -> RecordHeader {
         assert!(
             payload.len() <= MAX_PAYLOAD,
             "payload of {} bytes exceeds MAX_PAYLOAD",
             payload.len()
         );
-        RecordHeader {
+        let mut h = RecordHeader {
             total_len: on_log_size(payload.len()) as u32,
             payload_len: payload.len() as u32,
             kind,
-            checksum: checksum(payload),
+            checksum: 0,
             txn,
             prev_lsn,
-        }
+        };
+        h.checksum = checksum(&h.encode_zeroed(), payload);
+        h
     }
 
     /// Serialize into the fixed 32-byte on-log form.
     pub fn encode(&self) -> [u8; HEADER_SIZE] {
+        let mut out = self.encode_zeroed();
+        out[12..16].copy_from_slice(&self.checksum.to_le_bytes());
+        out
+    }
+
+    /// The on-log form with the checksum field zeroed — the byte string the
+    /// frame CRC is computed over.
+    fn encode_zeroed(&self) -> [u8; HEADER_SIZE] {
         let mut out = [0u8; HEADER_SIZE];
         out[0..4].copy_from_slice(&self.total_len.to_le_bytes());
         out[4..8].copy_from_slice(&self.payload_len.to_le_bytes());
         out[8] = self.kind as u8;
         out[9] = RECORD_MAGIC;
-        // bytes 10..12 reserved, zero
-        out[12..16].copy_from_slice(&self.checksum.to_le_bytes());
+        // bytes 10..12 reserved, zero; 12..16 is the checksum, zero here
         out[16..24].copy_from_slice(&self.txn.to_le_bytes());
         out[24..32].copy_from_slice(&self.prev_lsn.raw().to_le_bytes());
         out
@@ -202,9 +266,10 @@ impl RecordHeader {
         })
     }
 
-    /// Verify `payload` against the stored checksum.
+    /// Verify the frame (header fields + `payload`) against the stored CRC.
     pub fn verify(&self, payload: &[u8]) -> bool {
-        payload.len() == self.payload_len as usize && checksum(payload) == self.checksum
+        payload.len() == self.payload_len as usize
+            && checksum(&self.encode_zeroed(), payload) == self.checksum
     }
 }
 
@@ -294,14 +359,54 @@ mod tests {
     }
 
     #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0usize, 1, 3, 4, 7, 500, 999, 1000] {
+            let streamed = crc32_finish(crc32_update(
+                crc32_update(CRC32_INIT, &data[..split]),
+                &data[split..],
+            ));
+            assert_eq!(streamed, crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
     fn checksum_differs_on_flip() {
+        let zh = [0u8; HEADER_SIZE];
         let a = vec![7u8; 1000];
         let mut b = a.clone();
         b[999] ^= 1;
-        assert_ne!(checksum(&a), checksum(&b));
+        assert_ne!(checksum(&zh, &a), checksum(&zh, &b));
         b[999] ^= 1;
-        assert_eq!(checksum(&a), checksum(&b));
-        assert_ne!(checksum(&a[..999]), checksum(&a));
+        assert_eq!(checksum(&zh, &a), checksum(&zh, &b));
+        assert_ne!(checksum(&zh, &a[..999]), checksum(&zh, &a));
+    }
+
+    #[test]
+    fn checksum_covers_header_fields() {
+        // Two records with identical payloads but different txn ids must not
+        // share a frame CRC: the checksum covers the header, so a corrupted
+        // txn/prev_lsn field is caught even when the payload is intact.
+        let h1 = RecordHeader::new(RecordKind::Update, 1, Lsn(64), b"same payload");
+        let h2 = RecordHeader::new(RecordKind::Update, 2, Lsn(64), b"same payload");
+        assert_ne!(h1.checksum, h2.checksum);
+        // Tampering with an encoded header field fails verification even
+        // though decode() finds the structure plausible.
+        let mut enc = h1.encode();
+        enc[16] ^= 0x04; // flip a txn-id bit
+        let dec = RecordHeader::decode(&enc).expect("structurally valid");
+        assert!(!dec.verify(b"same payload"));
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Wiring: a primary database with N log-shipping replicas.
+//!
+//! [`ReplicatedDb::attach`] takes a prepared primary (tables created, bulk
+//! load done, [`Db::setup_complete`] called), snapshots a base backup per
+//! replica, builds the frame/ack links, spawns replicas and shippers, and
+//! installs the durability policy on the primary's commit gate. From then
+//! on every commit obeys the policy: `Async` acks locally, `SemiSync(k)` /
+//! `Quorum(k of n)` additionally wait for `k` replica acks — amortized per
+//! flush group, not per transaction.
+
+use crate::replica::{Replica, ReplicaConfig, ReplicaStatus};
+use crate::shipper::{Shipper, ShipperConfig};
+use crate::transport::{link, LinkConfig};
+use aether_core::commit::DurabilityPolicy;
+use aether_core::Lsn;
+use aether_storage::db::Db;
+use aether_storage::error::StorageResult;
+use aether_storage::recovery::RecoveryStats;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster-level replication settings.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Commit durability policy installed on the primary.
+    pub policy: DurabilityPolicy,
+    /// Simulated link between primary and each replica (both directions).
+    pub link: LinkConfig,
+    /// Shipper tuning.
+    pub shipper: ShipperConfig,
+    /// Replica tuning.
+    pub replica: ReplicaConfig,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            replicas: 1,
+            policy: DurabilityPolicy::SemiSync(1),
+            link: LinkConfig::default(),
+            shipper: ShipperConfig::default(),
+            replica: ReplicaConfig::default(),
+        }
+    }
+}
+
+/// A primary plus its shipping pipelines and replicas.
+pub struct ReplicatedDb {
+    primary: Arc<Db>,
+    shippers: Vec<Shipper>,
+    replicas: Vec<Replica>,
+}
+
+impl std::fmt::Debug for ReplicatedDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedDb")
+            .field("replicas", &self.replicas.len())
+            .finish()
+    }
+}
+
+impl ReplicatedDb {
+    /// Attach `cfg.replicas` replicas to a prepared primary and install the
+    /// durability policy. The base backup is the primary's flushed page
+    /// store; the full log is shipped from LSN 0 (replay is idempotent over
+    /// the overlap thanks to page LSNs).
+    pub fn attach(primary: Arc<Db>, cfg: ReplicationConfig) -> StorageResult<ReplicatedDb> {
+        // Make the backup complete even if the caller skipped a final flush.
+        primary.flush_pages();
+        let schema = primary.schema();
+        let opts = primary.options().clone();
+        let mut shippers = Vec::with_capacity(cfg.replicas);
+        let mut replicas = Vec::with_capacity(cfg.replicas);
+        for _ in 0..cfg.replicas {
+            let (frame_tx, frame_rx) = link::<Vec<u8>>(cfg.link.clone());
+            let (ack_tx, ack_rx) = link::<Lsn>(LinkConfig {
+                // Acks never reorder meaningfully (cumulative max), so the
+                // return path only carries the latency.
+                latency: cfg.link.latency,
+                reorder_period: 0,
+            });
+            let replica = Replica::spawn(
+                opts.clone(),
+                primary.store().deep_clone(),
+                &schema,
+                frame_rx,
+                ack_tx,
+                cfg.replica.clone(),
+            )?;
+            let ack = primary.log().commit_gate().register_replica();
+            let shipper = Shipper::spawn(
+                Arc::clone(primary.log()),
+                frame_tx,
+                ack_rx,
+                ack,
+                cfg.shipper.clone(),
+            );
+            replicas.push(replica);
+            shippers.push(shipper);
+        }
+        // Policy last: commits block on acks only once replicas exist.
+        primary.log().set_durability_policy(cfg.policy);
+        Ok(ReplicatedDb {
+            primary,
+            shippers,
+            replicas,
+        })
+    }
+
+    /// The primary database.
+    pub fn primary(&self) -> &Arc<Db> {
+        &self.primary
+    }
+
+    /// Replica `i`.
+    pub fn replica(&self, i: usize) -> &Replica {
+        &self.replicas[i]
+    }
+
+    /// All replicas.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// Status of every replica.
+    pub fn status(&self) -> Vec<ReplicaStatus> {
+        self.replicas.iter().map(|r| r.status()).collect()
+    }
+
+    /// Block until every replica has replayed the primary's current durable
+    /// frontier (true) or `timeout` elapses (false).
+    pub fn wait_catchup(&self, timeout: Duration) -> bool {
+        let target = self.primary.log().durable_lsn();
+        let deadline = Instant::now() + timeout;
+        self.replicas.iter().all(|r| {
+            let left = deadline.saturating_duration_since(Instant::now());
+            r.wait_replay(target, left)
+        })
+    }
+
+    /// Simulate a primary failure: cut the network (stop all shippers) and
+    /// poison the commit gate, releasing any committer still blocked on
+    /// replica acks. Those commits return [`CommitOutcome::Unsafe`] — on a
+    /// real failed primary the client's session dies with an indeterminate
+    /// outcome; here the API reports exactly that indeterminacy instead of
+    /// a false success. Replicas keep whatever they durably received.
+    ///
+    /// [`CommitOutcome::Unsafe`]: aether_storage::CommitOutcome::Unsafe
+    pub fn kill_primary(&mut self) {
+        for s in &mut self.shippers {
+            s.stop();
+        }
+        self.shippers.clear();
+        self.primary.log().commit_gate().poison();
+        self.primary.log().replication_recheck();
+    }
+
+    /// Index of the replica with the most durably-received bytes — the
+    /// failover candidate (under `SemiSync(k)`/`Quorum(k)`, every acked
+    /// commit is on at least `k` replicas, so the most-caught-up one has
+    /// them all).
+    pub fn most_caught_up(&self) -> usize {
+        self.replicas
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.status().received_lsn)
+            .map(|(i, _)| i)
+            .expect("at least one replica")
+    }
+
+    /// Promote replica `i` to a standalone primary via ARIES recovery over
+    /// its shipped log prefix; consumes the cluster (the old primary is
+    /// dead, the other replicas would re-seed from the new primary).
+    pub fn promote(mut self, i: usize) -> StorageResult<(Arc<Db>, RecoveryStats)> {
+        for s in &mut self.shippers {
+            s.stop();
+        }
+        self.shippers.clear();
+        let replica = self.replicas.swap_remove(i);
+        replica.promote()
+    }
+
+    /// Detach replication gracefully: stop shippers and replicas and
+    /// uninstall the durability policy, so the primary stays fully usable —
+    /// subsequent commits are local-only instead of blocking forever on
+    /// acks that will never come.
+    pub fn shutdown(&mut self) {
+        for s in &mut self.shippers {
+            s.stop();
+        }
+        self.shippers.clear();
+        for r in &mut self.replicas {
+            r.stop();
+        }
+        self.primary
+            .log()
+            .set_durability_policy(DurabilityPolicy::Async);
+    }
+}
+
+impl Drop for ReplicatedDb {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aether_storage::DbOptions;
+    use std::time::Duration;
+
+    fn small_primary() -> Arc<Db> {
+        let db = Db::open(DbOptions::default());
+        db.create_table(16, 4);
+        for k in 0..4u64 {
+            let mut rec = vec![0u8; 16];
+            rec[..8].copy_from_slice(&k.to_le_bytes());
+            db.load(0, k, &rec).unwrap();
+        }
+        db.setup_complete();
+        db
+    }
+
+    #[test]
+    fn shutdown_detaches_policy_so_primary_stays_usable() {
+        let primary = small_primary();
+        let mut cluster = ReplicatedDb::attach(
+            Arc::clone(&primary),
+            ReplicationConfig {
+                replicas: 1,
+                policy: DurabilityPolicy::SemiSync(1),
+                ..ReplicationConfig::default()
+            },
+        )
+        .unwrap();
+        let mut txn = primary.begin();
+        primary.update_with(&mut txn, 0, 1, |r| r[8] = 1).unwrap();
+        assert!(primary.commit(txn).unwrap().is_durable_now());
+        assert!(cluster.wait_catchup(Duration::from_secs(5)));
+        cluster.shutdown();
+        // With dead shippers the policy must be gone too, or this commit
+        // would block forever waiting on acks that can never arrive.
+        let mut txn = primary.begin();
+        primary.update_with(&mut txn, 0, 2, |r| r[8] = 2).unwrap();
+        assert!(primary.commit(txn).unwrap().is_durable_now());
+    }
+
+    #[test]
+    fn kill_primary_releases_blocked_commits_as_unsafe() {
+        let primary = small_primary();
+        let mut cluster = ReplicatedDb::attach(
+            Arc::clone(&primary),
+            ReplicationConfig {
+                replicas: 1,
+                policy: DurabilityPolicy::SemiSync(1),
+                // A slow link so the kill lands while a commit waits.
+                link: LinkConfig::with_latency_us(50_000),
+                ..ReplicationConfig::default()
+            },
+        )
+        .unwrap();
+        let p2 = Arc::clone(&primary);
+        let committer = std::thread::spawn(move || {
+            let mut txn = p2.begin();
+            p2.update_with(&mut txn, 0, 3, |r| r[8] = 9).unwrap();
+            p2.commit(txn).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        cluster.kill_primary();
+        let outcome = committer.join().unwrap();
+        assert!(
+            !outcome.is_durable_now(),
+            "a commit released by the kill must report Unsafe, not Durable (got {outcome:?})"
+        );
+    }
+}

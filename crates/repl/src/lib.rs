@@ -1,0 +1,82 @@
+//! # aether-repl — log-shipping replication for Aether
+//!
+//! The paper's §A.5 analysis (reproduced by `fig13_distributed`) shows why
+//! *partitioning* a log across nodes is painful: cross-log commit
+//! dependencies are too widespread to track. The production-standard way to
+//! scale a single totally-ordered log to heavy read traffic and high
+//! availability is the opposite: keep the log serial and **ship it** —
+//! stream the durable prefix to replicas that replay it continuously.
+//! This crate implements that, end to end, offline and deterministically:
+//!
+//! * [`transport`] — in-process links with injectable latency and
+//!   deterministic reordering (the simulated network).
+//! * [`frame`] — CRC32-framed byte runs with sequence numbers; corrupt
+//!   frames are dropped, reordered frames restored.
+//! * [`shipper`] — tails the primary's durable frontier through
+//!   [`aether_core::manager::DurableWatch`] (no polling) and streams one
+//!   frame per flush group, so group commit amortizes ack round-trips.
+//! * [`replica`] — appends received runs to its own log device, acks the
+//!   durably-received LSN, and keeps a standby [`aether_storage::db::Db`]
+//!   warm by continuous ARIES redo; snapshot reads come with a measured
+//!   staleness bound. [`replica::Replica::promote`] runs full recovery over
+//!   the shipped prefix for failover.
+//! * [`cluster`] — [`cluster::ReplicatedDb`] wires a primary to N replicas
+//!   under a [`aether_core::commit::DurabilityPolicy`]: `Async`,
+//!   `SemiSync(k)`, or `Quorum(k of n)` — commit completion waits on
+//!   replica acks in addition to the local sync.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use aether_repl::prelude::*;
+//! use aether_storage::{Db, DbOptions};
+//!
+//! let db = Db::open(DbOptions::default());
+//! db.create_table(16, 4);
+//! for k in 0..4u64 {
+//!     let mut rec = vec![0u8; 16];
+//!     rec[..8].copy_from_slice(&k.to_le_bytes());
+//!     db.load(0, k, &rec).unwrap();
+//! }
+//! db.setup_complete();
+//! let cluster = ReplicatedDb::attach(
+//!     db,
+//!     ReplicationConfig {
+//!         replicas: 1,
+//!         policy: DurabilityPolicy::SemiSync(1),
+//!         ..ReplicationConfig::default()
+//!     },
+//! )
+//! .unwrap();
+//! let mut txn = cluster.primary().begin();
+//! cluster
+//!     .primary()
+//!     .update_with(&mut txn, 0, 1, |r| r[8] = 42)
+//!     .unwrap();
+//! // Completes only after the replica durably received the commit.
+//! cluster.primary().commit(txn).unwrap();
+//! assert!(cluster.wait_catchup(std::time::Duration::from_secs(5)));
+//! assert_eq!(cluster.replica(0).read(0, 1).unwrap().unwrap()[8], 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod frame;
+pub mod replica;
+pub mod shipper;
+pub mod transport;
+
+pub use cluster::{ReplicatedDb, ReplicationConfig};
+pub use replica::{Replica, ReplicaConfig, ReplicaStatus};
+pub use shipper::{Shipper, ShipperConfig};
+pub use transport::{link, LinkConfig, LinkReceiver, LinkSender};
+
+/// Convenience prelude for replication programs.
+pub mod prelude {
+    pub use crate::cluster::{ReplicatedDb, ReplicationConfig};
+    pub use crate::replica::{Replica, ReplicaConfig, ReplicaStatus};
+    pub use crate::shipper::{Shipper, ShipperConfig};
+    pub use crate::transport::{LinkConfig, LinkReceiver, LinkSender};
+    pub use aether_core::commit::DurabilityPolicy;
+}

@@ -1,0 +1,312 @@
+//! The replica: receives shipped log runs, keeps a standby database warm by
+//! continuous redo, serves bounded-staleness snapshot reads, and can be
+//! promoted to a full primary via ordinary ARIES recovery.
+//!
+//! Protocol: frames are restored to sequence order (reorder-resistant),
+//! appended to the replica's own log device, and **acked at the durably
+//! received LSN** — semi-synchronous semantics: an ack means "these bytes
+//! survive a primary failure", not "these bytes are already applied".
+//! Replay then advances independently through [`aether_storage::replay`];
+//! the gap between received and replayed is the replica's lag, and the time
+//! since the last applied batch is its measured staleness bound.
+
+use crate::frame::Frame;
+use crate::transport::{LinkReceiver, LinkSender};
+use aether_core::device::{LogDevice, SimDevice};
+use aether_core::reader::LogReader;
+use aether_core::Lsn;
+use aether_storage::db::{CrashImage, Db, DbOptions};
+use aether_storage::error::StorageResult;
+use aether_storage::recovery::RecoveryStats;
+use aether_storage::replay;
+use aether_storage::store::PageStore;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Replica tuning.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Shutdown-responsiveness bound for the apply thread's receive wait.
+    pub poll: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// A point-in-time view of a replica's progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Bytes durably received (and acked) so far.
+    pub received_lsn: Lsn,
+    /// Replay frontier: every record below this is applied to the standby.
+    pub replay_lsn: Lsn,
+    /// Records applied (page-changing redo).
+    pub applied: u64,
+    /// Commit records observed by replay.
+    pub commits_seen: u64,
+    /// Frames dropped for failing their CRC or decode.
+    pub corrupt_frames: u64,
+    /// Measured staleness bound: time since replay last caught up with the
+    /// received bytes (zero when fully caught up at sampling time).
+    pub staleness: Duration,
+}
+
+struct ReplicaShared {
+    db: Arc<Db>,
+    device: Arc<SimDevice>,
+    received: AtomicU64,
+    replay: AtomicU64,
+    applied: AtomicU64,
+    commits_seen: AtomicU64,
+    corrupt_frames: AtomicU64,
+    /// `Some(t)` while replay lags the received bytes, recording when the
+    /// lag began; `None` while caught up.
+    lag_since: Mutex<Option<Instant>>,
+}
+
+/// A running replica (apply thread + standby database).
+pub struct Replica {
+    shared: Arc<ReplicaShared>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    opts: DbOptions,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.status();
+        f.debug_struct("Replica")
+            .field("received", &s.received_lsn)
+            .field("replay", &s.replay_lsn)
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Spawn a replica from a base backup (the primary's flushed page store
+    /// plus schema), receiving frames from `rx` and acking through `ack_tx`.
+    pub fn spawn(
+        opts: DbOptions,
+        store: Arc<PageStore>,
+        schema: &[(usize, u64)],
+        rx: LinkReceiver<Vec<u8>>,
+        ack_tx: LinkSender<Lsn>,
+        cfg: ReplicaConfig,
+    ) -> StorageResult<Replica> {
+        let db = replay::standby_db(opts.clone(), store, schema)?;
+        let shared = Arc::new(ReplicaShared {
+            db,
+            device: Arc::new(SimDevice::new(Duration::ZERO)),
+            received: AtomicU64::new(0),
+            replay: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            commits_seen: AtomicU64::new(0),
+            corrupt_frames: AtomicU64::new(0),
+            lag_since: Mutex::new(None),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("aether-replica".into())
+                .spawn(move || apply_loop(shared, stop, rx, ack_tx, cfg))
+                .expect("spawn replica apply thread")
+        };
+        Ok(Replica {
+            shared,
+            stop,
+            thread: Some(thread),
+            opts,
+        })
+    }
+
+    /// Snapshot read against the standby (no locks; staleness bounded by
+    /// [`ReplicaStatus::staleness`]).
+    pub fn read(&self, table: u32, key: u64) -> StorageResult<Option<Vec<u8>>> {
+        replay::snapshot_read(&self.shared.db, table, key)
+    }
+
+    /// The standby database (tests fingerprint its state).
+    pub fn db(&self) -> &Arc<Db> {
+        &self.shared.db
+    }
+
+    /// Current progress counters.
+    pub fn status(&self) -> ReplicaStatus {
+        ReplicaStatus {
+            received_lsn: Lsn(self.shared.received.load(Ordering::Acquire)),
+            replay_lsn: Lsn(self.shared.replay.load(Ordering::Acquire)),
+            applied: self.shared.applied.load(Ordering::Relaxed),
+            commits_seen: self.shared.commits_seen.load(Ordering::Relaxed),
+            corrupt_frames: self.shared.corrupt_frames.load(Ordering::Relaxed),
+            staleness: self
+                .shared
+                .lag_since
+                .lock()
+                .map(|t| t.elapsed())
+                .unwrap_or(Duration::ZERO),
+        }
+    }
+
+    /// Block until the replay frontier reaches `lsn` or `timeout` elapses;
+    /// true on success.
+    pub fn wait_replay(&self, lsn: Lsn, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = aether_core::buffer::WaitBackoff::new();
+        while Lsn(self.shared.replay.load(Ordering::Acquire)) < lsn {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            backoff.wait();
+        }
+        true
+    }
+
+    /// Stop the apply thread (idempotent); the standby stays readable.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Promote: finish replaying whatever arrived, then run full ARIES
+    /// recovery (analysis / redo / undo) over the shipped prefix. The
+    /// shipped log may end in a torn frame — recovery truncates at the first
+    /// invalid record, exactly as after a local crash. In-flight primary
+    /// transactions whose commit never arrived are rolled back; every
+    /// commit the primary acked under SemiSync/Quorum (which required this
+    /// ack) is present and survives.
+    pub fn promote(mut self) -> StorageResult<(Arc<Db>, RecoveryStats)> {
+        self.stop();
+        // Persist the replayed pages so recovery starts from them (redo then
+        // skips everything at or below each page LSN).
+        self.shared.db.flush_pages();
+        let image = CrashImage {
+            log_bytes: self.shared.device.contents(),
+            store: self.shared.db.store().deep_clone(),
+            schema: self.shared.db.schema(),
+        };
+        aether_storage::recovery::recover_with_stats(image, self.opts.clone())
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn apply_loop(
+    shared: Arc<ReplicaShared>,
+    stop: Arc<AtomicBool>,
+    rx: LinkReceiver<Vec<u8>>,
+    ack_tx: LinkSender<Lsn>,
+    cfg: ReplicaConfig,
+) {
+    // Reorder resistance: frames parked until their predecessors arrive.
+    let mut pending: BTreeMap<u64, Frame> = BTreeMap::new();
+    let mut next_seq = 0u64;
+    let mut replay_at = Lsn::ZERO;
+    loop {
+        if let Some(bytes) = rx.recv_timeout(cfg.poll) {
+            ingest(&shared, &ack_tx, &mut pending, &mut next_seq, &bytes);
+        }
+        // Continuous redo over everything received so far.
+        replay_at = replay_available(&shared, replay_at);
+        if stop.load(Ordering::Relaxed) {
+            // Final drain of already-delivered frames, then exit. Frames
+            // still parked behind a gap stay unapplied — the gap is where
+            // the stream (and any later promotion) cleanly ends.
+            while let Some(bytes) = rx.try_recv() {
+                ingest(&shared, &ack_tx, &mut pending, &mut next_seq, &bytes);
+            }
+            replay_available(&shared, replay_at);
+            return;
+        }
+    }
+}
+
+/// Decode one wire message, restore sequence order, append the contiguous
+/// run, and ack the durably-received LSN.
+fn ingest(
+    shared: &ReplicaShared,
+    ack_tx: &LinkSender<Lsn>,
+    pending: &mut BTreeMap<u64, Frame>,
+    next_seq: &mut u64,
+    bytes: &[u8],
+) {
+    match Frame::decode(bytes) {
+        Some(f) if f.seq >= *next_seq => {
+            pending.insert(f.seq, f);
+        }
+        Some(_) => {} // duplicate of an already-appended frame
+        None => {
+            // Corrupt frame: drop it. Its sequence number never arrives, so
+            // the stream stops advancing cleanly at the gap — nothing
+            // corrupt is ever appended.
+            shared.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    // Append the contiguous run restored so far, then ack once.
+    let mut appended = false;
+    while let Some(f) = pending.remove(next_seq) {
+        let have = shared.device.len();
+        let start = f.start_lsn.raw();
+        let end = f.end_lsn().raw();
+        if end > have {
+            // Skip any overlap with already-received bytes (a re-shipped
+            // prefix after reconnect), append the rest.
+            let skip = have.saturating_sub(start) as usize;
+            if start <= have && shared.device.append(&f.bytes[skip..]).is_ok() {
+                appended = true;
+            }
+        }
+        *next_seq += 1;
+    }
+    if appended {
+        let received = shared.device.len();
+        shared.received.store(received, Ordering::Release);
+        let mut lag = shared.lag_since.lock();
+        if lag.is_none() {
+            *lag = Some(Instant::now());
+        }
+        drop(lag);
+        // One cumulative ack per restored run: this is what the primary's
+        // commit gate waits on.
+        ack_tx.send(Lsn(received));
+    }
+}
+
+/// Replay complete records in `[from, received)`; returns the new frontier.
+/// Stops at an incomplete tail (more bytes may still arrive) or at a torn /
+/// corrupt record (promotion truncates there).
+fn replay_available(shared: &ReplicaShared, from: Lsn) -> Lsn {
+    let mut reader = LogReader::from_lsn(Arc::clone(&shared.device) as Arc<dyn LogDevice>, from);
+    let mut at = from;
+    // Stops at an incomplete tail or corrupt record alike (Ok(None)/Err).
+    while let Ok(Some(rec)) = reader.next_record() {
+        if rec.header.kind == aether_core::RecordKind::Commit {
+            shared.commits_seen.fetch_add(1, Ordering::Relaxed);
+        }
+        if replay::apply_record(&shared.db, &rec).unwrap_or(false) {
+            shared.applied.fetch_add(1, Ordering::Relaxed);
+        }
+        at = rec.next_lsn();
+    }
+    shared.replay.store(at.raw(), Ordering::Release);
+    if at.raw() >= shared.device.len() {
+        *shared.lag_since.lock() = None;
+    }
+    at
+}

@@ -1,0 +1,160 @@
+//! The log shipper: tails the primary's durable frontier and streams it.
+//!
+//! One shipper per replica. The ship thread blocks on the primary's
+//! [`DurableWatch`] — no spin-polling — and forwards every newly-durable
+//! byte run as a CRC-framed message; because the flush daemon advances the
+//! durable watermark once per *group* flush, the shipper naturally emits one
+//! frame per commit group and the replica acks it with a single message:
+//! group commit amortizes the ack round-trip exactly as it amortizes the
+//! local sync. The ack thread folds replica acks into the primary's
+//! [`CommitGate`] and re-checks pending commits.
+
+use crate::frame::Frame;
+use crate::transport::{LinkReceiver, LinkSender};
+use aether_core::commit::ReplicaAck;
+use aether_core::{LogManager, Lsn};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shipper tuning.
+#[derive(Debug, Clone)]
+pub struct ShipperConfig {
+    /// Maximum bytes per frame (runs larger than this are split).
+    pub chunk: usize,
+    /// Shutdown-responsiveness bound for both threads' blocking waits.
+    pub poll: Duration,
+}
+
+impl Default for ShipperConfig {
+    fn default() -> Self {
+        ShipperConfig {
+            chunk: 1 << 16,
+            poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Handle for one primary→replica shipping pipeline (ship + ack threads).
+pub struct Shipper {
+    stop: Arc<AtomicBool>,
+    shipped: Arc<AtomicU64>,
+    ship_thread: Option<std::thread::JoinHandle<()>>,
+    ack_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shipper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shipper")
+            .field("shipped", &self.shipped_lsn())
+            .finish()
+    }
+}
+
+impl Shipper {
+    /// Start shipping `log`'s durable bytes through `tx`, folding acks from
+    /// `ack_rx` into `ack` (a handle from
+    /// [`aether_core::commit::CommitGate::register_replica`]).
+    pub fn spawn(
+        log: Arc<LogManager>,
+        tx: LinkSender<Vec<u8>>,
+        ack_rx: LinkReceiver<Lsn>,
+        ack: Arc<ReplicaAck>,
+        cfg: ShipperConfig,
+    ) -> Shipper {
+        let stop = Arc::new(AtomicBool::new(false));
+        let shipped = Arc::new(AtomicU64::new(0));
+
+        let ship_thread = {
+            let log = Arc::clone(&log);
+            let stop = Arc::clone(&stop);
+            let shipped = Arc::clone(&shipped);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("aether-shipper".into())
+                .spawn(move || {
+                    let watch = log.durable_watch();
+                    let device = Arc::clone(log.device());
+                    let mut at = Lsn::ZERO;
+                    let mut seq = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let durable = watch.wait_past(at, cfg.poll);
+                        while at < durable {
+                            let n = (cfg.chunk as u64).min(durable.since(at)) as usize;
+                            let mut bytes = vec![0u8; n];
+                            let got = match device.read_at(at.raw(), &mut bytes) {
+                                Ok(g) => g,
+                                Err(_) => return,
+                            };
+                            if got == 0 {
+                                break;
+                            }
+                            bytes.truncate(got);
+                            let frame = Frame {
+                                seq,
+                                start_lsn: at,
+                                bytes,
+                            };
+                            if !tx.send(frame.encode()) {
+                                return; // replica gone
+                            }
+                            seq += 1;
+                            at = at.advance(got as u64);
+                            shipped.store(at.raw(), Ordering::Release);
+                        }
+                    }
+                })
+                .expect("spawn ship thread")
+        };
+
+        let ack_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("aether-shipper-ack".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Some(lsn) = ack_rx.recv_timeout(cfg.poll) {
+                            ack.advance(lsn);
+                            // Drain any further queued acks before the (per
+                            // flush-group, not per-commit) recheck.
+                            while let Some(more) = ack_rx.try_recv() {
+                                ack.advance(more);
+                            }
+                            log.replication_recheck();
+                        }
+                    }
+                })
+                .expect("spawn ack thread")
+        };
+
+        Shipper {
+            stop,
+            shipped,
+            ship_thread: Some(ship_thread),
+            ack_thread: Some(ack_thread),
+        }
+    }
+
+    /// Highest LSN shipped so far.
+    pub fn shipped_lsn(&self) -> Lsn {
+        Lsn(self.shipped.load(Ordering::Acquire))
+    }
+
+    /// Stop both threads (idempotent). Dropping the shipper also stops it —
+    /// the model for "the network to this replica is cut".
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.ship_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.ack_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Shipper {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

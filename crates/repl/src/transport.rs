@@ -1,0 +1,217 @@
+//! In-process links with injectable latency and deterministic reordering.
+//!
+//! Replication runs offline and deterministically: a [`Link`] is a pair of
+//! channel endpoints joined by a delivery thread that holds each message for
+//! the configured one-way latency (latency, not bandwidth: messages overlap
+//! in flight, like the paper's high-resolution-timer device model) and can
+//! deterministically reorder every Nth message behind its successor — which
+//! is exactly what the frame sequence numbers on the receive side must
+//! absorb.
+
+use aether_core::device::precise_sleep;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Link tuning: one-way latency plus deterministic reordering.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// One-way delivery latency.
+    pub latency: Duration,
+    /// When non-zero, every `reorder_period`-th message is delivered *after*
+    /// its successor (0 disables reordering). Deterministic, so tests
+    /// reproduce exactly.
+    pub reorder_period: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: Duration::ZERO,
+            reorder_period: 0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A link with `us` microseconds of one-way latency, no reordering.
+    pub fn with_latency_us(us: u64) -> LinkConfig {
+        LinkConfig {
+            latency: Duration::from_micros(us),
+            ..LinkConfig::default()
+        }
+    }
+}
+
+/// Sending half of a link.
+pub struct LinkSender<T: Send> {
+    tx: mpsc::Sender<(Instant, T)>,
+}
+
+impl<T: Send> LinkSender<T> {
+    /// Send a message; returns false once the receiving side is gone.
+    pub fn send(&self, msg: T) -> bool {
+        self.tx.send((Instant::now(), msg)).is_ok()
+    }
+}
+
+/// Receiving half of a link.
+pub struct LinkReceiver<T: Send> {
+    rx: mpsc::Receiver<T>,
+}
+
+impl<T: Send> LinkReceiver<T> {
+    /// Receive the next delivered message, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drain anything already delivered without waiting.
+    pub fn try_recv(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Build a one-directional link. The delivery thread exits when the sender
+/// is dropped and the in-flight queue drains, or when the receiver is gone.
+pub fn link<T: Send + 'static>(cfg: LinkConfig) -> (LinkSender<T>, LinkReceiver<T>) {
+    let (in_tx, in_rx) = mpsc::channel::<(Instant, T)>();
+    let (out_tx, out_rx) = mpsc::channel::<T>();
+    let latency = cfg.latency;
+    let period = cfg.reorder_period;
+    // A held-back message is flushed anyway once no successor overtakes it
+    // in time — real networks delay packets, they don't park them forever.
+    let hold_flush = Duration::from_millis(1).max(latency * 2);
+    std::thread::Builder::new()
+        .name("aether-link".into())
+        .spawn(move || {
+            let mut n: usize = 0;
+            // At most one message rides here, waiting to be overtaken.
+            let mut held: VecDeque<T> = VecDeque::new();
+            loop {
+                let received = if held.is_empty() {
+                    in_rx
+                        .recv()
+                        .map_err(|_| mpsc::RecvTimeoutError::Disconnected)
+                } else {
+                    in_rx.recv_timeout(hold_flush)
+                };
+                match received {
+                    Ok((sent, msg)) => {
+                        let deliver_at = sent + latency;
+                        let now = Instant::now();
+                        if deliver_at > now {
+                            precise_sleep(deliver_at - now);
+                        }
+                        n += 1;
+                        let reorder_this = period > 0 && n.is_multiple_of(period);
+                        if reorder_this && held.is_empty() {
+                            held.push_back(msg);
+                            continue;
+                        }
+                        if out_tx.send(msg).is_err() {
+                            return;
+                        }
+                        while let Some(h) = held.pop_front() {
+                            if out_tx.send(h).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // No successor showed up: deliver the held message.
+                        while let Some(h) = held.pop_front() {
+                            if out_tx.send(h).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        // Sender gone: flush anything held back, then exit.
+                        while let Some(h) = held.pop_front() {
+                            if out_tx.send(h).is_err() {
+                                return;
+                            }
+                        }
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn link delivery thread");
+    (LinkSender { tx: in_tx }, LinkReceiver { rx: out_rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_order_without_reordering() {
+        let (tx, rx) = link::<u32>(LinkConfig::default());
+        for i in 0..50 {
+            assert!(tx.send(i));
+        }
+        let got: Vec<u32> = (0..50)
+            .map(|_| rx.recv_timeout(Duration::from_secs(1)).unwrap())
+            .collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latency_is_charged_once_per_batch_not_per_message() {
+        let (tx, rx) = link::<u32>(LinkConfig::with_latency_us(20_000)); // 20ms
+        let t = Instant::now();
+        for i in 0..10 {
+            tx.send(i);
+        }
+        for _ in 0..10 {
+            rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+        let elapsed = t.elapsed();
+        assert!(elapsed >= Duration::from_millis(20), "latency applied");
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "messages overlap in flight (took {elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn reordering_swaps_every_nth_message() {
+        let (tx, rx) = link::<u32>(LinkConfig {
+            latency: Duration::ZERO,
+            reorder_period: 3,
+        });
+        for i in 0..9 {
+            tx.send(i);
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv_timeout(Duration::from_millis(200)) {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 9);
+        assert_ne!(got, (0..9).collect::<Vec<_>>(), "some pair must be swapped");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..9).collect::<Vec<_>>(), "nothing lost");
+    }
+
+    #[test]
+    fn drop_sender_flushes_and_closes() {
+        let (tx, rx) = link::<u32>(LinkConfig {
+            latency: Duration::ZERO,
+            reorder_period: 2,
+        });
+        tx.send(0);
+        tx.send(1); // held back by reordering
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv_timeout(Duration::from_millis(200)) {
+            got.push(v);
+        }
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+}

@@ -436,36 +436,50 @@ impl Db {
         self.stats
             .commits
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Local durability plus replica acks, per the log's durability
+        // policy (plain flush_until when replication is off). Returns
+        // whether the replication requirement was met: false means a
+        // primary-failure simulation released the wait and the commit's
+        // replicated fate is indeterminate (reported as Unsafe below).
         let timed_flush = |lsn| {
             let t = std::time::Instant::now();
-            self.log.flush_until(lsn);
+            let replicated = self.log.wait_committed(lsn);
             self.stats.flush_wait_ns.fetch_add(
                 t.elapsed().as_nanos() as u64,
                 std::sync::atomic::Ordering::Relaxed,
             );
+            replicated
         };
 
         match self.opts.protocol {
             CommitProtocol::Baseline => {
                 // Flush first, *then* release locks: delay (B) of Figure 1.
-                timed_flush(end);
+                let replicated = timed_flush(end);
                 self.locks.release_all(txn.id, &txn.held);
                 self.txns.finish(txn.id);
                 if let Some(f) = on_durable {
                     f();
                 }
-                Ok(CommitOutcome::Durable)
+                Ok(if replicated {
+                    CommitOutcome::Durable
+                } else {
+                    CommitOutcome::Unsafe
+                })
             }
             CommitProtocol::Elr => {
                 // ELR: locks drop before the flush; only this transaction
                 // waits for the I/O.
                 self.locks.release_all(txn.id, &txn.held);
-                timed_flush(end);
+                let replicated = timed_flush(end);
                 self.txns.finish(txn.id);
                 if let Some(f) = on_durable {
                     f();
                 }
-                Ok(CommitOutcome::Durable)
+                Ok(if replicated {
+                    CommitOutcome::Durable
+                } else {
+                    CommitOutcome::Unsafe
+                })
             }
             CommitProtocol::AsyncCommit => {
                 self.locks.release_all(txn.id, &txn.held);
@@ -625,6 +639,22 @@ impl Db {
         point
     }
 
+    /// The schema as (record_size, dense_rows) per table id — what a real
+    /// system would read from catalog pages. Base backups for replicas and
+    /// crash images both carry it.
+    pub fn schema(&self) -> Vec<(usize, u64)> {
+        self.tables
+            .read()
+            .iter()
+            .map(|t| (t.geom.record_size, t.dense_rows))
+            .collect()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.read().len()
+    }
+
     /// Capture what would survive a power failure right now: the durable log
     /// prefix and the page store. The in-memory ring, frames, and lock state
     /// are all lost. Panics if the log device cannot snapshot (Null).
@@ -634,16 +664,10 @@ impl Db {
             .device()
             .snapshot()
             .expect("crash simulation needs a snapshot-capable log device");
-        let schema = self
-            .tables
-            .read()
-            .iter()
-            .map(|t| (t.geom.record_size, t.dense_rows))
-            .collect();
         CrashImage {
             log_bytes,
             store: self.store.deep_clone(),
-            schema,
+            schema: self.schema(),
         }
     }
 

@@ -15,6 +15,7 @@
 //!   Asynchronous commit, and **Flush Pipelining** ([`txn`]),
 //! * ARIES-style **recovery**: analysis / redo / undo with fuzzy checkpoints
 //!   ([`recovery`]),
+//! * **continuous redo** for log-shipping standby replicas ([`replay`]),
 //! * a [`db::Db`] facade the benchmark workloads drive.
 //!
 //! Everything WAL-related delegates to `aether-core`: the storage manager
@@ -29,6 +30,7 @@ pub mod error;
 pub mod lock;
 pub mod page;
 pub mod recovery;
+pub mod replay;
 pub mod store;
 pub mod table;
 pub mod txn;

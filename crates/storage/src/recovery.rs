@@ -82,24 +82,9 @@ pub fn recover_with_stats(
     );
     let db = Db::assemble(opts, log, Arc::clone(&image.store));
 
-    // Rebuild tables: schema, then page images from the store.
-    for (i, &(record_size, dense_rows)) in image.schema.iter().enumerate() {
-        let table = Arc::new(Table::new(i as u32, record_size, dense_rows));
-        if let Some(max_page) = image.store.max_page_no(i as u32) {
-            for page_no in 0..=max_page {
-                if let Some((page_lsn, data)) = image.store.read(crate::page::PageId {
-                    table: i as u32,
-                    page_no,
-                }) {
-                    let frame = table.frame(page_no);
-                    let mut g = frame.write();
-                    g.data = data;
-                    g.page_lsn = page_lsn;
-                }
-            }
-        }
-        db.install_table(table);
-    }
+    // Rebuild tables: schema, then page images from the store (shared with
+    // standby-replica construction, crate::replay).
+    crate::replay::install_tables(&db, &image.schema, &image.store);
 
     // ---------------- Analysis ----------------
     stats.scanned = records.len();
@@ -232,10 +217,7 @@ pub fn recover_with_stats(
 }
 
 fn redo_cell(t: &Table, rid: Rid, cell: &[u8], lsn: Lsn, stats: &mut RecoveryStats) {
-    let frame = t.frame(rid.page_no);
-    let mut g = frame.write();
-    if g.page_lsn < lsn {
-        g.apply(t.geom.offset(rid.slot), cell, lsn);
+    if crate::replay::redo_cell(t, rid, cell, lsn) {
         stats.redone += 1;
     }
 }

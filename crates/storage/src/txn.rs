@@ -187,7 +187,10 @@ impl Transaction {
 pub enum CommitOutcome {
     /// Commit is durable now (Baseline, ELR, and read-only commits).
     Durable,
-    /// Commit acknowledged without durability (AsyncCommit only).
+    /// Commit acknowledged without full durability: AsyncCommit always, or
+    /// a replicated commit released by a primary-failure simulation before
+    /// its replica acks arrived (locally durable, replication
+    /// indeterminate).
     Unsafe,
     /// Flush pipelining: completion arrives via this handle (and/or the
     /// callback registered by the driver).

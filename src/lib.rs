@@ -20,11 +20,14 @@
 
 pub use aether_bench as bench;
 pub use aether_core as log;
+pub use aether_repl as repl;
 pub use aether_storage as storage;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
+    pub use aether_core::commit::DurabilityPolicy;
     pub use aether_core::{BufferKind, DeviceKind, LogConfig, LogManager, Lsn, RecordKind};
+    pub use aether_repl::{LinkConfig, ReplicatedDb, ReplicationConfig};
     pub use aether_storage::{CommitOutcome, CommitProtocol, CrashImage, Db, DbOptions};
 }
 

@@ -10,7 +10,7 @@
 //!   operation scripts.
 
 use aether::prelude::*;
-use aether_core::record::{checksum, on_log_size, RecordHeader, RecordKind};
+use aether_core::record::{crc32, on_log_size, RecordHeader, RecordKind};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -49,10 +49,10 @@ proptest! {
         at_frac in 0.0f64..1.0,
     ) {
         let at = ((payload.len() - 1) as f64 * at_frac) as usize;
-        let a = checksum(&payload);
+        let a = crc32(&payload);
         let mut mutated = payload.clone();
         mutated[at] ^= 1 << bit;
-        prop_assert_ne!(a, checksum(&mutated));
+        prop_assert_ne!(a, crc32(&mutated));
     }
 
     #[test]

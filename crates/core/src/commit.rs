@@ -297,6 +297,34 @@ impl CommitGate {
         self.replicas.read().len()
     }
 
+    /// The *slowest* replica's acknowledged LSN — the log-truncation clamp.
+    /// Bytes above this may still be needed by a shipper replaying the
+    /// stream to a lagging replica, so `LogManager::truncate_to` never
+    /// retires past it. [`Lsn::MAX`] when no replicas are registered or the
+    /// gate is poisoned (replication declared dead — laggards re-seed from
+    /// a snapshot instead of the log).
+    pub fn slowest_ack(&self) -> Lsn {
+        if self.is_poisoned() {
+            return Lsn::MAX;
+        }
+        self.replicas
+            .read()
+            .iter()
+            .map(|r| r.acked())
+            .min()
+            .unwrap_or(Lsn::MAX)
+    }
+
+    /// Register a replica whose acknowledgement watermark starts at `lsn`
+    /// rather than zero — a replica bootstrapped from a base snapshot
+    /// implicitly holds everything below the snapshot LSN, so it must not
+    /// drag [`CommitGate::slowest_ack`] (and with it log truncation) to 0.
+    pub fn register_replica_at(&self, lsn: Lsn) -> Arc<ReplicaAck> {
+        let ack = self.register_replica();
+        ack.advance(lsn);
+        ack
+    }
+
     /// The replication floor: the highest LSN acknowledged by at least the
     /// required number of replicas ([`Lsn::MAX`] when no acks are required,
     /// [`Lsn::ZERO`] when fewer replicas than required are registered).
@@ -481,6 +509,25 @@ mod tests {
             Lsn(600),
             "2nd highest of {{900,400,600}}"
         );
+    }
+
+    #[test]
+    fn gate_slowest_ack_clamps_truncation() {
+        let g = CommitGate::new();
+        // No replicas: nothing to protect.
+        assert_eq!(g.slowest_ack(), Lsn::MAX);
+        let r1 = g.register_replica();
+        let r2 = g.register_replica_at(Lsn(700));
+        assert_eq!(g.slowest_ack(), Lsn::ZERO, "r1 has acked nothing");
+        r1.advance(Lsn(300));
+        assert_eq!(g.slowest_ack(), Lsn(300));
+        r2.advance(Lsn(900));
+        assert_eq!(g.slowest_ack(), Lsn(300), "min over replicas");
+        r1.advance(Lsn(950));
+        assert_eq!(g.slowest_ack(), Lsn(900));
+        // A dead cluster no longer pins the log.
+        g.poison();
+        assert_eq!(g.slowest_ack(), Lsn::MAX);
     }
 
     #[test]

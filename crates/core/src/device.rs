@@ -58,6 +58,31 @@ pub trait LogDevice: Send + Sync {
     fn snapshot(&self) -> Option<Vec<u8>> {
         None
     }
+
+    /// Stream offset of the first byte a scan may rely on (the log's
+    /// low-water mark). Everything below has been truncated/recycled; on a
+    /// device that never reclaims this is [`Lsn::ZERO`]. Always a record
+    /// boundary: truncation only ever lands on the LSN of a record start.
+    fn low_water(&self) -> Lsn {
+        Lsn::ZERO
+    }
+
+    /// Reclaim storage wholly below stream offset `upto`, if the device
+    /// supports it; returns the number of storage units (segments) recycled.
+    /// Devices without reclamation ignore the call. Callers must guarantee
+    /// that no reader — recovery, replica shipping — still needs a byte
+    /// below `upto` (see `LogManager::truncate_to`, which enforces this).
+    fn truncate_before(&self, _upto: Lsn) -> usize {
+        0
+    }
+
+    /// Point-in-time copy of the *retained* durable contents together with
+    /// the stream offset of the first returned byte. For devices that never
+    /// truncate, this is `(Lsn::ZERO, full snapshot)`; after truncation the
+    /// recycled prefix is gone and recovery must start at the offset.
+    fn snapshot_from(&self) -> Option<(Lsn, Vec<u8>)> {
+        self.snapshot().map(|b| (Lsn::ZERO, b))
+    }
 }
 
 /// Sleep for `d` with sub-millisecond precision: short waits spin on the
@@ -246,6 +271,80 @@ impl LogDevice for FileDevice {
     }
 }
 
+/// An in-memory device whose stream starts at a non-zero base offset: the
+/// backing bytes represent `[base, base + inner_len)` of the logical log.
+///
+/// Two users: rebuilding a log whose prefix was truncated away (recovery
+/// from a [`crate::partition::SegmentedDevice`] crash image — materializing
+/// `base` zero bytes would make recovery O(uptime) instead of O(retained)),
+/// and a replica's receive log after a snapshot bootstrap (the shipped
+/// stream begins at the snapshot LSN, not at zero).
+#[derive(Debug)]
+pub struct OffsetDevice {
+    base: Lsn,
+    data: Mutex<Vec<u8>>,
+}
+
+impl OffsetDevice {
+    /// New empty device whose first byte will live at stream offset `base`.
+    pub fn new(base: Lsn) -> Self {
+        OffsetDevice {
+            base,
+            data: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The base stream offset (== [`LogDevice::low_water`]).
+    pub fn base(&self) -> Lsn {
+        self.base
+    }
+
+    /// Copy of the retained bytes (stream offsets `[base, len)`).
+    pub fn contents(&self) -> Vec<u8> {
+        self.data.lock().clone()
+    }
+
+    /// Truncate so the stream ends at `stream_len` — crash tests clip a
+    /// torn tail exactly as [`SimDevice::truncate`] does.
+    pub fn truncate(&self, stream_len: u64) {
+        let keep = stream_len.saturating_sub(self.base.raw());
+        self.data.lock().truncate(keep as usize);
+    }
+}
+
+impl LogDevice for OffsetDevice {
+    fn append(&self, data: &[u8]) -> Result<()> {
+        self.data.lock().extend_from_slice(data);
+        Ok(())
+    }
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+    fn read_at(&self, offset: u64, dst: &mut [u8]) -> Result<usize> {
+        if offset < self.base.raw() {
+            // The truncated prefix: nothing to read, as after recycling.
+            return Ok(0);
+        }
+        let data = self.data.lock();
+        let start = (offset - self.base.raw()) as usize;
+        if start >= data.len() {
+            return Ok(0);
+        }
+        let n = dst.len().min(data.len() - start);
+        dst[..n].copy_from_slice(&data[start..start + n]);
+        Ok(n)
+    }
+    fn len(&self) -> u64 {
+        self.base.raw() + self.data.lock().len() as u64
+    }
+    fn low_water(&self) -> Lsn {
+        self.base
+    }
+    fn snapshot_from(&self) -> Option<(Lsn, Vec<u8>)> {
+        Some((self.base, self.contents()))
+    }
+}
+
 /// Convenience selector mirroring the paper's device classes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeviceKind {
@@ -282,11 +381,11 @@ impl DeviceKind {
     }
 }
 
-/// Compute where a recovery scan should begin given a device: byte 0.
-/// (Single-file model; partition/wraparound management is intentionally out
-/// of scope, matching the microbenchmark setup of §6.)
-pub fn scan_start(_device: &dyn LogDevice) -> Lsn {
-    Lsn::ZERO
+/// Compute where a recovery scan should begin given a device: its low-water
+/// mark — byte 0 for a single-file log, the first retained record boundary
+/// for a segmented log that has recycled its prefix behind checkpoints.
+pub fn scan_start(device: &dyn LogDevice) -> Lsn {
+    device.low_water()
 }
 
 #[cfg(test)]
@@ -369,6 +468,35 @@ mod tests {
             Duration::from_micros(250)
         );
         assert!(DeviceKind::Ram.build().unwrap().is_empty());
+    }
+
+    #[test]
+    fn offset_device_rebases_the_stream() {
+        let d = OffsetDevice::new(Lsn(1000));
+        assert_eq!(d.low_water(), Lsn(1000));
+        assert_eq!(d.len(), 1000);
+        assert!(!d.is_empty());
+        d.append(b"hello world").unwrap();
+        d.sync().unwrap();
+        assert_eq!(d.len(), 1011);
+        // Reads below the base return nothing (truncated prefix).
+        let mut buf = [0u8; 4];
+        assert_eq!(d.read_at(0, &mut buf).unwrap(), 0);
+        assert_eq!(d.read_at(999, &mut buf).unwrap(), 0);
+        // Reads are addressed in stream offsets.
+        let mut out = vec![0u8; 11];
+        assert_eq!(d.read_at(1000, &mut out).unwrap(), 11);
+        assert_eq!(&out, b"hello world");
+        assert_eq!(d.read_at(1006, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"worl");
+        let (base, bytes) = d.snapshot_from().unwrap();
+        assert_eq!(base, Lsn(1000));
+        assert_eq!(bytes, b"hello world");
+        assert_eq!(scan_start(&d), Lsn(1000));
+        // Torn-tail clipping speaks stream lengths too.
+        d.truncate(1005);
+        assert_eq!(d.len(), 1005);
+        assert_eq!(d.contents(), b"hello");
     }
 
     #[test]

@@ -67,5 +67,5 @@ pub use config::LogConfig;
 pub use device::DeviceKind;
 pub use error::{LogError, Result};
 pub use lsn::Lsn;
-pub use manager::{DurableWatch, LogManager};
+pub use manager::{DurableWatch, LogManager, TruncationOutcome, TruncationStats, TruncationWatch};
 pub use record::{RecordHeader, RecordKind};

@@ -109,6 +109,13 @@ impl LogManagerBuilder {
             ))
         };
         let flush_shared = daemon.as_ref().map(|d| Arc::clone(d.shared()));
+        let truncation = Arc::new(TruncationShared {
+            low_water: crate::lsn::AtomicLsn::new(device.low_water()),
+            truncations: std::sync::atomic::AtomicU64::new(0),
+            segments_recycled: std::sync::atomic::AtomicU64::new(0),
+            mutex: parking_lot::Mutex::new(()),
+            cv: parking_lot::Condvar::new(),
+        });
         Ok(LogManager {
             core,
             buffer,
@@ -116,6 +123,7 @@ impl LogManagerBuilder {
             pipeline,
             gate,
             flush_shared,
+            truncation,
             daemon: parking_lot::Mutex::new(daemon),
             config: self.config,
         })
@@ -137,6 +145,8 @@ pub struct LogManager {
     /// Shared daemon state, used lock-free-ish on the commit path so any
     /// number of committers can wait concurrently (group commit).
     flush_shared: Option<Arc<crate::flush::FlushShared>>,
+    /// Truncation watermark + counters, shared with [`TruncationWatch`]es.
+    truncation: Arc<TruncationShared>,
     /// The daemon thread handle; the mutex is touched only at shutdown.
     daemon: parking_lot::Mutex<Option<FlushDaemon>>,
     config: LogConfig,
@@ -333,9 +343,110 @@ impl LogManager {
         }
     }
 
-    /// A recovery-scan reader over the device from LSN 0.
+    /// A recovery-scan reader over the device from its low-water mark (LSN
+    /// 0 until the log has been truncated).
     pub fn reader(&self) -> LogReader {
         LogReader::new(Arc::clone(&self.device))
+    }
+
+    // ------------------------------------------------------------------
+    // Log truncation (checkpoint-driven segment recycling)
+    // ------------------------------------------------------------------
+
+    /// The log's low-water mark: the stream offset of the first byte any
+    /// scan may rely on. Everything below has been retired by
+    /// [`LogManager::truncate_to`]; 0 for devices that never truncate.
+    pub fn low_water(&self) -> Lsn {
+        self.device.low_water()
+    }
+
+    /// Bytes of log currently retained (`len - low_water`): the on-disk
+    /// footprint recovery would have to scan.
+    pub fn retained_bytes(&self) -> u64 {
+        self.device.len().saturating_sub(self.low_water().raw())
+    }
+
+    /// Retire the log prefix below `lsn` — the **safe** truncation entry
+    /// point. `lsn` must be a truncation point computed by the storage
+    /// layer (a record boundary at or below the last fuzzy checkpoint's
+    /// redo LSN); this method additionally clamps it to the durable
+    /// watermark and refuses to act at all while any registered replica has
+    /// acknowledged less than the target — a lagging shipper still needs
+    /// those bytes, and partial truncation to an ack offset could land
+    /// mid-record. All-or-nothing keeps the low-water mark on a record
+    /// boundary, which recovery scans depend on.
+    ///
+    /// Returns the truncation outcome; `applied` never exceeds
+    /// `min(lsn, durable, slowest replica ack)` — invariant 7 of DESIGN.md.
+    pub fn truncate_to(&self, lsn: Lsn) -> TruncationOutcome {
+        let target = lsn.min(self.core.durable_lsn());
+        if self.gate.slowest_ack() < target {
+            return TruncationOutcome {
+                requested: lsn,
+                applied: self.low_water(),
+                segments_recycled: 0,
+                held_back_by_replica: true,
+            };
+        }
+        self.apply_truncation(lsn, target)
+    }
+
+    /// Retire the log prefix below `lsn` **ignoring replica acks** (still
+    /// clamped to the durable watermark). This is the bounded-disk
+    /// emergency lever: a shipper stranded below the new low-water mark can
+    /// no longer read the stream and must re-bootstrap its replica from a
+    /// checkpoint snapshot (`aether-repl` does so automatically). Prefer
+    /// [`LogManager::truncate_to`].
+    pub fn force_truncate_to(&self, lsn: Lsn) -> TruncationOutcome {
+        let target = lsn.min(self.core.durable_lsn());
+        self.apply_truncation(lsn, target)
+    }
+
+    fn apply_truncation(&self, requested: Lsn, target: Lsn) -> TruncationOutcome {
+        let recycled = self.device.truncate_before(target);
+        let lw = self.device.low_water();
+        self.truncation.low_water.fetch_max(lw);
+        self.truncation
+            .truncations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.truncation
+            .segments_recycled
+            .fetch_add(recycled as u64, std::sync::atomic::Ordering::Relaxed);
+        {
+            let _g = self.truncation.mutex.lock();
+            self.truncation.cv.notify_all();
+        }
+        TruncationOutcome {
+            requested,
+            applied: lw,
+            segments_recycled: recycled,
+            held_back_by_replica: false,
+        }
+    }
+
+    /// Truncation counters (complements the buffer stats).
+    pub fn truncation_stats(&self) -> TruncationStats {
+        TruncationStats {
+            low_water: self.low_water(),
+            truncations: self
+                .truncation
+                .truncations
+                .load(std::sync::atomic::Ordering::Relaxed),
+            segments_recycled: self
+                .truncation
+                .segments_recycled
+                .load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// A notification handle over the low-water mark, the truncation
+    /// analogue of [`LogManager::durable_watch`]: blocking waits instead of
+    /// polling for "has the log been truncated past X". Cloneable and
+    /// detached from the manager's lifetime.
+    pub fn truncation_watch(&self) -> TruncationWatch {
+        TruncationWatch {
+            shared: Arc::clone(&self.truncation),
+        }
     }
 
     /// Stop the flush daemon after a final flush. Called automatically on
@@ -386,6 +497,84 @@ impl DurableWatch {
     /// tailing loops (the log shipper) responsive to shutdown.
     pub fn wait_past(&self, past: Lsn, timeout: std::time::Duration) -> Lsn {
         self.core.wait_durable_timeout(past.advance(1), timeout)
+    }
+}
+
+/// Shared state behind [`LogManager::truncation_watch`].
+struct TruncationShared {
+    low_water: crate::lsn::AtomicLsn,
+    truncations: std::sync::atomic::AtomicU64,
+    segments_recycled: std::sync::atomic::AtomicU64,
+    mutex: parking_lot::Mutex<()>,
+    cv: parking_lot::Condvar,
+}
+
+/// Result of one [`LogManager::truncate_to`] / `force_truncate_to` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncationOutcome {
+    /// The truncation point the caller asked for.
+    pub requested: Lsn,
+    /// The low-water mark after the call (≤ `requested`, and unchanged when
+    /// the call was held back).
+    pub applied: Lsn,
+    /// Whole segments recycled by this call.
+    pub segments_recycled: usize,
+    /// True when a lagging replica ack prevented any truncation (safe
+    /// entry point only; `force_truncate_to` never reports this).
+    pub held_back_by_replica: bool,
+}
+
+/// Counters over the log's truncation history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncationStats {
+    /// Current low-water mark.
+    pub low_water: Lsn,
+    /// `truncate_to`/`force_truncate_to` calls that reached the device.
+    pub truncations: u64,
+    /// Whole segments recycled across all calls.
+    pub segments_recycled: u64,
+}
+
+/// A waitable view of a log's low-water mark (see
+/// [`LogManager::truncation_watch`]) — the truncation counterpart of
+/// [`DurableWatch`].
+#[derive(Clone)]
+pub struct TruncationWatch {
+    shared: Arc<TruncationShared>,
+}
+
+impl std::fmt::Debug for TruncationWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TruncationWatch")
+            .field("low_water", &self.shared.low_water.load())
+            .finish()
+    }
+}
+
+impl TruncationWatch {
+    /// Current low-water mark.
+    pub fn current(&self) -> Lsn {
+        self.shared.low_water.load()
+    }
+
+    /// Block until the low-water mark exceeds `past` or `timeout` elapses;
+    /// returns the mark at wake-up. The timeout keeps watcher loops (a
+    /// shipper deciding whether its read position was truncated away)
+    /// responsive to shutdown.
+    pub fn wait_past(&self, past: Lsn, timeout: std::time::Duration) -> Lsn {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.shared.mutex.lock();
+        loop {
+            let lw = self.shared.low_water.load();
+            if lw > past {
+                return lw;
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return lw;
+            }
+            self.shared.cv.wait_for(&mut g, left);
+        }
     }
 }
 
@@ -474,6 +663,93 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, payloads.len());
+    }
+
+    #[test]
+    fn truncate_to_recycles_segments_and_notifies_watch() {
+        use crate::partition::{MemSegmentFactory, SegmentedDevice};
+        let seg = Arc::new(SegmentedDevice::new(Box::new(MemSegmentFactory), 4096).unwrap());
+        let log = LogManager::builder()
+            .device_instance(Arc::clone(&seg) as Arc<dyn crate::device::LogDevice>)
+            .build();
+        for i in 0..200u64 {
+            log.insert(RecordKind::Update, i, &[7u8; 100]);
+        }
+        log.flush_all();
+        assert_eq!(log.low_water(), Lsn::ZERO);
+        let full = log.retained_bytes();
+        let watch = log.truncation_watch();
+        // Pick a record boundary roughly halfway in.
+        let mid = {
+            let mut r = log.reader();
+            let mut at = Lsn::ZERO;
+            while at.raw() < log.durable_lsn().raw() / 2 {
+                at = r.next_record().unwrap().unwrap().next_lsn();
+            }
+            at
+        };
+        let waiter = {
+            let watch = watch.clone();
+            std::thread::spawn(move || watch.wait_past(Lsn::ZERO, Duration::from_secs(5)))
+        };
+        let out = log.truncate_to(mid);
+        assert!(!out.held_back_by_replica);
+        assert_eq!(out.applied, mid);
+        assert!(out.segments_recycled > 0);
+        assert_eq!(log.low_water(), mid);
+        assert!(log.retained_bytes() < full);
+        assert_eq!(waiter.join().unwrap(), mid);
+        let stats = log.truncation_stats();
+        assert_eq!(stats.low_water, mid);
+        assert_eq!(stats.truncations, 1);
+        assert_eq!(stats.segments_recycled, out.segments_recycled as u64);
+        // The reader now starts at the mark and the tail is intact.
+        let recs = log.reader().read_all().unwrap();
+        assert_eq!(recs.first().unwrap().lsn, mid);
+        assert_eq!(recs.last().unwrap().next_lsn(), log.durable_lsn());
+    }
+
+    #[test]
+    fn truncate_to_is_held_back_by_slow_replicas_but_force_is_not() {
+        use crate::partition::{MemSegmentFactory, SegmentedDevice};
+        let seg = Arc::new(SegmentedDevice::new(Box::new(MemSegmentFactory), 4096).unwrap());
+        let log = LogManager::builder()
+            .device_instance(Arc::clone(&seg) as Arc<dyn crate::device::LogDevice>)
+            .build();
+        let mut end = Lsn::ZERO;
+        for i in 0..100u64 {
+            let (_, e) = log.insert_ext(RecordKind::Update, i, Lsn::ZERO, &[7u8; 100]);
+            end = e;
+        }
+        log.flush_all();
+        let ack = log.commit_gate().register_replica();
+        ack.advance(Lsn(end.raw() / 4));
+        let out = log.truncate_to(end);
+        assert!(out.held_back_by_replica, "slow replica must pin the log");
+        assert_eq!(out.applied, Lsn::ZERO);
+        assert_eq!(log.low_water(), Lsn::ZERO);
+        // The emergency lever ignores the ack (laggards re-bootstrap).
+        let out = log.force_truncate_to(end);
+        assert!(!out.held_back_by_replica);
+        assert_eq!(out.applied, end);
+        assert_eq!(log.low_water(), end);
+        assert_eq!(log.retained_bytes(), 0);
+        // Once the replica catches up, safe truncation proceeds again.
+        ack.advance(end);
+        assert!(!log.truncate_to(end).held_back_by_replica);
+    }
+
+    #[test]
+    fn truncate_to_clamps_to_durable_on_plain_devices() {
+        // Non-segmented devices ignore truncation: the call is a no-op with
+        // a zero low-water mark, so recovery semantics never change.
+        let log = LogManager::builder().device(DeviceKind::Ram).build();
+        log.insert(RecordKind::Filler, 0, &[1; 64]);
+        log.flush_all();
+        let out = log.truncate_to(log.durable_lsn());
+        assert_eq!(out.applied, Lsn::ZERO);
+        assert_eq!(out.segments_recycled, 0);
+        assert_eq!(log.low_water(), Lsn::ZERO);
     }
 
     #[test]

@@ -54,8 +54,11 @@ pub struct SegmentedDevice {
     segments: Mutex<Vec<Segment>>,
     /// Total bytes appended (stream length).
     len: AtomicU64,
-    /// Stream offset of the first retained byte (everything below was
-    /// truncated/recycled).
+    /// The logical low-water mark: the highest truncation LSN applied so
+    /// far. Always a record boundary (callers pass redo points). Whole
+    /// segments entirely below it are recycled; the first retained segment
+    /// may still physically hold a few bytes below the mark, which no scan
+    /// ever reads.
     truncated: AtomicU64,
     /// Segments recycled so far (metric).
     recycled: AtomicU64,
@@ -100,20 +103,26 @@ impl SegmentedDevice {
         self.recycled.load(Ordering::Relaxed)
     }
 
-    /// Stream offset of the first retained byte.
+    /// The logical low-water mark: the highest truncation LSN applied so
+    /// far (scans start here; see [`LogDevice::low_water`]).
     pub fn truncation_point(&self) -> Lsn {
         Lsn(self.truncated.load(Ordering::Relaxed))
     }
 
-    /// Drop every sealed segment entirely below stream offset `upto`
-    /// (the storage layer's computed truncation point). Returns how many
-    /// segments were recycled.
+    /// Advance the low-water mark to `upto` (a record boundary computed by
+    /// the storage layer) and recycle every sealed segment that lies
+    /// entirely below it. The mark advances even when no whole segment can
+    /// be dropped yet — the *next* truncation, or a recovery scan, picks up
+    /// from it. Returns how many segments were recycled.
     pub fn truncate_before(&self, upto: Lsn) -> usize {
         let mut segments = self.segments.lock();
+        // Clamp to the stream length: the mark must stay a valid scan start.
+        let upto = upto.raw().min(self.len.load(Ordering::Acquire));
+        self.truncated.fetch_max(upto, Ordering::AcqRel);
         let mut dropped = 0;
         while let Some(first) = segments.first() {
             let seg_end = (first.seg_no + 1) * self.segment_size;
-            if first.sealed && seg_end <= upto.raw() {
+            if first.sealed && seg_end <= upto {
                 segments.remove(0);
                 dropped += 1;
             } else {
@@ -122,11 +131,6 @@ impl SegmentedDevice {
         }
         if dropped > 0 {
             self.recycled.fetch_add(dropped as u64, Ordering::Relaxed);
-            let new_start = segments
-                .first()
-                .map(|s| s.seg_no * self.segment_size)
-                .unwrap_or(0);
-            self.truncated.fetch_max(new_start, Ordering::Relaxed);
         }
         dropped
     }
@@ -210,13 +214,31 @@ impl LogDevice for SegmentedDevice {
 
     fn snapshot(&self) -> Option<Vec<u8>> {
         // Only meaningful when nothing has been truncated (crash images need
-        // the full prefix).
+        // the full prefix); use `snapshot_from` otherwise.
         if self.truncated.load(Ordering::Relaxed) != 0 {
             return None;
         }
         let mut out = vec![0u8; self.len() as usize];
         match self.read_at(0, &mut out) {
             Ok(n) if n as u64 == self.len() => Some(out),
+            _ => None,
+        }
+    }
+
+    fn low_water(&self) -> Lsn {
+        self.truncation_point()
+    }
+
+    fn truncate_before(&self, upto: Lsn) -> usize {
+        SegmentedDevice::truncate_before(self, upto)
+    }
+
+    fn snapshot_from(&self) -> Option<(Lsn, Vec<u8>)> {
+        let start = self.truncation_point();
+        let want = self.len().saturating_sub(start.raw()) as usize;
+        let mut out = vec![0u8; want];
+        match self.read_at(start.raw(), &mut out) {
+            Ok(n) if n == want => Some((start, out)),
             _ => None,
         }
     }
@@ -279,15 +301,41 @@ mod tests {
         assert_eq!(d.truncate_before(Lsn(9000)), 2);
         assert_eq!(d.live_segments(), 1);
         assert_eq!(d.recycled_segments(), 2);
-        assert_eq!(d.truncation_point(), Lsn(8192));
-        // Reads below the truncation point return nothing.
+        // The low-water mark is the requested (record-boundary) LSN, not
+        // the coarser segment boundary.
+        assert_eq!(d.truncation_point(), Lsn(9000));
+        assert_eq!(d.low_water(), Lsn(9000));
+        // Reads in recycled segments return nothing.
         let mut out = vec![0u8; 10];
         assert_eq!(d.read_at(0, &mut out).unwrap(), 0);
-        // Reads above still work.
-        assert_eq!(d.read_at(8192, &mut out).unwrap(), 10);
-        // The open segment never recycles.
+        // Reads above the mark still work.
+        assert_eq!(d.read_at(9000, &mut out).unwrap(), 10);
+        // The open segment never recycles, however far the mark advances.
         assert_eq!(d.truncate_before(Lsn::MAX), 0);
         assert_eq!(d.live_segments(), 1);
+    }
+
+    #[test]
+    fn tail_snapshot_survives_truncation() {
+        let d = dev(4096);
+        let data: Vec<u8> = (0..12_000).map(|i| (i % 113) as u8).collect();
+        d.append(&data).unwrap();
+        d.truncate_before(Lsn(5000));
+        assert!(
+            d.snapshot().is_none(),
+            "full snapshot gone after truncation"
+        );
+        let (start, bytes) = d.snapshot_from().unwrap();
+        assert_eq!(start, Lsn(5000));
+        assert_eq!(bytes, &data[5000..]);
+        // Mark advance without a whole droppable segment still moves the
+        // scan start.
+        let d2 = dev(4096);
+        d2.append(&vec![3u8; 3000]).unwrap();
+        assert_eq!(d2.truncate_before(Lsn(1000)), 0);
+        assert_eq!(d2.low_water(), Lsn(1000));
+        let (start, bytes) = d2.snapshot_from().unwrap();
+        assert_eq!((start, bytes.len()), (Lsn(1000), 2000));
     }
 
     #[test]

@@ -31,12 +31,14 @@ impl std::fmt::Debug for LogReader {
 }
 
 impl LogReader {
-    /// Scan `device` from LSN 0.
+    /// Scan `device` from its low-water mark — LSN 0 for a device that never
+    /// truncates, the first retained record boundary after log truncation.
     pub fn new(device: Arc<dyn LogDevice>) -> LogReader {
         let limit = device.len();
+        let at = device.low_water();
         LogReader {
             device,
-            at: Lsn::ZERO,
+            at,
             limit,
             strict: false,
         }

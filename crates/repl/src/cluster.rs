@@ -1,12 +1,19 @@
 //! Wiring: a primary database with N log-shipping replicas.
 //!
 //! [`ReplicatedDb::attach`] takes a prepared primary (tables created, bulk
-//! load done, [`Db::setup_complete`] called), snapshots a base backup per
-//! replica, builds the frame/ack links, spawns replicas and shippers, and
-//! installs the durability policy on the primary's commit gate. From then
-//! on every commit obeys the policy: `Async` acks locally, `SemiSync(k)` /
-//! `Quorum(k of n)` additionally wait for `k` replica acks — amortized per
-//! flush group, not per transaction.
+//! load done, [`Db::setup_complete`] called), captures a checkpoint
+//! [`BaseSnapshot`] (pages + ATT/DPT + the truncation-safe start LSN),
+//! seeds each replica from it, builds the frame/ack links, spawns replicas
+//! and shippers, and installs the durability policy on the primary's
+//! commit gate. From then on every commit obeys the policy: `Async` acks
+//! locally, `SemiSync(k)` / `Quorum(k of n)` additionally wait for `k`
+//! replica acks — amortized per flush group, not per transaction.
+//!
+//! Because every replica starts from a snapshot rather than LSN 0,
+//! [`ReplicatedDb::add_replica`] can join a **fresh replica to a
+//! long-running cluster whose log prefix has long been recycled** — the
+//! defining requirement for running replication and checkpoint-driven log
+//! truncation together.
 
 use crate::replica::{Replica, ReplicaConfig, ReplicaStatus};
 use crate::shipper::{Shipper, ShipperConfig};
@@ -16,6 +23,7 @@ use aether_core::Lsn;
 use aether_storage::db::Db;
 use aether_storage::error::StorageResult;
 use aether_storage::recovery::RecoveryStats;
+use aether_storage::replay::{self, BaseSnapshot};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -51,6 +59,7 @@ pub struct ReplicatedDb {
     primary: Arc<Db>,
     shippers: Vec<Shipper>,
     replicas: Vec<Replica>,
+    cfg: ReplicationConfig,
 }
 
 impl std::fmt::Debug for ReplicatedDb {
@@ -63,50 +72,78 @@ impl std::fmt::Debug for ReplicatedDb {
 
 impl ReplicatedDb {
     /// Attach `cfg.replicas` replicas to a prepared primary and install the
-    /// durability policy. The base backup is the primary's flushed page
-    /// store; the full log is shipped from LSN 0 (replay is idempotent over
-    /// the overlap thanks to page LSNs).
+    /// durability policy. Each replica bootstraps from a checkpoint
+    /// [`BaseSnapshot`] — pages, ATT/DPT and the truncation-safe start LSN
+    /// — so attach works identically on a fresh primary and on one whose
+    /// log prefix has already been recycled; the log is shipped from the
+    /// snapshot LSN onward (replay is idempotent over any overlap thanks to
+    /// page LSNs).
     pub fn attach(primary: Arc<Db>, cfg: ReplicationConfig) -> StorageResult<ReplicatedDb> {
-        // Make the backup complete even if the caller skipped a final flush.
-        primary.flush_pages();
-        let schema = primary.schema();
-        let opts = primary.options().clone();
-        let mut shippers = Vec::with_capacity(cfg.replicas);
-        let mut replicas = Vec::with_capacity(cfg.replicas);
-        for _ in 0..cfg.replicas {
-            let (frame_tx, frame_rx) = link::<Vec<u8>>(cfg.link.clone());
-            let (ack_tx, ack_rx) = link::<Lsn>(LinkConfig {
-                // Acks never reorder meaningfully (cumulative max), so the
-                // return path only carries the latency.
-                latency: cfg.link.latency,
-                reorder_period: 0,
-            });
-            let replica = Replica::spawn(
-                opts.clone(),
-                primary.store().deep_clone(),
-                &schema,
-                frame_rx,
-                ack_tx,
-                cfg.replica.clone(),
-            )?;
-            let ack = primary.log().commit_gate().register_replica();
-            let shipper = Shipper::spawn(
-                Arc::clone(primary.log()),
-                frame_tx,
-                ack_rx,
-                ack,
-                cfg.shipper.clone(),
-            );
-            replicas.push(replica);
-            shippers.push(shipper);
+        let mut cluster = ReplicatedDb {
+            primary,
+            shippers: Vec::with_capacity(cfg.replicas),
+            replicas: Vec::with_capacity(cfg.replicas),
+            cfg,
+        };
+        let snap = replay::base_snapshot(&cluster.primary);
+        for _ in 0..cluster.cfg.replicas {
+            cluster.spawn_pipeline(&snap)?;
         }
         // Policy last: commits block on acks only once replicas exist.
-        primary.log().set_durability_policy(cfg.policy);
-        Ok(ReplicatedDb {
-            primary,
-            shippers,
-            replicas,
-        })
+        cluster
+            .primary
+            .log()
+            .set_durability_policy(cluster.cfg.policy);
+        Ok(cluster)
+    }
+
+    /// Join one more replica to a *running* cluster. The newcomer bootstraps
+    /// from a fresh checkpoint snapshot and receives log frames only from
+    /// the snapshot LSN onward — the recycled history below the log's
+    /// low-water mark is never needed, which is what keeps long-running
+    /// replicated clusters (re)seedable at all. Returns the new replica's
+    /// index.
+    pub fn add_replica(&mut self) -> StorageResult<usize> {
+        let snap = replay::base_snapshot(&self.primary);
+        self.spawn_pipeline(&snap)?;
+        Ok(self.replicas.len() - 1)
+    }
+
+    /// Build one replica + shipper pipeline seeded from `snap`.
+    fn spawn_pipeline(&mut self, snap: &BaseSnapshot) -> StorageResult<()> {
+        let cfg = &self.cfg;
+        let (frame_tx, frame_rx) = link::<Vec<u8>>(cfg.link.clone());
+        let (ack_tx, ack_rx) = link::<Lsn>(LinkConfig {
+            // Acks never reorder meaningfully (cumulative max), so the
+            // return path only carries the latency.
+            latency: cfg.link.latency,
+            reorder_period: 0,
+        });
+        let replica = Replica::spawn_from_snapshot(
+            self.primary.options().clone(),
+            snap,
+            frame_rx,
+            ack_tx,
+            cfg.replica.clone(),
+        )?;
+        // The snapshot implicitly covers everything below its LSN, so the
+        // newcomer must not drag the truncation clamp (slowest ack) to 0.
+        let ack = self
+            .primary
+            .log()
+            .commit_gate()
+            .register_replica_at(snap.start_lsn);
+        let shipper = Shipper::spawn(
+            Arc::clone(&self.primary),
+            frame_tx,
+            ack_rx,
+            ack,
+            snap.start_lsn,
+            cfg.shipper.clone(),
+        );
+        self.replicas.push(replica);
+        self.shippers.push(shipper);
+        Ok(())
     }
 
     /// The primary database.

@@ -1,4 +1,4 @@
-//! Wire framing for shipped log runs.
+//! Wire framing for shipped log runs and snapshot bootstraps.
 //!
 //! The shipper cuts the primary's durable log into byte runs and wraps each
 //! in a frame carrying a sequence number (so the receiver can restore order
@@ -7,6 +7,14 @@
 //! frame is *detected and dropped* rather than appended — the replica's log
 //! then simply stops advancing at the gap, the wire analogue of recovery
 //! stopping at the first torn record).
+//!
+//! A second message kind, [`SnapshotFrame`], carries a serialized
+//! [`aether_storage::replay::BaseSnapshot`]: when the primary's log has
+//! been truncated past the shipper's read position, re-sending the missing
+//! bytes is impossible — they no longer exist — so the shipper ships a
+//! checkpoint snapshot instead and resumes log frames from its LSN. Both
+//! kinds share one sequence-number space, so the replica restores a total
+//! order over an arbitrarily reordering link.
 
 use aether_core::record::{crc32_finish, crc32_update, CRC32_INIT};
 use aether_core::Lsn;
@@ -80,6 +88,94 @@ impl Frame {
     }
 }
 
+/// Frame-header size of a [`SnapshotFrame`] on the wire.
+pub const SNAPSHOT_HEADER: usize = 20;
+
+/// Magic tag opening a snapshot frame.
+pub const SNAPSHOT_MAGIC: u32 = 0xAE7E_5EED;
+
+/// A snapshot bootstrap message: a serialized
+/// [`aether_storage::replay::BaseSnapshot`] in the shipping stream's
+/// sequence order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotFrame {
+    /// Per-link sequence number, shared with log [`Frame`]s.
+    pub seq: u64,
+    /// The encoded base snapshot.
+    pub body: Vec<u8>,
+}
+
+impl SnapshotFrame {
+    /// Serialize: `[magic u32][seq u64][len u32][crc u32]` then the body;
+    /// CRC32 over header (CRC field zeroed) + body, as for [`Frame`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SNAPSHOT_HEADER + self.body.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // crc placeholder
+        out.extend_from_slice(&self.body);
+        let crc = crc32_finish(crc32_update(CRC32_INIT, &out));
+        out[16..20].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decode and CRC-check; `None` for anything malformed.
+    pub fn decode(buf: &[u8]) -> Option<SnapshotFrame> {
+        if buf.len() < SNAPSHOT_HEADER {
+            return None;
+        }
+        if u32::from_le_bytes(buf[0..4].try_into().ok()?) != SNAPSHOT_MAGIC {
+            return None;
+        }
+        let seq = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+        let len = u32::from_le_bytes(buf[12..16].try_into().ok()?) as usize;
+        if buf.len() != SNAPSHOT_HEADER + len {
+            return None;
+        }
+        let stored_crc = u32::from_le_bytes(buf[16..20].try_into().ok()?);
+        let mut crc = crc32_update(CRC32_INIT, &buf[..16]);
+        crc = crc32_update(crc, &[0u8; 4]);
+        crc = crc32_update(crc, &buf[SNAPSHOT_HEADER..]);
+        if crc32_finish(crc) != stored_crc {
+            return None;
+        }
+        Some(SnapshotFrame {
+            seq,
+            body: buf[SNAPSHOT_HEADER..].to_vec(),
+        })
+    }
+}
+
+/// Any message of the shipping stream, dispatched on the magic tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// A run of log bytes.
+    Log(Frame),
+    /// A snapshot bootstrap.
+    Snapshot(SnapshotFrame),
+}
+
+impl WireMsg {
+    /// Decode either message kind; `None` for anything malformed.
+    pub fn decode(buf: &[u8]) -> Option<WireMsg> {
+        let magic = u32::from_le_bytes(buf.get(0..4)?.try_into().ok()?);
+        match magic {
+            FRAME_MAGIC => Frame::decode(buf).map(WireMsg::Log),
+            SNAPSHOT_MAGIC => SnapshotFrame::decode(buf).map(WireMsg::Snapshot),
+            _ => None,
+        }
+    }
+
+    /// The message's position in the shared sequence space.
+    pub fn seq(&self) -> u64 {
+        match self {
+            WireMsg::Log(f) => f.seq,
+            WireMsg::Snapshot(s) => s.seq,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +218,43 @@ mod tests {
         // Truncation detected.
         assert!(Frame::decode(&enc[..enc.len() - 1]).is_none());
         assert!(Frame::decode(&enc[..10]).is_none());
+    }
+
+    #[test]
+    fn snapshot_frame_roundtrip_and_corruption() {
+        let s = SnapshotFrame {
+            seq: 9,
+            body: (0..250u8).collect(),
+        };
+        let enc = s.encode();
+        assert_eq!(SnapshotFrame::decode(&enc).unwrap(), s);
+        for at in [0, 7, 17, SNAPSHOT_HEADER, enc.len() - 1] {
+            let mut bad = enc.clone();
+            bad[at] ^= 0x04;
+            assert!(SnapshotFrame::decode(&bad).is_none(), "flip at {at}");
+        }
+        assert!(SnapshotFrame::decode(&enc[..enc.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn wire_msg_dispatches_on_magic() {
+        let f = Frame {
+            seq: 1,
+            start_lsn: Lsn(10),
+            bytes: vec![1, 2, 3],
+        };
+        let s = SnapshotFrame {
+            seq: 2,
+            body: vec![4, 5],
+        };
+        assert_eq!(WireMsg::decode(&f.encode()), Some(WireMsg::Log(f.clone())));
+        assert_eq!(
+            WireMsg::decode(&s.encode()),
+            Some(WireMsg::Snapshot(s.clone()))
+        );
+        assert_eq!(WireMsg::decode(&f.encode()).unwrap().seq(), 1);
+        assert_eq!(WireMsg::decode(&s.encode()).unwrap().seq(), 2);
+        assert!(WireMsg::decode(&[0u8; 40]).is_none());
+        assert!(WireMsg::decode(b"ab").is_none());
     }
 }

@@ -10,8 +10,9 @@
 //!
 //! * [`transport`] — in-process links with injectable latency and
 //!   deterministic reordering (the simulated network).
-//! * [`frame`] — CRC32-framed byte runs with sequence numbers; corrupt
-//!   frames are dropped, reordered frames restored.
+//! * [`frame`] — CRC32-framed byte runs and snapshot bootstraps sharing
+//!   one sequence space; corrupt messages are dropped, reordered ones
+//!   restored.
 //! * [`shipper`] — tails the primary's durable frontier through
 //!   [`aether_core::manager::DurableWatch`] (no polling) and streams one
 //!   frame per flush group, so group commit amortizes ack round-trips.
@@ -23,7 +24,12 @@
 //! * [`cluster`] — [`cluster::ReplicatedDb`] wires a primary to N replicas
 //!   under a [`aether_core::commit::DurabilityPolicy`]: `Async`,
 //!   `SemiSync(k)`, or `Quorum(k of n)` — commit completion waits on
-//!   replica acks in addition to the local sync.
+//!   replica acks in addition to the local sync. Replicas bootstrap from a
+//!   checkpoint [`aether_storage::replay::BaseSnapshot`] (pages, ATT/DPT
+//!   and start LSN), so [`cluster::ReplicatedDb::add_replica`] can join a
+//!   fresh replica to a cluster whose log prefix has been truncated away,
+//!   and a shipper stranded below the log's low-water mark re-seeds its
+//!   replica over the wire instead of reading recycled bytes.
 //!
 //! ## Quick start
 //!

@@ -2,25 +2,33 @@
 //! continuous redo, serves bounded-staleness snapshot reads, and can be
 //! promoted to a full primary via ordinary ARIES recovery.
 //!
-//! Protocol: frames are restored to sequence order (reorder-resistant),
-//! appended to the replica's own log device, and **acked at the durably
-//! received LSN** — semi-synchronous semantics: an ack means "these bytes
-//! survive a primary failure", not "these bytes are already applied".
-//! Replay then advances independently through [`aether_storage::replay`];
-//! the gap between received and replayed is the replica's lag, and the time
-//! since the last applied batch is its measured staleness bound.
+//! Protocol: messages are restored to sequence order (reorder-resistant),
+//! log runs are appended to the replica's own log device, and **acked at
+//! the durably received LSN** — semi-synchronous semantics: an ack means
+//! "these bytes survive a primary failure", not "these bytes are already
+//! applied". Replay then advances independently through
+//! [`aether_storage::replay`]; the gap between received and replayed is the
+//! replica's lag, and the time since the last applied batch is its measured
+//! staleness bound.
+//!
+//! A [`SnapshotFrame`] in the stream **re-seeds the replica**: the primary
+//! truncated its log past what this replica had received (or the replica
+//! attached after truncation), so the missing bytes no longer exist
+//! anywhere. The replica rebuilds its standby database from the snapshot's
+//! pages, rebases its log device at the snapshot LSN, and resumes frame
+//! ingestion from there — no historical log required.
 
-use crate::frame::Frame;
+use crate::frame::{SnapshotFrame, WireMsg};
 use crate::transport::{LinkReceiver, LinkSender};
-use aether_core::device::{LogDevice, SimDevice};
+use aether_core::device::{LogDevice, OffsetDevice};
 use aether_core::reader::LogReader;
 use aether_core::Lsn;
 use aether_storage::db::{CrashImage, Db, DbOptions};
 use aether_storage::error::StorageResult;
 use aether_storage::recovery::RecoveryStats;
-use aether_storage::replay;
+use aether_storage::replay::{self, BaseSnapshot};
 use aether_storage::store::PageStore;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,19 +62,29 @@ pub struct ReplicaStatus {
     pub commits_seen: u64,
     /// Frames dropped for failing their CRC or decode.
     pub corrupt_frames: u64,
+    /// Snapshot bootstraps installed (1 for a snapshot-attached replica
+    /// that never fell behind; +1 per re-seed after log truncation).
+    pub bootstraps: u64,
     /// Measured staleness bound: time since replay last caught up with the
     /// received bytes (zero when fully caught up at sampling time).
     pub staleness: Duration,
 }
 
-struct ReplicaShared {
+/// The rebindable half of a replica: replaced wholesale when a snapshot
+/// bootstrap re-seeds it.
+struct ReplicaState {
     db: Arc<Db>,
-    device: Arc<SimDevice>,
+    device: Arc<OffsetDevice>,
+}
+
+struct ReplicaShared {
+    state: RwLock<ReplicaState>,
     received: AtomicU64,
     replay: AtomicU64,
     applied: AtomicU64,
     commits_seen: AtomicU64,
     corrupt_frames: AtomicU64,
+    bootstraps: AtomicU64,
     /// `Some(t)` while replay lags the received bytes, recording when the
     /// lag began; `None` while caught up.
     lag_since: Mutex<Option<Instant>>,
@@ -92,7 +110,9 @@ impl std::fmt::Debug for Replica {
 
 impl Replica {
     /// Spawn a replica from a base backup (the primary's flushed page store
-    /// plus schema), receiving frames from `rx` and acking through `ack_tx`.
+    /// plus schema), receiving the log stream from LSN 0. For a primary
+    /// whose log may already be truncated, use
+    /// [`Replica::spawn_from_snapshot`].
     pub fn spawn(
         opts: DbOptions,
         store: Arc<PageStore>,
@@ -102,23 +122,55 @@ impl Replica {
         cfg: ReplicaConfig,
     ) -> StorageResult<Replica> {
         let db = replay::standby_db(opts.clone(), store, schema)?;
+        Self::launch(opts, db, Lsn::ZERO, 0, rx, ack_tx, cfg)
+    }
+
+    /// Spawn a replica bootstrapped from a checkpoint [`BaseSnapshot`]: the
+    /// standby starts from the snapshot's pages and the log stream begins
+    /// at the snapshot LSN — the truncated history below it is never
+    /// needed. This is how a freshly attached replica joins a long-running
+    /// cluster.
+    pub fn spawn_from_snapshot(
+        opts: DbOptions,
+        snap: &BaseSnapshot,
+        rx: LinkReceiver<Vec<u8>>,
+        ack_tx: LinkSender<Lsn>,
+        cfg: ReplicaConfig,
+    ) -> StorageResult<Replica> {
+        let db = replay::standby_from_snapshot(opts.clone(), snap)?;
+        Self::launch(opts, db, snap.start_lsn, 1, rx, ack_tx, cfg)
+    }
+
+    fn launch(
+        opts: DbOptions,
+        db: Arc<Db>,
+        base: Lsn,
+        bootstraps: u64,
+        rx: LinkReceiver<Vec<u8>>,
+        ack_tx: LinkSender<Lsn>,
+        cfg: ReplicaConfig,
+    ) -> StorageResult<Replica> {
         let shared = Arc::new(ReplicaShared {
-            db,
-            device: Arc::new(SimDevice::new(Duration::ZERO)),
-            received: AtomicU64::new(0),
-            replay: AtomicU64::new(0),
+            state: RwLock::new(ReplicaState {
+                db,
+                device: Arc::new(OffsetDevice::new(base)),
+            }),
+            received: AtomicU64::new(base.raw()),
+            replay: AtomicU64::new(base.raw()),
             applied: AtomicU64::new(0),
             commits_seen: AtomicU64::new(0),
             corrupt_frames: AtomicU64::new(0),
+            bootstraps: AtomicU64::new(bootstraps),
             lag_since: Mutex::new(None),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let thread = {
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
+            let opts = opts.clone();
             std::thread::Builder::new()
                 .name("aether-replica".into())
-                .spawn(move || apply_loop(shared, stop, rx, ack_tx, cfg))
+                .spawn(move || apply_loop(shared, stop, opts, rx, ack_tx, cfg))
                 .expect("spawn replica apply thread")
         };
         Ok(Replica {
@@ -132,12 +184,14 @@ impl Replica {
     /// Snapshot read against the standby (no locks; staleness bounded by
     /// [`ReplicaStatus::staleness`]).
     pub fn read(&self, table: u32, key: u64) -> StorageResult<Option<Vec<u8>>> {
-        replay::snapshot_read(&self.shared.db, table, key)
+        let db = Arc::clone(&self.shared.state.read().db);
+        replay::snapshot_read(&db, table, key)
     }
 
-    /// The standby database (tests fingerprint its state).
-    pub fn db(&self) -> &Arc<Db> {
-        &self.shared.db
+    /// The standby database (tests fingerprint its state). A snapshot
+    /// bootstrap replaces the standby wholesale — re-fetch after one.
+    pub fn db(&self) -> Arc<Db> {
+        Arc::clone(&self.shared.state.read().db)
     }
 
     /// Current progress counters.
@@ -148,6 +202,7 @@ impl Replica {
             applied: self.shared.applied.load(Ordering::Relaxed),
             commits_seen: self.shared.commits_seen.load(Ordering::Relaxed),
             corrupt_frames: self.shared.corrupt_frames.load(Ordering::Relaxed),
+            bootstraps: self.shared.bootstraps.load(Ordering::Relaxed),
             staleness: self
                 .shared
                 .lag_since
@@ -180,22 +235,27 @@ impl Replica {
     }
 
     /// Promote: finish replaying whatever arrived, then run full ARIES
-    /// recovery (analysis / redo / undo) over the shipped prefix. The
-    /// shipped log may end in a torn frame — recovery truncates at the first
-    /// invalid record, exactly as after a local crash. In-flight primary
-    /// transactions whose commit never arrived are rolled back; every
-    /// commit the primary acked under SemiSync/Quorum (which required this
-    /// ack) is present and survives.
+    /// recovery (analysis / redo / undo) over the shipped prefix — which
+    /// starts at the replica's bootstrap LSN, not zero: recovery tolerates
+    /// the missing (truncated) history because the snapshot's pages already
+    /// contain it. The shipped log may end in a torn frame — recovery
+    /// truncates at the first invalid record, exactly as after a local
+    /// crash. In-flight primary transactions whose commit never arrived are
+    /// rolled back; every commit the primary acked under SemiSync/Quorum
+    /// (which required this ack) is present and survives.
     pub fn promote(mut self) -> StorageResult<(Arc<Db>, RecoveryStats)> {
         self.stop();
         // Persist the replayed pages so recovery starts from them (redo then
         // skips everything at or below each page LSN).
-        self.shared.db.flush_pages();
+        let state = self.shared.state.read();
+        state.db.flush_pages();
         let image = CrashImage {
-            log_bytes: self.shared.device.contents(),
-            store: self.shared.db.store().deep_clone(),
-            schema: self.shared.db.schema(),
+            log_start: state.device.base(),
+            log_bytes: state.device.contents(),
+            store: state.db.store().deep_clone(),
+            schema: state.db.schema(),
         };
+        drop(state);
         aether_storage::recovery::recover_with_stats(image, self.opts.clone())
     }
 }
@@ -209,26 +269,43 @@ impl Drop for Replica {
 fn apply_loop(
     shared: Arc<ReplicaShared>,
     stop: Arc<AtomicBool>,
+    opts: DbOptions,
     rx: LinkReceiver<Vec<u8>>,
     ack_tx: LinkSender<Lsn>,
     cfg: ReplicaConfig,
 ) {
-    // Reorder resistance: frames parked until their predecessors arrive.
-    let mut pending: BTreeMap<u64, Frame> = BTreeMap::new();
+    // Reorder resistance: messages parked until their predecessors arrive.
+    let mut pending: BTreeMap<u64, WireMsg> = BTreeMap::new();
     let mut next_seq = 0u64;
-    let mut replay_at = Lsn::ZERO;
+    let mut replay_at = Lsn(shared.replay.load(Ordering::Acquire));
     loop {
         if let Some(bytes) = rx.recv_timeout(cfg.poll) {
-            ingest(&shared, &ack_tx, &mut pending, &mut next_seq, &bytes);
+            replay_at = ingest(
+                &shared,
+                &opts,
+                &ack_tx,
+                &mut pending,
+                &mut next_seq,
+                replay_at,
+                &bytes,
+            );
         }
         // Continuous redo over everything received so far.
         replay_at = replay_available(&shared, replay_at);
         if stop.load(Ordering::Relaxed) {
-            // Final drain of already-delivered frames, then exit. Frames
+            // Final drain of already-delivered messages, then exit. Frames
             // still parked behind a gap stay unapplied — the gap is where
             // the stream (and any later promotion) cleanly ends.
             while let Some(bytes) = rx.try_recv() {
-                ingest(&shared, &ack_tx, &mut pending, &mut next_seq, &bytes);
+                replay_at = ingest(
+                    &shared,
+                    &opts,
+                    &ack_tx,
+                    &mut pending,
+                    &mut next_seq,
+                    replay_at,
+                    &bytes,
+                );
             }
             replay_available(&shared, replay_at);
             return;
@@ -236,46 +313,60 @@ fn apply_loop(
     }
 }
 
-/// Decode one wire message, restore sequence order, append the contiguous
-/// run, and ack the durably-received LSN.
+/// Decode one wire message, restore sequence order, apply the contiguous
+/// run — appending log bytes, or installing a snapshot bootstrap — and ack
+/// the durably-received LSN. Returns the (possibly rebased) replay cursor.
 fn ingest(
     shared: &ReplicaShared,
+    opts: &DbOptions,
     ack_tx: &LinkSender<Lsn>,
-    pending: &mut BTreeMap<u64, Frame>,
+    pending: &mut BTreeMap<u64, WireMsg>,
     next_seq: &mut u64,
+    mut replay_at: Lsn,
     bytes: &[u8],
-) {
-    match Frame::decode(bytes) {
-        Some(f) if f.seq >= *next_seq => {
-            pending.insert(f.seq, f);
+) -> Lsn {
+    match WireMsg::decode(bytes) {
+        Some(m) if m.seq() >= *next_seq => {
+            pending.insert(m.seq(), m);
         }
-        Some(_) => {} // duplicate of an already-appended frame
+        Some(_) => {} // duplicate of an already-applied message
         None => {
-            // Corrupt frame: drop it. Its sequence number never arrives, so
-            // the stream stops advancing cleanly at the gap — nothing
-            // corrupt is ever appended.
+            // Corrupt message: drop it. Its sequence number never arrives,
+            // so the stream stops advancing cleanly at the gap — nothing
+            // corrupt is ever appended or installed.
             shared.corrupt_frames.fetch_add(1, Ordering::Relaxed);
-            return;
+            return replay_at;
         }
     }
-    // Append the contiguous run restored so far, then ack once.
-    let mut appended = false;
-    while let Some(f) = pending.remove(next_seq) {
-        let have = shared.device.len();
-        let start = f.start_lsn.raw();
-        let end = f.end_lsn().raw();
-        if end > have {
-            // Skip any overlap with already-received bytes (a re-shipped
-            // prefix after reconnect), append the rest.
-            let skip = have.saturating_sub(start) as usize;
-            if start <= have && shared.device.append(&f.bytes[skip..]).is_ok() {
-                appended = true;
+    // Apply the contiguous run restored so far, then ack once.
+    let mut advanced = false;
+    while let Some(m) = pending.remove(next_seq) {
+        match m {
+            WireMsg::Log(f) => {
+                let device = Arc::clone(&shared.state.read().device);
+                let have = device.len();
+                let start = f.start_lsn.raw();
+                let end = f.end_lsn().raw();
+                if end > have {
+                    // Skip any overlap with already-received bytes (a
+                    // re-shipped prefix after reconnect), append the rest.
+                    let skip = have.saturating_sub(start) as usize;
+                    if start <= have && device.append(&f.bytes[skip..]).is_ok() {
+                        advanced = true;
+                    }
+                }
+            }
+            WireMsg::Snapshot(s) => {
+                if let Some(at) = install_snapshot(shared, opts, &s) {
+                    replay_at = at;
+                    advanced = true;
+                }
             }
         }
         *next_seq += 1;
     }
-    if appended {
-        let received = shared.device.len();
+    if advanced {
+        let received = shared.state.read().device.len();
         shared.received.store(received, Ordering::Release);
         let mut lag = shared.lag_since.lock();
         if lag.is_none() {
@@ -286,26 +377,55 @@ fn ingest(
         // commit gate waits on.
         ack_tx.send(Lsn(received));
     }
+    replay_at
+}
+
+/// Re-seed the standby from a shipped checkpoint snapshot: fresh database
+/// from the snapshot pages, log device rebased at the snapshot LSN. A
+/// malformed snapshot counts as a corrupt frame (its gap stalls the stream,
+/// like any other corruption). Returns the new replay cursor.
+fn install_snapshot(shared: &ReplicaShared, opts: &DbOptions, s: &SnapshotFrame) -> Option<Lsn> {
+    let snap = BaseSnapshot::decode(&s.body).or_else(|| {
+        shared.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+        None
+    })?;
+    let db = replay::standby_from_snapshot(opts.clone(), &snap).ok()?;
+    let mut state = shared.state.write();
+    // Never re-seed backwards: a stale snapshot (reordered behind a newer
+    // one) would discard received bytes.
+    if snap.start_lsn.raw() < state.device.len() {
+        return None;
+    }
+    state.db = db;
+    state.device = Arc::new(OffsetDevice::new(snap.start_lsn));
+    drop(state);
+    shared.replay.store(snap.start_lsn.raw(), Ordering::Release);
+    shared.bootstraps.fetch_add(1, Ordering::Relaxed);
+    Some(snap.start_lsn)
 }
 
 /// Replay complete records in `[from, received)`; returns the new frontier.
 /// Stops at an incomplete tail (more bytes may still arrive) or at a torn /
 /// corrupt record (promotion truncates there).
 fn replay_available(shared: &ReplicaShared, from: Lsn) -> Lsn {
-    let mut reader = LogReader::from_lsn(Arc::clone(&shared.device) as Arc<dyn LogDevice>, from);
+    let (db, device) = {
+        let state = shared.state.read();
+        (Arc::clone(&state.db), Arc::clone(&state.device))
+    };
+    let mut reader = LogReader::from_lsn(device.clone() as Arc<dyn LogDevice>, from);
     let mut at = from;
     // Stops at an incomplete tail or corrupt record alike (Ok(None)/Err).
     while let Ok(Some(rec)) = reader.next_record() {
         if rec.header.kind == aether_core::RecordKind::Commit {
             shared.commits_seen.fetch_add(1, Ordering::Relaxed);
         }
-        if replay::apply_record(&shared.db, &rec).unwrap_or(false) {
+        if replay::apply_record(&db, &rec).unwrap_or(false) {
             shared.applied.fetch_add(1, Ordering::Relaxed);
         }
         at = rec.next_lsn();
     }
     shared.replay.store(at.raw(), Ordering::Release);
-    if at.raw() >= shared.device.len() {
+    if at.raw() >= device.len() {
         *shared.lag_since.lock() = None;
     }
     at

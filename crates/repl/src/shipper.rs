@@ -1,18 +1,33 @@
 //! The log shipper: tails the primary's durable frontier and streams it.
 //!
 //! One shipper per replica. The ship thread blocks on the primary's
-//! [`DurableWatch`] — no spin-polling — and forwards every newly-durable
-//! byte run as a CRC-framed message; because the flush daemon advances the
-//! durable watermark once per *group* flush, the shipper naturally emits one
-//! frame per commit group and the replica acks it with a single message:
-//! group commit amortizes the ack round-trip exactly as it amortizes the
-//! local sync. The ack thread folds replica acks into the primary's
-//! [`CommitGate`] and re-checks pending commits.
+//! [`aether_core::manager::DurableWatch`] — no spin-polling — and forwards
+//! every newly-durable byte run as a CRC-framed message; because the flush
+//! daemon advances the durable watermark once per *group* flush, the
+//! shipper naturally emits one frame per commit group and the replica acks
+//! it with a single message: group commit amortizes the ack round-trip
+//! exactly as it amortizes the local sync. The ack thread folds replica
+//! acks into the primary's [`aether_core::commit::CommitGate`] and
+//! re-checks pending commits.
+//!
+//! ## Falling behind the truncated prefix
+//!
+//! Checkpoint-driven truncation ([`aether_core::LogManager::truncate_to`])
+//! normally never outruns a registered replica's acks. But a forced
+//! truncation (bounded-disk emergency) — or a shipper attached with a
+//! stale start position — can leave the read cursor below the log's
+//! low-water mark, where the bytes no longer exist. The shipper detects
+//! this, captures a fresh checkpoint [`BaseSnapshot`] from the primary
+//! (pages + ATT/DPT), ships it as a [`SnapshotFrame`] in sequence order,
+//! and resumes log frames from the snapshot LSN. The replica re-seeds
+//! itself; no historical log is ever required again.
 
-use crate::frame::Frame;
+use crate::frame::{Frame, SnapshotFrame};
 use crate::transport::{LinkReceiver, LinkSender};
 use aether_core::commit::ReplicaAck;
-use aether_core::{LogManager, Lsn};
+use aether_core::Lsn;
+use aether_storage::db::Db;
+use aether_storage::replay::{self, BaseSnapshot};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,6 +54,7 @@ impl Default for ShipperConfig {
 pub struct Shipper {
     stop: Arc<AtomicBool>,
     shipped: Arc<AtomicU64>,
+    snapshots_sent: Arc<AtomicU64>,
     ship_thread: Option<std::thread::JoinHandle<()>>,
     ack_thread: Option<std::thread::JoinHandle<()>>,
 }
@@ -47,39 +63,70 @@ impl std::fmt::Debug for Shipper {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shipper")
             .field("shipped", &self.shipped_lsn())
+            .field("snapshots_sent", &self.snapshots_sent())
             .finish()
     }
 }
 
 impl Shipper {
-    /// Start shipping `log`'s durable bytes through `tx`, folding acks from
-    /// `ack_rx` into `ack` (a handle from
-    /// [`aether_core::commit::CommitGate::register_replica`]).
+    /// Start shipping `primary`'s durable log bytes through `tx` from
+    /// `start_lsn` (the replica's bootstrap LSN — zero for a replica seeded
+    /// with the full history), folding acks from `ack_rx` into `ack` (a
+    /// handle from [`aether_core::commit::CommitGate::register_replica`]).
     pub fn spawn(
-        log: Arc<LogManager>,
+        primary: Arc<Db>,
         tx: LinkSender<Vec<u8>>,
         ack_rx: LinkReceiver<Lsn>,
         ack: Arc<ReplicaAck>,
+        start_lsn: Lsn,
         cfg: ShipperConfig,
     ) -> Shipper {
         let stop = Arc::new(AtomicBool::new(false));
-        let shipped = Arc::new(AtomicU64::new(0));
+        let shipped = Arc::new(AtomicU64::new(start_lsn.raw()));
+        let snapshots_sent = Arc::new(AtomicU64::new(0));
 
         let ship_thread = {
-            let log = Arc::clone(&log);
+            let primary = Arc::clone(&primary);
             let stop = Arc::clone(&stop);
             let shipped = Arc::clone(&shipped);
+            let snapshots_sent = Arc::clone(&snapshots_sent);
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name("aether-shipper".into())
                 .spawn(move || {
+                    let log = Arc::clone(primary.log());
                     let watch = log.durable_watch();
+                    // The truncation counterpart of the durable watch: the
+                    // ship cursor is compared against the low-water mark it
+                    // tracks to detect falling behind a truncation.
+                    let trunc = log.truncation_watch();
                     let device = Arc::clone(log.device());
-                    let mut at = Lsn::ZERO;
+                    let mut at = start_lsn;
                     let mut seq = 0u64;
                     while !stop.load(Ordering::Relaxed) {
+                        // Fell behind the truncated prefix? The bytes below
+                        // the low-water mark are gone; re-seed the replica
+                        // from a fresh checkpoint snapshot instead.
+                        if at < trunc.current() {
+                            let snap: BaseSnapshot = replay::base_snapshot(&primary);
+                            let msg = SnapshotFrame {
+                                seq,
+                                body: snap.encode(),
+                            };
+                            if !tx.send(msg.encode()) {
+                                return; // replica gone
+                            }
+                            seq += 1;
+                            at = snap.start_lsn;
+                            shipped.store(at.raw(), Ordering::Release);
+                            snapshots_sent.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
                         let durable = watch.wait_past(at, cfg.poll);
                         while at < durable {
+                            if at < trunc.current() {
+                                break; // truncated mid-run: snapshot instead
+                            }
                             let n = (cfg.chunk as u64).min(durable.since(at)) as usize;
                             let mut bytes = vec![0u8; n];
                             let got = match device.read_at(at.raw(), &mut bytes) {
@@ -112,6 +159,7 @@ impl Shipper {
             std::thread::Builder::new()
                 .name("aether-shipper-ack".into())
                 .spawn(move || {
+                    let log = Arc::clone(primary.log());
                     while !stop.load(Ordering::Relaxed) {
                         if let Some(lsn) = ack_rx.recv_timeout(cfg.poll) {
                             ack.advance(lsn);
@@ -130,6 +178,7 @@ impl Shipper {
         Shipper {
             stop,
             shipped,
+            snapshots_sent,
             ship_thread: Some(ship_thread),
             ack_thread: Some(ack_thread),
         }
@@ -138,6 +187,13 @@ impl Shipper {
     /// Highest LSN shipped so far.
     pub fn shipped_lsn(&self) -> Lsn {
         Lsn(self.shipped.load(Ordering::Acquire))
+    }
+
+    /// Snapshot bootstraps shipped after falling behind the truncated
+    /// prefix (zero in a cluster whose truncation never outran this
+    /// replica's acks).
+    pub fn snapshots_sent(&self) -> u64 {
+        self.snapshots_sent.load(Ordering::Relaxed)
     }
 
     /// Stop both threads (idempotent). Dropping the shipper also stops it —

@@ -1,6 +1,6 @@
 //! In-process links with injectable latency and deterministic reordering.
 //!
-//! Replication runs offline and deterministically: a [`Link`] is a pair of
+//! Replication runs offline and deterministically: a [`link`] is a pair of
 //! channel endpoints joined by a delivery thread that holds each message for
 //! the configured one-way latency (latency, not bandwidth: messages overlap
 //! in flight, like the paper's high-resolution-timer device model) and can

@@ -170,7 +170,7 @@ proptest! {
         let st = cluster.replica(0).status();
         prop_assert_eq!(st.corrupt_frames, 0);
         prop_assert_eq!(
-            state_fingerprint(cluster.replica(0).db()).unwrap(),
+            state_fingerprint(&cluster.replica(0).db()).unwrap(),
             state_fingerprint(&primary).unwrap(),
             "replica state == primary state"
         );

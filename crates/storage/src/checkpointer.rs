@@ -1,15 +1,17 @@
 //! Background checkpoint daemon.
 //!
 //! Production engines take fuzzy checkpoints on a timer so recovery time and
-//! log volume stay bounded. This daemon periodically: flushes dirty pages to
-//! the page store, takes a fuzzy checkpoint (ATT + DPT), computes the ARIES
-//! truncation point, and — when the log lives on a
-//! [`SegmentedDevice`] — recycles
-//! sealed segments behind it.
+//! log volume stay bounded. This daemon periodically runs one housekeeping
+//! cycle ([`crate::db::Db::checkpoint_and_truncate`]): flush dirty pages,
+//! take a fuzzy checkpoint (ATT + DPT), publish the checkpoint's redo
+//! low-water mark, and retire the log prefix below it through
+//! [`aether_core::LogManager::truncate_to`] — which recycles whole sealed
+//! segments when the log lives on a
+//! [`aether_core::partition::SegmentedDevice`] and never outruns the
+//! slowest replica acknowledgement.
 
 use crate::db::Db;
-use aether_core::partition::SegmentedDevice;
-use aether_core::Lsn;
+use aether_core::TruncationOutcome;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,14 +34,9 @@ impl std::fmt::Debug for Checkpointer {
 }
 
 impl Checkpointer {
-    /// Start checkpointing `db` every `interval`. If `segments` is given,
-    /// sealed segments behind the truncation point are recycled after each
-    /// checkpoint.
-    pub fn start(
-        db: Arc<Db>,
-        interval: Duration,
-        segments: Option<Arc<SegmentedDevice>>,
-    ) -> Checkpointer {
+    /// Start checkpointing `db` every `interval`. Each cycle also truncates
+    /// the log behind the fresh checkpoint's redo low-water mark.
+    pub fn start(db: Arc<Db>, interval: Duration) -> Checkpointer {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let checkpoints = Arc::new(AtomicU64::new(0));
         let st = Arc::clone(&stop);
@@ -57,7 +54,7 @@ impl Checkpointer {
                         return;
                     }
                 }
-                Self::checkpoint_once(&db, segments.as_deref());
+                Self::checkpoint_once(&db);
                 ck.fetch_add(1, Ordering::Relaxed);
             })
             .expect("spawn checkpoint daemon");
@@ -68,16 +65,11 @@ impl Checkpointer {
         }
     }
 
-    /// One checkpoint cycle: flush pages, fuzzy checkpoint, recycle log
-    /// segments behind the truncation point. Returns the truncation point.
-    pub fn checkpoint_once(db: &Db, segments: Option<&SegmentedDevice>) -> Lsn {
-        db.flush_pages();
-        db.checkpoint();
-        let point = db.log_truncation_point();
-        if let Some(seg) = segments {
-            seg.truncate_before(point);
-        }
-        point
+    /// One checkpoint cycle: flush pages, fuzzy checkpoint, retire the log
+    /// prefix below the published redo low-water mark. Returns the
+    /// truncation outcome (`applied` is the new low-water mark).
+    pub fn checkpoint_once(db: &Db) -> TruncationOutcome {
+        db.checkpoint_and_truncate()
     }
 
     /// Checkpoints taken so far.
@@ -113,8 +105,9 @@ mod tests {
     use super::*;
     use crate::db::DbOptions;
     use crate::txn::CommitProtocol;
-    use aether_core::partition::MemSegmentFactory;
+    use aether_core::partition::{MemSegmentFactory, SegmentedDevice};
     use aether_core::record::RecordKind;
+    use aether_core::Lsn;
 
     fn rec(key: u64) -> Vec<u8> {
         let mut r = vec![1u8; 40];
@@ -134,7 +127,7 @@ mod tests {
             db.load(0, k, &rec(k)).unwrap();
         }
         db.setup_complete();
-        let mut ck = Checkpointer::start(Arc::clone(&db), Duration::from_millis(20), None);
+        let mut ck = Checkpointer::start(Arc::clone(&db), Duration::from_millis(20));
         // Generate work while the daemon checkpoints underneath.
         for i in 0..200u64 {
             let mut txn = db.begin();
@@ -158,6 +151,9 @@ mod tests {
             .filter(|r| r.header.kind == RecordKind::CheckpointEnd)
             .count();
         assert!(ends as u64 >= taken);
+        // On a plain (non-segmented) device the truncation calls were
+        // harmless no-ops.
+        assert_eq!(db.log().low_water(), Lsn::ZERO);
     }
 
     #[test]
@@ -188,12 +184,16 @@ mod tests {
                 .unwrap();
                 db.commit(txn).unwrap();
             }
-            Checkpointer::checkpoint_once(&db, Some(&segments));
+            let out = Checkpointer::checkpoint_once(&db);
+            assert!(!out.held_back_by_replica, "no replicas registered");
+            assert_eq!(out.applied, db.redo_low_water());
         }
         assert!(
             segments.recycled_segments() > 0,
             "log must be bounded by checkpoint-driven recycling"
         );
         assert!(segments.live_segments() < 10);
+        assert_eq!(db.log().low_water(), db.redo_low_water());
+        assert!(db.log().truncation_stats().segments_recycled > 0);
     }
 }

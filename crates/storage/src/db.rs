@@ -41,10 +41,16 @@ impl Default for DbOptions {
     }
 }
 
-/// What survives a crash: the durable log prefix, the page store, and the
-/// schema (which a real system would read from its catalog pages).
+/// What survives a crash: the *retained* durable log suffix (plus the
+/// stream offset where it begins — the prefix below it was recycled behind
+/// fuzzy checkpoints), the page store, and the schema (which a real system
+/// would read from its catalog pages).
 pub struct CrashImage {
-    /// Bytes of the log device at crash time (ring contents are lost).
+    /// Stream offset (LSN) of `log_bytes[0]`: the log's low-water mark at
+    /// crash time. Zero for a log that was never truncated.
+    pub log_start: Lsn,
+    /// Retained bytes of the log device at crash time (ring contents are
+    /// lost, and so is everything below `log_start`).
     pub log_bytes: Vec<u8>,
     /// Deep copy of the page store at crash time.
     pub store: Arc<PageStore>,
@@ -55,6 +61,7 @@ pub struct CrashImage {
 impl std::fmt::Debug for CrashImage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CrashImage")
+            .field("log_start", &self.log_start)
             .field("log_bytes", &self.log_bytes.len())
             .field("stored_pages", &self.store.len())
             .field("tables", &self.schema.len())
@@ -100,6 +107,12 @@ pub struct Db {
     store: Arc<PageStore>,
     opts: DbOptions,
     stats: DbStats,
+    /// Begin LSN of the last fuzzy checkpoint (ZERO before the first).
+    last_checkpoint: aether_core::lsn::AtomicLsn,
+    /// The redo low-water mark published by the last fuzzy checkpoint: the
+    /// ARIES truncation point computed at checkpoint time. Everything
+    /// strictly below it is recoverable from the page store alone.
+    redo_low_water: aether_core::lsn::AtomicLsn,
 }
 
 impl std::fmt::Debug for Db {
@@ -152,6 +165,8 @@ impl Db {
             store,
             opts,
             stats: DbStats::default(),
+            last_checkpoint: aether_core::lsn::AtomicLsn::new(Lsn::ZERO),
+            redo_low_water: aether_core::lsn::AtomicLsn::new(Lsn::ZERO),
         })
     }
 
@@ -606,20 +621,59 @@ impl Db {
     }
 
     /// Take a fuzzy checkpoint: begin record, ATT + DPT snapshot, end
-    /// record, flushed. Returns the checkpoint-begin LSN.
+    /// record, flushed — then publish the checkpoint's redo low-water mark
+    /// ([`Db::redo_low_water`]), the truncation point the log may be
+    /// retired to. Returns the checkpoint-begin LSN.
     pub fn checkpoint(&self) -> Lsn {
         let begin = self.log.insert(RecordKind::CheckpointBegin, 0, &[]);
         let att = self.txns.att_snapshot();
-        let mut dpt = Vec::new();
-        for t in self.tables.read().iter() {
-            dpt.extend(t.dpt_snapshot());
-        }
-        let payload = CheckpointPayload { att, dpt };
+        let payload = CheckpointPayload {
+            att,
+            dpt: self.dpt_snapshot(),
+        };
         let (_, end) =
             self.log
                 .insert_ext(RecordKind::CheckpointEnd, 0, Lsn::ZERO, &payload.encode());
         self.log.flush_until(end);
+        self.last_checkpoint.fetch_max(begin);
+        self.redo_low_water.fetch_max(self.log_truncation_point());
         begin
+    }
+
+    /// Begin LSN of the last fuzzy checkpoint ([`Lsn::ZERO`] before any).
+    pub fn last_checkpoint_lsn(&self) -> Lsn {
+        self.last_checkpoint.load()
+    }
+
+    /// The redo low-water mark published by the last fuzzy checkpoint: the
+    /// highest safe log-truncation point known. Recovery needs nothing
+    /// strictly below it — every older update is in the page store and no
+    /// active transaction's undo chain reaches below it.
+    pub fn redo_low_water(&self) -> Lsn {
+        self.redo_low_water.load()
+    }
+
+    /// One full housekeeping cycle: flush dirty pages, take a fuzzy
+    /// checkpoint, and retire the log prefix through
+    /// [`aether_core::LogManager::truncate_to`] (which refuses to outrun
+    /// the slowest replica ack). Two-tier target: first the fresh
+    /// checkpoint's redo low-water mark; if a replica has not yet
+    /// acknowledged that far — under replication the checkpoint's own
+    /// records are always still in flight — fall back to the *previous*
+    /// checkpoint's mark, which any keeping-up replica acked long ago
+    /// (the keep-two-checkpoints policy of production WAL managers). Either
+    /// way the on-disk log and the recovery scan stay bounded by checkpoint
+    /// distance instead of growing with uptime; only a genuinely lagging
+    /// replica pins the log.
+    pub fn checkpoint_and_truncate(&self) -> aether_core::TruncationOutcome {
+        let prev = self.redo_low_water();
+        self.flush_pages();
+        self.checkpoint();
+        let out = self.log.truncate_to(self.redo_low_water());
+        if out.held_back_by_replica && prev > self.log.low_water() {
+            return self.log.truncate_to(prev);
+        }
+        out
     }
 
     /// The ARIES log-truncation point: everything strictly below this LSN
@@ -628,15 +682,24 @@ impl Db {
     /// might undo through it (no active txn's first record is below it).
     pub fn log_truncation_point(&self) -> Lsn {
         let mut point = self.log.durable_lsn();
-        for t in self.tables.read().iter() {
-            for (_, rec_lsn) in t.dpt_snapshot() {
-                point = point.min(rec_lsn);
-            }
+        for (_, rec_lsn) in self.dpt_snapshot() {
+            point = point.min(rec_lsn);
         }
         if let Some(oldest) = self.txns.oldest_first_lsn() {
             point = point.min(oldest);
         }
         point
+    }
+
+    /// The live dirty-page table across all tables: `(packed page id,
+    /// recovery LSN)` per dirty page. What fuzzy checkpoints record and the
+    /// truncation point is computed from.
+    pub fn dpt_snapshot(&self) -> Vec<(u64, Lsn)> {
+        let mut dpt = Vec::new();
+        for t in self.tables.read().iter() {
+            dpt.extend(t.dpt_snapshot());
+        }
+        dpt
     }
 
     /// The schema as (record_size, dense_rows) per table id — what a real
@@ -655,16 +718,19 @@ impl Db {
         self.tables.read().len()
     }
 
-    /// Capture what would survive a power failure right now: the durable log
-    /// prefix and the page store. The in-memory ring, frames, and lock state
-    /// are all lost. Panics if the log device cannot snapshot (Null).
+    /// Capture what would survive a power failure right now: the retained
+    /// durable log suffix (with its start offset — the truncated prefix is
+    /// gone, as on a real disk) and the page store. The in-memory ring,
+    /// frames, and lock state are all lost. Panics if the log device cannot
+    /// snapshot (Null).
     pub fn crash(&self) -> CrashImage {
-        let log_bytes = self
+        let (log_start, log_bytes) = self
             .log
             .device()
-            .snapshot()
+            .snapshot_from()
             .expect("crash simulation needs a snapshot-capable log device");
         CrashImage {
+            log_start,
             log_bytes,
             store: self.store.deep_clone(),
             schema: self.schema(),

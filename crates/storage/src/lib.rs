@@ -36,7 +36,9 @@ pub mod table;
 pub mod txn;
 pub mod wal;
 
+pub use checkpointer::Checkpointer;
 pub use db::{CrashImage, Db, DbOptions};
 pub use error::{StorageError, StorageResult};
 pub use lock::{LockId, LockMode};
+pub use replay::BaseSnapshot;
 pub use txn::{CommitOutcome, CommitProtocol, Transaction};

@@ -1,11 +1,21 @@
 //! ARIES-style restart recovery: analysis → redo → undo.
 //!
-//! * **Analysis** scans the durable log prefix and classifies transactions:
-//!   winners (commit record present), cleanly-aborted (abort record present —
-//!   their CLRs already restored everything), and losers (everything else).
-//!   Checkpoint records are decoded and sanity-checked; because our logs are
-//!   laptop-scale we scan from LSN 0, which subsumes the checkpoint
-//!   warm-start (redo remains correct and idempotent via page LSNs).
+//! * **Analysis** scans the *retained* durable log — from the crash image's
+//!   `log_start` (the truncation low-water mark the last fuzzy checkpoint
+//!   published; zero for a never-truncated log) — and classifies
+//!   transactions: winners (commit record present), cleanly-aborted (abort
+//!   record present — their CLRs already restored everything), and losers
+//!   (everything else). The last complete checkpoint's ATT seeds the loser
+//!   table, so a transaction whose only records precede the checkpoint is
+//!   still found and undone. Truncation safety (DESIGN.md invariant 7)
+//!   guarantees every record analysis or undo could need is at or above
+//!   `log_start`: the truncation point never exceeds the oldest active
+//!   transaction's first record or any dirty page's recovery LSN.
+//! * The last checkpoint's DPT gives the **redo start** (its minimum
+//!   recovery LSN, or the checkpoint itself when no page was dirty):
+//!   records below it only touch pages whose images in the store already
+//!   contain them, so redo skips them. This is what bounds recovery time by
+//!   checkpoint distance rather than uptime.
 //! * **Redo repeats history**: every Update/CLR whose LSN is newer than the
 //!   target page's LSN is reapplied, reconstructing exactly the crash-moment
 //!   page state — including updates of losers.
@@ -24,13 +34,12 @@ use crate::error::{StorageError, StorageResult};
 use crate::page::Rid;
 use crate::table::Table;
 use crate::wal::{CheckpointPayload, ClrPayload, UpdatePayload};
-use aether_core::device::{LogDevice, SimDevice};
+use aether_core::device::{LogDevice, OffsetDevice};
 use aether_core::reader::LogReader;
 use aether_core::record::{Record, RecordKind};
 use aether_core::{LogManager, Lsn};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Outcome statistics from a recovery run (inspectable in tests).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -49,6 +58,15 @@ pub struct RecoveryStats {
     pub clrs_written: usize,
     /// Checkpoints observed.
     pub checkpoints: usize,
+    /// Where the analysis scan began: the crash image's retained-log start
+    /// (the truncation low-water mark; zero for a never-truncated log).
+    pub scan_start: Lsn,
+    /// Where redo began: the last checkpoint's minimum dirty-page recovery
+    /// LSN (== `scan_start` when no complete checkpoint was found).
+    pub redo_start: Lsn,
+    /// Update/CLR records skipped by redo because they precede `redo_start`
+    /// (their effects are already in the flushed page images).
+    pub redo_skipped: usize,
 }
 
 /// Recover a database from a crash image; see module docs.
@@ -63,15 +81,22 @@ pub fn recover_with_stats(
 ) -> StorageResult<(Arc<Db>, RecoveryStats)> {
     let mut stats = RecoveryStats::default();
 
-    // Rebuild the log device with the surviving bytes. Scan *first*: the
-    // crash may have torn the final record, and new records (CLRs,
-    // post-recovery traffic) must append at the end of the valid prefix —
-    // otherwise the dead tail bytes would terminate every future scan early.
-    let device: Arc<SimDevice> = Arc::new(SimDevice::new(Duration::ZERO));
+    // Rebuild the log device with the surviving bytes at their original
+    // stream offsets — the truncated prefix is *not* materialized, so
+    // recovery cost scales with the retained suffix (checkpoint distance),
+    // not uptime. Scan *first*: the crash may have torn the final record,
+    // and new records (CLRs, post-recovery traffic) must append at the end
+    // of the valid prefix — otherwise the dead tail bytes would terminate
+    // every future scan early.
+    let device: Arc<OffsetDevice> = Arc::new(OffsetDevice::new(image.log_start));
     device.append(&image.log_bytes)?;
     let records = LogReader::new(Arc::clone(&device) as Arc<dyn LogDevice>).read_all()?;
-    let valid_end = records.last().map(|r| r.next_lsn()).unwrap_or(Lsn::ZERO);
+    let valid_end = records
+        .last()
+        .map(|r| r.next_lsn())
+        .unwrap_or(image.log_start);
     device.truncate(valid_end.raw());
+    stats.scan_start = image.log_start;
     let log = Arc::new(
         LogManager::builder()
             .config(opts.log_config.clone())
@@ -92,6 +117,7 @@ pub fn recover_with_stats(
     let mut winners: HashSet<u64> = HashSet::new();
     let mut clean_aborts: HashSet<u64> = HashSet::new();
     let mut max_txn = 0u64;
+    let mut last_ckpt: Option<(Lsn, CheckpointPayload)> = None;
     for rec in &records {
         let txn = rec.header.txn;
         max_txn = max_txn.max(txn);
@@ -107,13 +133,42 @@ pub fn recover_with_stats(
             }
             RecordKind::CheckpointEnd => {
                 stats.checkpoints += 1;
-                CheckpointPayload::decode(&rec.payload).ok_or_else(|| {
+                let payload = CheckpointPayload::decode(&rec.payload).ok_or_else(|| {
                     StorageError::Recovery("undecodable checkpoint payload".into())
                 })?;
+                last_ckpt = Some((rec.lsn, payload));
             }
             RecordKind::CheckpointBegin | RecordKind::Filler | RecordKind::End => {}
         }
     }
+    // Seed the transaction table from the last complete checkpoint's ATT: a
+    // transaction active at checkpoint time whose records all precede the
+    // scanned suffix must still be rolled back. (Truncation safety keeps
+    // its whole undo chain at or above `log_start`.) Entries merge by max —
+    // a record seen after the checkpoint supersedes the checkpoint's view.
+    if let Some((_, ref ckpt)) = last_ckpt {
+        for &(txn, at_ckpt) in &ckpt.att {
+            max_txn = max_txn.max(txn);
+            if at_ckpt.is_zero() {
+                continue; // registered but had logged nothing yet
+            }
+            let e = last_lsn.entry(txn).or_insert(Lsn::ZERO);
+            *e = (*e).max(at_ckpt);
+        }
+    }
+    // Redo starts at the last checkpoint's minimum dirty-page recovery LSN:
+    // every older update is already in the flushed page images the tables
+    // were just rebuilt from.
+    let redo_start = match last_ckpt {
+        Some((ckpt_lsn, ref ckpt)) => ckpt
+            .dpt
+            .iter()
+            .map(|&(_, rec_lsn)| rec_lsn)
+            .min()
+            .unwrap_or(ckpt_lsn),
+        None => image.log_start,
+    };
+    stats.redo_start = redo_start;
     stats.winners = winners.len();
     stats.clean_aborts = clean_aborts.len();
     let losers: HashMap<u64, Lsn> = last_lsn
@@ -123,8 +178,15 @@ pub fn recover_with_stats(
         .collect();
     stats.losers = losers.len();
 
-    // ---------------- Redo (repeat history) ----------------
+    // ---------------- Redo (repeat history, from the redo point) ----------------
     for rec in &records {
+        if rec.lsn < redo_start && matches!(rec.header.kind, RecordKind::Update | RecordKind::Clr) {
+            // Below the checkpoint's redo point: the flushed page images
+            // already contain this change (page-LSN redo would skip it too;
+            // this avoids even decoding it).
+            stats.redo_skipped += 1;
+            continue;
+        }
         match rec.header.kind {
             RecordKind::Update => {
                 let u = UpdatePayload::decode(&rec.payload).ok_or_else(|| {
@@ -227,8 +289,11 @@ fn finish_loser(db: &Db, txn: u64, chain: &mut HashMap<u64, Lsn>) {
     db.log().insert_chained(RecordKind::Abort, txn, prev, &[]);
 }
 
-/// Random-access read of one record at `lsn` from the old log prefix.
-fn read_record_at(device: &Arc<SimDevice>, lsn: Lsn) -> StorageResult<Option<Record>> {
+/// Random-access read of one record at `lsn` from the retained log. An LSN
+/// below the device's low-water mark reads zero bytes and surfaces as
+/// `None` — the caller's "undo chain points at invalid LSN" error is the
+/// safety net proving truncation never outran an undo chain.
+fn read_record_at(device: &Arc<OffsetDevice>, lsn: Lsn) -> StorageResult<Option<Record>> {
     let mut r = LogReader::from_lsn(Arc::clone(device) as Arc<dyn LogDevice>, lsn);
     Ok(r.next_record()?)
 }
@@ -238,6 +303,7 @@ mod tests {
     use super::*;
     use crate::txn::CommitProtocol;
     use aether_core::{BufferKind, DeviceKind, LogConfig};
+    use std::time::Duration;
 
     fn rec_bytes(key: u64, size: usize, fill: u8) -> Vec<u8> {
         let mut r = vec![fill; size];

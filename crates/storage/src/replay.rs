@@ -17,10 +17,162 @@ use crate::error::{StorageError, StorageResult};
 use crate::page::Rid;
 use crate::store::PageStore;
 use crate::table::Table;
-use crate::wal::{ClrPayload, UpdatePayload};
+use crate::wal::{CheckpointPayload, ClrPayload, UpdatePayload};
 use aether_core::record::{Record, RecordKind};
 use aether_core::{DeviceKind, LogManager, Lsn};
 use std::sync::Arc;
+
+/// A checkpoint-consistent base snapshot: everything a fresh replica needs
+/// to join a cluster whose log prefix has been truncated away.
+///
+/// `start_lsn` is the primary's truncation-safe point at capture time
+/// (`min(durable, dirty-page recovery LSNs, oldest active transaction's
+/// first record)` — [`crate::db::Db::log_truncation_point`] right after a
+/// page flush): every record below it is reflected in `pages`, and every
+/// record any in-flight transaction could need — redo *or* undo — is at or
+/// above it, so shipping the log from `start_lsn` onward is sufficient for
+/// both continuous replay and a later promotion. The fuzzy checkpoint's
+/// ATT/DPT ride along, mirroring what the capture-time checkpoint wrote
+/// into the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseSnapshot {
+    /// First LSN the replica must receive; base of its log device.
+    pub start_lsn: Lsn,
+    /// Schema: (record_size, dense_rows) per table id.
+    pub schema: Vec<(usize, u64)>,
+    /// Flushed pages: (packed page id, page LSN, bytes).
+    pub pages: Vec<(u64, Lsn, Vec<u8>)>,
+    /// Active-transaction table at capture time.
+    pub att: Vec<(u64, Lsn)>,
+    /// Dirty-page table at capture time.
+    pub dpt: Vec<(u64, Lsn)>,
+}
+
+impl BaseSnapshot {
+    /// Serialize for shipping over a replication link. Layout:
+    /// `[start u64][n_schema u32][n_pages u32][ckpt_len u32]` then per
+    /// table `[record_size u64][dense_rows u64]`, per page
+    /// `[id u64][lsn u64][len u32][bytes]`, then the encoded
+    /// ATT/DPT ([`CheckpointPayload`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let ckpt = CheckpointPayload {
+            att: self.att.clone(),
+            dpt: self.dpt.clone(),
+        }
+        .encode();
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.start_lsn.raw().to_le_bytes());
+        out.extend_from_slice(&(self.schema.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.pages.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(ckpt.len() as u32).to_le_bytes());
+        for &(record_size, dense_rows) in &self.schema {
+            out.extend_from_slice(&(record_size as u64).to_le_bytes());
+            out.extend_from_slice(&dense_rows.to_le_bytes());
+        }
+        for (id, lsn, data) in &self.pages {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&lsn.raw().to_le_bytes());
+            out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        out.extend_from_slice(&ckpt);
+        out
+    }
+
+    /// Decode; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<BaseSnapshot> {
+        if buf.len() < 20 {
+            return None;
+        }
+        let start_lsn = Lsn(u64::from_le_bytes(buf[0..8].try_into().ok()?));
+        let n_schema = u32::from_le_bytes(buf[8..12].try_into().ok()?) as usize;
+        let n_pages = u32::from_le_bytes(buf[12..16].try_into().ok()?) as usize;
+        let ckpt_len = u32::from_le_bytes(buf[16..20].try_into().ok()?) as usize;
+        let mut at = 20;
+        let mut schema = Vec::with_capacity(n_schema);
+        for _ in 0..n_schema {
+            if buf.len() < at + 16 {
+                return None;
+            }
+            let record_size = u64::from_le_bytes(buf[at..at + 8].try_into().ok()?) as usize;
+            let dense_rows = u64::from_le_bytes(buf[at + 8..at + 16].try_into().ok()?);
+            schema.push((record_size, dense_rows));
+            at += 16;
+        }
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            if buf.len() < at + 20 {
+                return None;
+            }
+            let id = u64::from_le_bytes(buf[at..at + 8].try_into().ok()?);
+            let lsn = Lsn(u64::from_le_bytes(buf[at + 8..at + 16].try_into().ok()?));
+            let len = u32::from_le_bytes(buf[at + 16..at + 20].try_into().ok()?) as usize;
+            at += 20;
+            if buf.len() < at + len {
+                return None;
+            }
+            pages.push((id, lsn, buf[at..at + len].to_vec()));
+            at += len;
+        }
+        if buf.len() != at + ckpt_len {
+            return None;
+        }
+        let ckpt = CheckpointPayload::decode(&buf[at..])?;
+        Some(BaseSnapshot {
+            start_lsn,
+            schema,
+            pages,
+            att: ckpt.att,
+            dpt: ckpt.dpt,
+        })
+    }
+}
+
+/// Capture a [`BaseSnapshot`] from a live primary: flush every dirty page,
+/// take a fuzzy checkpoint (publishing a fresh redo low-water mark), and
+/// export the store. The returned `start_lsn` is the truncation point at
+/// capture time, so the snapshot composes with any *prior* truncation —
+/// the shipped stream `[start_lsn, ...)` plus the pages is a complete
+/// replica seed even though the log below `start_lsn` may be long gone.
+pub fn base_snapshot(db: &Db) -> BaseSnapshot {
+    db.flush_pages();
+    db.checkpoint();
+    let start_lsn = db.redo_low_water();
+    // ATT/DPT sampled after the checkpoint, like the checkpoint's own
+    // payload: fuzzy, but every referenced LSN is >= start_lsn (an active
+    // transaction's first record and a dirty page's recovery LSN both pin
+    // the truncation point the start LSN was computed from).
+    BaseSnapshot {
+        start_lsn,
+        schema: db.schema(),
+        pages: db.store().export(),
+        att: db.txn_manager().att_snapshot(),
+        dpt: db.dpt_snapshot(),
+    }
+}
+
+/// Build a standby database from a [`BaseSnapshot`] (the receiving end of a
+/// replica bootstrap — fresh attach or a re-seed after the shipper fell
+/// behind the truncated prefix). The snapshot's DPT is the integrity gate:
+/// a dirty page whose recovery LSN lies below the snapshot's own start LSN
+/// means the capture was inconsistent (the shipped stream could never redo
+/// that page), so the snapshot is rejected rather than silently installed.
+/// The ATT advances the standby's transaction-id floor, so a later
+/// promotion never reissues an id that was in flight at capture time.
+pub fn standby_from_snapshot(opts: DbOptions, snap: &BaseSnapshot) -> StorageResult<Arc<Db>> {
+    if let Some(&(page, rec_lsn)) = snap.dpt.iter().find(|&&(_, rec)| rec < snap.start_lsn) {
+        return Err(StorageError::Recovery(format!(
+            "inconsistent base snapshot: dirty page {page} has recovery LSN {rec_lsn} below the snapshot start {}",
+            snap.start_lsn
+        )));
+    }
+    let store = PageStore::from_pages(&snap.pages);
+    let db = standby_db(opts, store, &snap.schema)?;
+    if let Some(max) = snap.att.iter().map(|&(txn, _)| txn).max() {
+        db.txn_manager().bump_next(max + 1);
+    }
+    Ok(db)
+}
 
 /// Build a standby database from a base backup: the primary's flushed page
 /// store plus its schema. The standby's own log discards writes (it never

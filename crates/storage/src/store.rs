@@ -59,6 +59,33 @@ impl PageStore {
         })
     }
 
+    /// Every stored page as `(packed page id, page LSN, bytes)`, sorted by
+    /// id — the serializable form a base snapshot ships to a bootstrapping
+    /// replica.
+    pub fn export(&self) -> Vec<(u64, Lsn, Vec<u8>)> {
+        let mut out: Vec<(u64, Lsn, Vec<u8>)> = self
+            .pages
+            .lock()
+            .iter()
+            .map(|(&id, (lsn, data))| (id, *lsn, data.to_vec()))
+            .collect();
+        out.sort_unstable_by_key(|&(id, _, _)| id);
+        out
+    }
+
+    /// Rebuild a store from exported pages (the receiving end of a base
+    /// snapshot).
+    pub fn from_pages(pages: &[(u64, Lsn, Vec<u8>)]) -> Arc<PageStore> {
+        let store = PageStore::new();
+        {
+            let mut g = store.pages.lock();
+            for (id, lsn, data) in pages {
+                g.insert(*id, (*lsn, data.clone().into_boxed_slice()));
+            }
+        }
+        store
+    }
+
     /// Highest page number flushed for `table`, if any.
     pub fn max_page_no(&self, table: u32) -> Option<u32> {
         self.pages

@@ -10,7 +10,7 @@
 //!   simulated and real log devices.
 //! * [`storage`] (`aether-storage`) — a miniature Shore-MT: tables, lock
 //!   manager with Early Lock Release, transactions, ARIES recovery.
-//! * [`bench`] (`aether-bench`) — TPC-B / TATP / TPC-C-lite workloads,
+//! * [`mod@bench`] (`aether-bench`) — TPC-B / TATP / TPC-C-lite workloads,
 //!   closed-loop driver, and the microbenchmark harness behind every figure
 //!   of the paper.
 //!

@@ -1,0 +1,193 @@
+//! Crash-during-checkpoint torture tests (ISSUE 3 satellite).
+//!
+//! The checkpoint → truncate cycle has a window between "checkpoint written
+//! and redo low-water mark published" and "segments recycled". A crash
+//! anywhere in (or after) that window must recover to a consistent state,
+//! and recovery must never need a byte from a recycled segment — the
+//! truncation safety rule (DESIGN.md invariant 7) is exactly what makes
+//! that true. These tests crash at every stage of the cycle, with live
+//! loser transactions in flight, and also re-crash the recovered database.
+
+use aether::bench::env_or;
+use aether::log::partition::{MemSegmentFactory, SegmentedDevice};
+use aether::prelude::*;
+use aether::storage::recovery::recover_with_stats;
+use std::sync::Arc;
+
+fn record(key: u64, v: u64) -> Vec<u8> {
+    let mut r = vec![0u8; 48];
+    r[..8].copy_from_slice(&key.to_le_bytes());
+    r[8..16].copy_from_slice(&v.to_le_bytes());
+    r
+}
+
+fn value_of(rec: &[u8]) -> u64 {
+    u64::from_le_bytes(rec[8..16].try_into().unwrap())
+}
+
+fn opts() -> DbOptions {
+    DbOptions {
+        protocol: CommitProtocol::Baseline,
+        buffer: BufferKind::Hybrid,
+        log_config: LogConfig::default().with_buffer_size(1 << 20),
+        ..DbOptions::default()
+    }
+}
+
+fn segmented_db(keys: u64) -> (Arc<Db>, Arc<SegmentedDevice>) {
+    let segments = Arc::new(SegmentedDevice::new(Box::new(MemSegmentFactory), 8 * 1024).unwrap());
+    let db = aether::storage::Db::open_with_device(opts(), Arc::clone(&segments) as _);
+    db.create_table(48, keys);
+    for k in 0..keys {
+        db.load(0, k, &record(k, 0)).unwrap();
+    }
+    db.setup_complete();
+    (db, segments)
+}
+
+/// Crash at every stage of the checkpoint→truncate cycle — after the page
+/// flush, after the checkpoint record, after the truncation — each with an
+/// uncommitted loser in flight. Recovery must (a) keep every committed
+/// value, (b) roll the loser back, and (c) start its scan at the low-water
+/// mark, never touching a recycled byte.
+#[test]
+fn crash_between_checkpoint_and_truncation_recovers_consistently() {
+    let keys = 16u64;
+    let rounds = env_or("AETHER_TEST_ROUNDS", 3u64).max(2);
+    // Stage 0: crash right after flush_pages; 1: after checkpoint (mark
+    // published, nothing recycled yet — the torture window this test is
+    // named for); 2: after truncate_to.
+    for stage in 0..3 {
+        let (db, segments) = segmented_db(keys);
+        let mut committed = vec![0u64; keys as usize];
+        for round in 1..=rounds {
+            for k in 0..keys {
+                let mut txn = db.begin();
+                db.update(&mut txn, 0, k, &record(k, round)).unwrap();
+                db.commit(txn).unwrap();
+                committed[k as usize] = round;
+            }
+            // Full housekeeping between rounds keeps the log bounded and
+            // sets up real recycling before the final tortured cycle.
+            db.checkpoint_and_truncate();
+        }
+        // One more committed batch, then a loser in flight.
+        for k in 0..keys / 2 {
+            let mut txn = db.begin();
+            db.update(&mut txn, 0, k, &record(k, 99)).unwrap();
+            db.commit(txn).unwrap();
+            committed[k as usize] = 99;
+        }
+        let mut loser = db.begin();
+        db.update_with(&mut loser, 0, 3, |r| {
+            r[8..16].copy_from_slice(&7777u64.to_le_bytes())
+        })
+        .unwrap();
+        db.log().flush_all();
+
+        // The tortured cycle, cut at `stage`.
+        db.flush_pages();
+        if stage >= 1 {
+            db.checkpoint();
+        }
+        if stage >= 2 {
+            db.log().truncate_to(db.redo_low_water());
+        }
+        let image = db.crash();
+        std::mem::forget(loser); // the crash takes it
+        assert!(
+            segments.recycled_segments() > 0,
+            "stage {stage}: rounds must have recycled log"
+        );
+        assert_eq!(
+            image.log_start,
+            db.log().low_water(),
+            "stage {stage}: image starts at the low-water mark"
+        );
+        drop(db);
+
+        let (db2, stats) = recover_with_stats(image, opts()).unwrap();
+        assert!(
+            stage < 2 || stats.scan_start > Lsn::ZERO,
+            "stage {stage}: after truncation the scan must not start at 0"
+        );
+        assert_eq!(stats.losers, 1, "stage {stage}: in-flight txn is a loser");
+        let mut txn = db2.begin();
+        for k in 0..keys {
+            assert_eq!(
+                value_of(&db2.read(&mut txn, 0, k).unwrap()),
+                committed[k as usize],
+                "stage {stage}: key {k} must hold its last committed value"
+            );
+        }
+        db2.commit(txn).unwrap();
+
+        // Re-crash immediately: recovery over the recovered log is
+        // idempotent (the loser is now cleanly aborted).
+        let image2 = db2.crash();
+        let (db3, stats2) = recover_with_stats(image2, opts()).unwrap();
+        assert_eq!(stats2.losers, 0, "stage {stage}: second recovery is clean");
+        let mut txn = db3.begin();
+        assert_eq!(value_of(&db3.read(&mut txn, 0, 3).unwrap()), committed[3]);
+        db3.commit(txn).unwrap();
+    }
+}
+
+/// An active transaction spanning the checkpoint pins the truncation point
+/// below its first record: even an aggressive checkpoint+truncate storm
+/// while it is open never recycles the segments its undo chain needs, and
+/// a crash afterwards still rolls it back cleanly from the retained log.
+#[test]
+fn open_transaction_pins_truncation_until_it_resolves() {
+    let keys = 8u64;
+    let (db, _segments) = segmented_db(keys);
+    // The pinning transaction writes early, then stays open.
+    let mut pinner = db.begin();
+    db.update_with(&mut pinner, 0, 0, |r| {
+        r[8..16].copy_from_slice(&4242u64.to_le_bytes())
+    })
+    .unwrap();
+    let first = pinner.first_lsn().unwrap();
+
+    // Checkpoint storm under committed traffic.
+    for i in 0..200u64 {
+        let k = 1 + i % (keys - 1);
+        let mut txn = db.begin();
+        db.update(&mut txn, 0, k, &record(k, i + 1)).unwrap();
+        db.commit(txn).unwrap();
+        if i % 20 == 19 {
+            let out = db.checkpoint_and_truncate();
+            assert!(
+                out.applied <= first,
+                "truncation {} must never pass the open txn's first record {first}",
+                out.applied
+            );
+        }
+    }
+    assert!(db.log().low_water() <= first);
+
+    // Once the pinner resolves (rollback), the pin lifts and truncation
+    // passes its old first LSN.
+    db.abort(pinner).unwrap();
+    let out = db.checkpoint_and_truncate();
+    assert!(out.applied > first, "pin lifted after rollback");
+
+    // Crash with a fresh pinner unresolved: its chain is fully retained
+    // (it pins the new truncation point), so recovery rolls it back and
+    // key 0 keeps the value the rollback restored.
+    let mut pinner = db.begin();
+    db.update_with(&mut pinner, 0, 0, |r| {
+        r[8..16].copy_from_slice(&9999u64.to_le_bytes())
+    })
+    .unwrap();
+    db.log().flush_all();
+    let image = db.crash();
+    std::mem::forget(pinner);
+    drop(db);
+    let (db2, stats) = recover_with_stats(image, opts()).unwrap();
+    assert_eq!(stats.losers, 1);
+    assert!(stats.scan_start > first, "scan starts past the lifted pin");
+    let mut txn = db2.begin();
+    assert_eq!(value_of(&db2.read(&mut txn, 0, 0).unwrap()), 0);
+    db2.commit(txn).unwrap();
+}

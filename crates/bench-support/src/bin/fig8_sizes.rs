@@ -8,9 +8,11 @@
 //! bandwidth-limited."
 //!
 //! Env: `AETHER_MS`, `AETHER_THREADS`, `AETHER_SIZE_LIST` (on-log record
-//! sizes in bytes).
+//! sizes in bytes); set `AETHER_JSON=<path>` to also append
+//! machine-readable JSON-lines rows (CI's `BENCH_fig8.json` artifact).
 
 use aether_bench::env_or;
+use aether_bench::json::JsonSink;
 use aether_bench::micro::{run_micro, run_thread_local, MicroConfig, SizeDist};
 use aether_core::record::HEADER_SIZE;
 use aether_core::BufferKind;
@@ -28,6 +30,7 @@ fn main() {
     let threads = env_or("AETHER_THREADS", 8usize);
     println!("# Figure 8 (right): insert bandwidth vs record size, {threads} threads");
     println!("variant\trecord_bytes\tgb_per_s\tinserts_per_s");
+    let mut json = JsonSink::from_env();
     for kind in BufferKind::ALL {
         for &size in &size_list() {
             let payload = size.saturating_sub(HEADER_SIZE).max(8);
@@ -45,6 +48,15 @@ fn main() {
                 r.gbps(),
                 r.inserts_per_s()
             );
+            json.row(&[
+                ("bench", "fig8_sizes".into()),
+                ("variant", kind.label().into()),
+                ("threads", threads.into()),
+                ("record_bytes", size.into()),
+                ("mb_per_s", (r.gbps() * 1000.0).into()),
+                ("inserts_per_s", r.inserts_per_s().into()),
+                ("wrapper_inserts", r.wrapper_inserts.into()),
+            ]);
         }
     }
     // The CD-in-L1 series: thread-local, cache-resident copies.
@@ -56,5 +68,14 @@ fn main() {
             r.gbps(),
             r.inserts_per_s()
         );
+        json.row(&[
+            ("bench", "fig8_sizes".into()),
+            ("variant", "CD_in_L1".into()),
+            ("threads", threads.into()),
+            ("record_bytes", size.into()),
+            ("mb_per_s", (r.gbps() * 1000.0).into()),
+            ("inserts_per_s", r.inserts_per_s().into()),
+            ("wrapper_inserts", 0u64.into()),
+        ]);
     }
 }

@@ -8,9 +8,12 @@
 //! exercises group formation regardless of core count; baseline/D are
 //! unchanged in this mode).
 //!
-//! Env: `AETHER_MS`, `AETHER_THREAD_LIST`, `AETHER_PAYLOAD`.
+//! Env: `AETHER_MS`, `AETHER_THREAD_LIST`, `AETHER_PAYLOAD`; set
+//! `AETHER_JSON=<path>` to also append machine-readable JSON-lines rows
+//! (CI's `BENCH_fig8.json` perf-trajectory artifact).
 
 use aether_bench::env_or;
+use aether_bench::json::JsonSink;
 use aether_bench::micro::{run_micro, MicroConfig, SizeDist};
 use aether_core::record::HEADER_SIZE;
 use aether_core::BufferKind;
@@ -31,6 +34,7 @@ fn main() {
         payload + HEADER_SIZE
     );
     println!("mode\tvariant\tthreads\tmb_per_s\tinserts_per_s\tgroups\tconsolidated");
+    let mut json = JsonSink::from_env();
     for backoff in [false, true] {
         let mode = if backoff { "backoff" } else { "direct" };
         for kind in BufferKind::ALL {
@@ -51,6 +55,16 @@ fn main() {
                     r.group_acquires,
                     r.consolidations
                 );
+                json.row(&[
+                    ("bench", "fig8_threads".into()),
+                    ("mode", mode.into()),
+                    ("variant", kind.label().into()),
+                    ("threads", threads.into()),
+                    ("record_bytes", (payload + HEADER_SIZE).into()),
+                    ("mb_per_s", r.mbps().into()),
+                    ("inserts_per_s", r.inserts_per_s().into()),
+                    ("wrapper_inserts", r.wrapper_inserts.into()),
+                ]);
             }
         }
     }

@@ -1,0 +1,160 @@
+//! Minimal JSON-lines emission for machine-readable benchmark artifacts.
+//!
+//! The figure binaries print human-readable TSV on stdout; when the
+//! `AETHER_JSON` environment variable names a file, they *additionally*
+//! append one JSON object per data row to it (JSON Lines / NDJSON — each
+//! line is a complete JSON document, so several binaries can share one
+//! artifact file and consumers can stream it with `jq`, pandas, or a line
+//! loop). No serde: the handful of scalar types the benches emit are
+//! formatted by hand.
+
+use std::io::Write;
+
+/// One JSON scalar value.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A string (escaped on output).
+    Str(String),
+    /// An integer.
+    Int(u64),
+    /// A float (formatted with enough precision for MB/s numbers).
+    Float(f64),
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render `fields` as one compact JSON object.
+pub fn json_object(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape(k, &mut out);
+        out.push_str("\":");
+        match v {
+            JsonValue::Str(s) => {
+                out.push('"');
+                escape(s, &mut out);
+                out.push('"');
+            }
+            JsonValue::Int(n) => out.push_str(&n.to_string()),
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    out.push_str(&format!("{f:.3}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A JSON-lines sink bound to the file named by `AETHER_JSON` (no-op when
+/// the variable is unset). Rows are appended, so multiple binaries can
+/// contribute to one artifact.
+pub struct JsonSink {
+    file: Option<std::fs::File>,
+}
+
+impl JsonSink {
+    /// Open the sink from the `AETHER_JSON` environment variable.
+    pub fn from_env() -> JsonSink {
+        let file = std::env::var("AETHER_JSON").ok().and_then(|path| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .ok()
+        });
+        JsonSink { file }
+    }
+
+    /// Whether rows will actually be written.
+    pub fn active(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// Append one row object.
+    pub fn row(&mut self, fields: &[(&str, JsonValue)]) {
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{}", json_object(fields));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_escapes() {
+        let s = json_object(&[
+            ("variant", "CD".into()),
+            ("threads", 4u64.into()),
+            ("mb_per_s", 123.456f64.into()),
+            ("note", "a\"b\\c\nd".into()),
+        ]);
+        assert_eq!(
+            s,
+            r#"{"variant":"CD","threads":4,"mb_per_s":123.456,"note":"a\"b\\c\nd"}"#
+        );
+    }
+
+    #[test]
+    fn sink_appends_rows() {
+        let dir = std::env::temp_dir().join(format!("aether-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.json");
+        std::env::set_var("AETHER_JSON", &path);
+        let mut sink = JsonSink::from_env();
+        assert!(sink.active());
+        sink.row(&[("a", 1u64.into())]);
+        sink.row(&[("a", 2u64.into())]);
+        drop(sink);
+        std::env::remove_var("AETHER_JSON");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(!JsonSink::from_env().active());
+    }
+}

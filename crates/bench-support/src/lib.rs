@@ -13,12 +13,15 @@
 //!   breakdown and durable-completion counting.
 //! * [`measure`] — OS context-switch counters and breakdown assembly.
 //! * [`micro`] — the log-insert microbenchmark (Figures 8, 11, 12).
+//! * [`json`] — JSON-lines emission for machine-readable bench artifacts
+//!   (`AETHER_JSON=<path>`; used by CI to track a perf trajectory).
 //!
 //! Each `src/bin/figN_*.rs` binary prints one paper artifact as TSV.
 
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod json;
 pub mod loganalysis;
 pub mod measure;
 pub mod micro;

@@ -11,6 +11,12 @@
 //! through the consolidation array — on big machines contention does that
 //! naturally; on small hosts it lets the group-formation machinery be
 //! exercised deterministically.
+//!
+//! Inserts go through the zero-copy reservation path (`reserve` → write
+//! into the ring → `release`), so what is measured is exactly one payload
+//! memcpy plus the variant's synchronization — no header re-encoding, no
+//! intermediate buffers. [`MicroResult::wrapper_inserts`] stays 0 and the
+//! tests pin that.
 
 use aether_core::buffer::{
     BaselineBuffer, BufferCore, BufferKind, ConsolidationBuffer, DecoupledBuffer, DelegatedBuffer,
@@ -114,6 +120,9 @@ pub struct MicroResult {
     pub group_acquires: u64,
     /// Delegated releases (CDME).
     pub delegated: u64,
+    /// Legacy byte-slice wrapper inserts (0: the benchmark runs entirely on
+    /// the zero-copy reservation path).
+    pub wrapper_inserts: u64,
 }
 
 impl MicroResult {
@@ -162,36 +171,34 @@ impl AnyBuffer {
         (core, b)
     }
 
+    /// Zero-copy insert: reserve a slot, stream the payload into the ring,
+    /// release. This is the path fig8/fig11/fig12 measure.
     fn insert(&self, payload: &[u8]) {
-        match self {
-            AnyBuffer::B(b) => b.insert(RecordKind::Filler, 0, Lsn::ZERO, payload),
-            AnyBuffer::C(b) => b.insert(RecordKind::Filler, 0, Lsn::ZERO, payload),
-            AnyBuffer::D(b) => b.insert(RecordKind::Filler, 0, Lsn::ZERO, payload),
-            AnyBuffer::Cd(b) => b.insert(RecordKind::Filler, 0, Lsn::ZERO, payload),
-            AnyBuffer::Cdme(b) => b.insert(RecordKind::Filler, 0, Lsn::ZERO, payload),
+        let mut slot = match self {
+            AnyBuffer::B(b) => b.reserve(RecordKind::Filler, 0, Lsn::ZERO, payload.len()),
+            AnyBuffer::C(b) => b.reserve(RecordKind::Filler, 0, Lsn::ZERO, payload.len()),
+            AnyBuffer::D(b) => b.reserve(RecordKind::Filler, 0, Lsn::ZERO, payload.len()),
+            AnyBuffer::Cd(b) => b.reserve(RecordKind::Filler, 0, Lsn::ZERO, payload.len()),
+            AnyBuffer::Cdme(b) => b.reserve(RecordKind::Filler, 0, Lsn::ZERO, payload.len()),
         };
+        slot.write(payload);
+        slot.release();
     }
 
     /// Backoff path where the variant has one; baseline/decoupled fall back
     /// to the ordinary insert.
     fn insert_backoff(&self, payload: &[u8]) {
-        match self {
-            AnyBuffer::B(b) => {
-                b.insert(RecordKind::Filler, 0, Lsn::ZERO, payload);
-            }
-            AnyBuffer::C(b) => {
-                b.insert_backoff(RecordKind::Filler, 0, Lsn::ZERO, payload);
-            }
-            AnyBuffer::D(b) => {
-                b.insert(RecordKind::Filler, 0, Lsn::ZERO, payload);
-            }
-            AnyBuffer::Cd(b) => {
-                b.insert_backoff(RecordKind::Filler, 0, Lsn::ZERO, payload);
-            }
+        let mut slot = match self {
+            AnyBuffer::B(b) => b.reserve(RecordKind::Filler, 0, Lsn::ZERO, payload.len()),
+            AnyBuffer::C(b) => b.reserve_backoff(RecordKind::Filler, 0, Lsn::ZERO, payload.len()),
+            AnyBuffer::D(b) => b.reserve(RecordKind::Filler, 0, Lsn::ZERO, payload.len()),
+            AnyBuffer::Cd(b) => b.reserve_backoff(RecordKind::Filler, 0, Lsn::ZERO, payload.len()),
             AnyBuffer::Cdme(b) => {
-                b.insert_backoff(RecordKind::Filler, 0, Lsn::ZERO, payload);
+                b.reserve_backoff(RecordKind::Filler, 0, Lsn::ZERO, payload.len())
             }
-        }
+        };
+        slot.write(payload);
+        slot.release();
     }
 }
 
@@ -240,6 +247,7 @@ pub fn run_micro(cfg: &MicroConfig) -> MicroResult {
         consolidations: snap.consolidations,
         group_acquires: snap.group_acquires,
         delegated: snap.delegated_releases,
+        wrapper_inserts: snap.wrapper_inserts,
     }
 }
 
@@ -297,6 +305,7 @@ pub fn run_thread_local(threads: usize, payload: usize, duration: Duration) -> M
         consolidations: 0,
         group_acquires: 0,
         delegated: 0,
+        wrapper_inserts: 0,
     }
 }
 
@@ -326,6 +335,10 @@ mod tests {
             );
             assert!(r.mbps() > 0.0);
             assert!(r.inserts_per_s() > 0.0);
+            assert_eq!(
+                r.wrapper_inserts, 0,
+                "{kind:?}: the microbenchmark must run on the zero-copy path"
+            );
         }
     }
 

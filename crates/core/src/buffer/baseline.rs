@@ -7,9 +7,9 @@
 //! count and record size feed directly into the critical-section length.
 //! Figure 8 shows it saturating around 140 MB/s regardless of parallelism.
 
-use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LsnAlloc};
+use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LogSlot, LsnAlloc, SlotFinish};
 use crate::lsn::Lsn;
-use crate::record::{RecordHeader, RecordKind};
+use crate::record::{on_log_size, RecordKind};
 use std::sync::Arc;
 
 /// The monolithic single-mutex log buffer (paper Algorithm 1).
@@ -32,9 +32,9 @@ impl BaselineBuffer {
 }
 
 impl LogBuffer for BaselineBuffer {
-    fn insert(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn {
-        let header = RecordHeader::new(kind, txn, prev, payload);
-        let len = header.total_len as u64;
+    fn reserve(&self, kind: RecordKind, txn: u64, prev: Lsn, payload_len: usize) -> LogSlot<'_> {
+        super::check_payload_len(payload_len);
+        let len = on_log_size(payload_len) as u64;
 
         // --- acquire: lock + LSN generation + space back-pressure ---
         let t_acq = self.core.stats.phase_start();
@@ -43,17 +43,19 @@ impl LogBuffer for BaselineBuffer {
         self.core.stats.record_direct();
         // SAFETY: insert lock held.
         let start = unsafe { self.alloc.reserve(len) };
-        let end = start.advance(len);
-        self.core.wait_for_space(end);
+        self.core.wait_for_space(start.advance(len));
 
-        // --- fill: copy while *holding* the mutex (the whole point of the
-        // baseline's weakness) ---
-        self.core.fill_record(start, &header, payload);
-
-        // --- release: advance watermark, drop mutex ---
-        self.core.advance_released(end);
-        self.lock.unlock();
-        start
+        // The caller fills while *holding* the mutex (the whole point of the
+        // baseline's weakness); releasing the slot advances the watermark
+        // and drops the mutex.
+        self.core.begin_fill(
+            start,
+            kind,
+            txn,
+            prev,
+            payload_len,
+            SlotFinish::LockedDirect { lock: &self.lock },
+        )
     }
 
     fn core(&self) -> &BufferCore {

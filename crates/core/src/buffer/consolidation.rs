@@ -14,11 +14,11 @@
 //! Figure 6(C) shows as residual wait time and Figure 8 as a lower asymptote
 //! than the hybrid.
 
-use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LsnAlloc};
+use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LogSlot, LsnAlloc, SlotFinish};
 use crate::carray::CArray;
 use crate::config::LogConfig;
 use crate::lsn::Lsn;
-use crate::record::{RecordHeader, RecordKind};
+use crate::record::{on_log_size, RecordKind};
 use std::sync::Arc;
 
 /// The consolidation-array log buffer (paper Algorithm 2, variant "C").
@@ -48,29 +48,39 @@ impl ConsolidationBuffer {
         &self.carray
     }
 
-    /// Baseline-style insert with the lock already held.
-    fn insert_locked(&self, header: &RecordHeader, payload: &[u8]) -> Lsn {
-        let len = header.total_len as u64;
+    /// Baseline-style reservation with the lock already held: the caller
+    /// fills under the mutex; releasing the slot publishes and unlocks.
+    fn reserve_locked(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        let len = on_log_size(payload_len) as u64;
         // SAFETY: insert lock held by this thread.
         let start = unsafe { self.alloc.reserve(len) };
-        let end = start.advance(len);
-        self.core.wait_for_space(end);
-        self.core.fill_record(start, header, payload);
-        self.core.advance_released(end);
-        self.lock.unlock();
-        start
+        self.core.wait_for_space(start.advance(len));
+        self.core.begin_fill(
+            start,
+            kind,
+            txn,
+            prev,
+            payload_len,
+            SlotFinish::LockedDirect { lock: &self.lock },
+        )
     }
 }
 
 impl LogBuffer for ConsolidationBuffer {
-    fn insert(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn {
-        let header = RecordHeader::new(kind, txn, prev, payload);
-        let len = header.total_len as u64;
+    fn reserve(&self, kind: RecordKind, txn: u64, prev: Lsn, payload_len: usize) -> LogSlot<'_> {
+        super::check_payload_len(payload_len);
+        let len = on_log_size(payload_len) as u64;
 
         // Fast path (Algorithm 2, lines 2–6): no contention, no backoff.
         if self.lock.try_lock() {
             self.core.stats.record_direct();
-            return self.insert_locked(&header, payload);
+            return self.reserve_locked(kind, txn, prev, payload_len);
         }
         // Oversized records cannot consolidate; take the blocking direct path.
         if len > self.carray.max_group() {
@@ -78,10 +88,10 @@ impl LogBuffer for ConsolidationBuffer {
             self.lock.lock();
             self.core.stats.phase_acquire(t);
             self.core.stats.record_direct();
-            return self.insert_locked(&header, payload);
+            return self.reserve_locked(kind, txn, prev, payload_len);
         }
 
-        self.insert_contended(&header, payload)
+        self.reserve_contended(kind, txn, prev, payload_len)
     }
 
     fn core(&self) -> &BufferCore {
@@ -100,20 +110,42 @@ impl ConsolidationBuffer {
     /// with few cores, where the `try_lock` fast path would otherwise always
     /// win.
     pub fn insert_backoff(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn {
-        let header = RecordHeader::new(kind, txn, prev, payload);
-        if header.total_len as u64 > self.carray.max_group() {
+        self.core.stats.record_wrapper();
+        let mut slot = self.reserve_backoff(kind, txn, prev, payload.len());
+        slot.write(payload);
+        slot.release()
+    }
+
+    /// Reservation counterpart of [`ConsolidationBuffer::insert_backoff`].
+    pub fn reserve_backoff(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        super::check_payload_len(payload_len);
+        if on_log_size(payload_len) as u64 > self.carray.max_group() {
             let t = self.core.stats.phase_start();
             self.lock.lock();
             self.core.stats.phase_acquire(t);
             self.core.stats.record_direct();
-            return self.insert_locked(&header, payload);
+            return self.reserve_locked(kind, txn, prev, payload_len);
         }
-        self.insert_contended(&header, payload)
+        self.reserve_contended(kind, txn, prev, payload_len)
     }
 
-    /// The contended path of Algorithm 2 (lines 8–21).
-    fn insert_contended(&self, header: &RecordHeader, payload: &[u8]) -> Lsn {
-        let len = header.total_len as u64;
+    /// The contended path of Algorithm 2 (lines 8–21). Group members fill
+    /// their disjoint sub-ranges in place; the last member out releases the
+    /// group's buffer region *and* the mutex (via the slot's finish action).
+    fn reserve_contended(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        let len = on_log_size(payload_len) as u64;
         let join = self.carray.join(len);
         if join.offset == 0 {
             // Group leader: acquire the mutex on behalf of the group.
@@ -126,28 +158,37 @@ impl ConsolidationBuffer {
             let base = unsafe { self.alloc.reserve(group) };
             self.core.wait_for_space(base.advance(group));
             join.slot.notify(base, group, 0);
-            self.core.fill_record(base, header, payload);
-            if join.slot.release_member(len) {
-                // Sole member: release buffer and mutex ourselves.
-                self.core.advance_released(base.advance(group));
-                self.lock.unlock();
-                join.slot.free();
-            }
-            base
+            self.core.begin_fill(
+                base,
+                kind,
+                txn,
+                prev,
+                payload_len,
+                SlotFinish::GroupLocked {
+                    slot: join.slot,
+                    lock: &self.lock,
+                    base,
+                    group,
+                },
+            )
         } else {
             // Follower: wait for the leader's allocation, then fill our
             // pre-computed sub-range.
             self.core.stats.record_consolidation();
             let (base, group, _) = join.slot.wait();
-            let my_at = base.advance(join.offset);
-            self.core.fill_record(my_at, header, payload);
-            if join.slot.release_member(len) {
-                // Last one out: the group's entire region is filled.
-                self.core.advance_released(base.advance(group));
-                self.lock.unlock();
-                join.slot.free();
-            }
-            my_at
+            self.core.begin_fill(
+                base.advance(join.offset),
+                kind,
+                txn,
+                prev,
+                payload_len,
+                SlotFinish::GroupLocked {
+                    slot: join.slot,
+                    lock: &self.lock,
+                    base,
+                    group,
+                },
+            )
         }
     }
 }

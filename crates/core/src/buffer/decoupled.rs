@@ -7,9 +7,9 @@
 //! its own start before bumping it — "the release stage uses the implicit
 //! queuing of the release_lsn to avoid expensive atomic operations" (§A.1).
 
-use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LsnAlloc};
+use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LogSlot, LsnAlloc, SlotFinish};
 use crate::lsn::Lsn;
-use crate::record::{RecordHeader, RecordKind};
+use crate::record::{on_log_size, RecordKind};
 use std::sync::Arc;
 
 /// The decoupled-fill log buffer (paper Algorithm 3).
@@ -32,9 +32,9 @@ impl DecoupledBuffer {
 }
 
 impl LogBuffer for DecoupledBuffer {
-    fn insert(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn {
-        let header = RecordHeader::new(kind, txn, prev, payload);
-        let len = header.total_len as u64;
+    fn reserve(&self, kind: RecordKind, txn: u64, prev: Lsn, payload_len: usize) -> LogSlot<'_> {
+        super::check_payload_len(payload_len);
+        let len = on_log_size(payload_len) as u64;
 
         // --- acquire: mutex covers only LSN generation + back-pressure ---
         let t_acq = self.core.stats.phase_start();
@@ -43,16 +43,13 @@ impl LogBuffer for DecoupledBuffer {
         self.core.stats.record_direct();
         // SAFETY: insert lock held.
         let start = unsafe { self.alloc.reserve(len) };
-        let end = start.advance(len);
-        self.core.wait_for_space(end);
+        self.core.wait_for_space(start.advance(len));
         self.lock.unlock(); // Algorithm 3, line 4: release immediately
 
-        // --- fill: fully parallel with other inserts ---
-        self.core.fill_record(start, &header, payload);
-
-        // --- release: in LSN order ---
-        self.core.release_in_order(start, end);
-        start
+        // The caller fills fully in parallel with other inserts; releasing
+        // the slot publishes in LSN order.
+        self.core
+            .begin_fill(start, kind, txn, prev, payload_len, SlotFinish::InOrder)
     }
 
     fn core(&self) -> &BufferCore {

@@ -8,12 +8,12 @@
 //! shows CDME immune to bimodal record-size skew where CD levels off at
 //! ~8 kiB outliers, at the price of ~10% throughput in the common case.
 
-use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LsnAlloc};
+use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LogSlot, LsnAlloc, SlotFinish};
 use crate::carray::CArray;
 use crate::config::LogConfig;
 use crate::lsn::Lsn;
 use crate::mcs::{ReleaseHandle, ReleaseQueue};
-use crate::record::{RecordHeader, RecordKind};
+use crate::record::{on_log_size, RecordKind};
 use std::sync::Arc;
 
 /// The CDME log buffer (§A.3, Algorithm 4).
@@ -54,20 +54,40 @@ impl DelegatedBuffer {
         self.lock.unlock();
         (start, h)
     }
+
+    /// Direct reservation (lock already held): join the queue, unlock, hand
+    /// the caller a slot whose release goes through the queue.
+    fn reserve_direct(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        let (start, h) = self.reserve_join_unlock(on_log_size(payload_len) as u64);
+        self.core.begin_fill(
+            start,
+            kind,
+            txn,
+            prev,
+            payload_len,
+            SlotFinish::Queue {
+                queue: &self.queue,
+                handle: h,
+            },
+        )
+    }
 }
 
 impl LogBuffer for DelegatedBuffer {
-    fn insert(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn {
-        let header = RecordHeader::new(kind, txn, prev, payload);
-        let len = header.total_len as u64;
+    fn reserve(&self, kind: RecordKind, txn: u64, prev: Lsn, payload_len: usize) -> LogSlot<'_> {
+        super::check_payload_len(payload_len);
+        let len = on_log_size(payload_len) as u64;
 
         // Fast path: uncontended.
         if self.lock.try_lock() {
             self.core.stats.record_direct();
-            let (start, h) = self.reserve_join_unlock(len);
-            self.core.fill_record(start, &header, payload);
-            self.queue.release(h, &self.core);
-            return start;
+            return self.reserve_direct(kind, txn, prev, payload_len);
         }
         // Oversized records: blocking direct path.
         if len > self.carray.max_group() {
@@ -75,13 +95,10 @@ impl LogBuffer for DelegatedBuffer {
             self.lock.lock();
             self.core.stats.phase_acquire(t);
             self.core.stats.record_direct();
-            let (start, h) = self.reserve_join_unlock(len);
-            self.core.fill_record(start, &header, payload);
-            self.queue.release(h, &self.core);
-            return start;
+            return self.reserve_direct(kind, txn, prev, payload_len);
         }
 
-        self.insert_contended(&header, payload)
+        self.reserve_contended(kind, txn, prev, payload_len)
     }
 
     fn core(&self) -> &BufferCore {
@@ -98,25 +115,41 @@ impl DelegatedBuffer {
     /// path); deterministic group formation for tests and sensitivity
     /// experiments on hosts with few cores.
     pub fn insert_backoff(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn {
-        let header = RecordHeader::new(kind, txn, prev, payload);
-        let len = header.total_len as u64;
-        if len > self.carray.max_group() {
+        self.core.stats.record_wrapper();
+        let mut slot = self.reserve_backoff(kind, txn, prev, payload.len());
+        slot.write(payload);
+        slot.release()
+    }
+
+    /// Reservation counterpart of [`DelegatedBuffer::insert_backoff`].
+    pub fn reserve_backoff(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        super::check_payload_len(payload_len);
+        if on_log_size(payload_len) as u64 > self.carray.max_group() {
             let t = self.core.stats.phase_start();
             self.lock.lock();
             self.core.stats.phase_acquire(t);
             self.core.stats.record_direct();
-            let (start, h) = self.reserve_join_unlock(len);
-            self.core.fill_record(start, &header, payload);
-            self.queue.release(h, &self.core);
-            return start;
+            return self.reserve_direct(kind, txn, prev, payload_len);
         }
-        self.insert_contended(&header, payload)
+        self.reserve_contended(kind, txn, prev, payload_len)
     }
 
     /// Contended path: consolidate; the group occupies ONE queue node,
     /// released (or delegated) by whichever member finishes last.
-    fn insert_contended(&self, header: &RecordHeader, payload: &[u8]) -> Lsn {
-        let len = header.total_len as u64;
+    fn reserve_contended(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        let len = on_log_size(payload_len) as u64;
         let join = self.carray.join(len);
         if join.offset == 0 {
             let t = self.core.stats.phase_start();
@@ -126,22 +159,33 @@ impl DelegatedBuffer {
             let group = self.carray.close_and_replace(join.slot);
             let (base, h) = self.reserve_join_unlock(group);
             join.slot.notify(base, group, h.pack());
-            self.core.fill_record(base, header, payload);
-            if join.slot.release_member(len) {
-                self.queue.release(h, &self.core);
-                join.slot.free();
-            }
-            base
+            self.core.begin_fill(
+                base,
+                kind,
+                txn,
+                prev,
+                payload_len,
+                SlotFinish::GroupQueue {
+                    slot: join.slot,
+                    queue: &self.queue,
+                    extra: h.pack(),
+                },
+            )
         } else {
             self.core.stats.record_consolidation();
             let (base, _group, extra) = join.slot.wait();
-            let my_at = base.advance(join.offset);
-            self.core.fill_record(my_at, header, payload);
-            if join.slot.release_member(len) {
-                self.queue.release(ReleaseHandle::unpack(extra), &self.core);
-                join.slot.free();
-            }
-            my_at
+            self.core.begin_fill(
+                base.advance(join.offset),
+                kind,
+                txn,
+                prev,
+                payload_len,
+                SlotFinish::GroupQueue {
+                    slot: join.slot,
+                    queue: &self.queue,
+                    extra,
+                },
+            )
         }
     }
 }

@@ -10,11 +10,11 @@
 //! operations". This is the variant the paper recommends and the one that
 //! reaches >1.8 GB/s on one socket.
 
-use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LsnAlloc};
+use super::{BufferCore, BufferKind, InsertLock, LogBuffer, LogSlot, LsnAlloc, SlotFinish};
 use crate::carray::CArray;
 use crate::config::LogConfig;
 use crate::lsn::Lsn;
-use crate::record::{RecordHeader, RecordKind};
+use crate::record::{on_log_size, RecordKind};
 use std::sync::Arc;
 
 /// The hybrid (CD) log buffer of §5.3.
@@ -51,20 +51,31 @@ impl HybridBuffer {
         self.lock.unlock();
         start
     }
+
+    /// Decoupled-style reservation (lock already held): unlock before the
+    /// caller fills; the slot releases in LSN order.
+    fn reserve_direct(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        let start = self.reserve_and_unlock(on_log_size(payload_len) as u64);
+        self.core
+            .begin_fill(start, kind, txn, prev, payload_len, SlotFinish::InOrder)
+    }
 }
 
 impl LogBuffer for HybridBuffer {
-    fn insert(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn {
-        let header = RecordHeader::new(kind, txn, prev, payload);
-        let len = header.total_len as u64;
+    fn reserve(&self, kind: RecordKind, txn: u64, prev: Lsn, payload_len: usize) -> LogSlot<'_> {
+        super::check_payload_len(payload_len);
+        let len = on_log_size(payload_len) as u64;
 
         // Fast path: uncontended — decoupled-style insert.
         if self.lock.try_lock() {
             self.core.stats.record_direct();
-            let start = self.reserve_and_unlock(len);
-            self.core.fill_record(start, &header, payload);
-            self.core.release_in_order(start, start.advance(len));
-            return start;
+            return self.reserve_direct(kind, txn, prev, payload_len);
         }
         // Oversized records take the blocking decoupled path.
         if len > self.carray.max_group() {
@@ -72,13 +83,10 @@ impl LogBuffer for HybridBuffer {
             self.lock.lock();
             self.core.stats.phase_acquire(t);
             self.core.stats.record_direct();
-            let start = self.reserve_and_unlock(len);
-            self.core.fill_record(start, &header, payload);
-            self.core.release_in_order(start, start.advance(len));
-            return start;
+            return self.reserve_direct(kind, txn, prev, payload_len);
         }
 
-        self.insert_contended(&header, payload)
+        self.reserve_contended(kind, txn, prev, payload_len)
     }
 
     fn core(&self) -> &BufferCore {
@@ -95,25 +103,41 @@ impl HybridBuffer {
     /// path). Lets the Figure-12 sensitivity experiment exercise group
     /// formation deterministically on hosts with few cores.
     pub fn insert_backoff(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn {
-        let header = RecordHeader::new(kind, txn, prev, payload);
-        let len = header.total_len as u64;
-        if len > self.carray.max_group() {
+        self.core.stats.record_wrapper();
+        let mut slot = self.reserve_backoff(kind, txn, prev, payload.len());
+        slot.write(payload);
+        slot.release()
+    }
+
+    /// Reservation counterpart of [`HybridBuffer::insert_backoff`].
+    pub fn reserve_backoff(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        super::check_payload_len(payload_len);
+        if on_log_size(payload_len) as u64 > self.carray.max_group() {
             let t = self.core.stats.phase_start();
             self.lock.lock();
             self.core.stats.phase_acquire(t);
             self.core.stats.record_direct();
-            let start = self.reserve_and_unlock(len);
-            self.core.fill_record(start, &header, payload);
-            self.core.release_in_order(start, start.advance(len));
-            return start;
+            return self.reserve_direct(kind, txn, prev, payload_len);
         }
-        self.insert_contended(&header, payload)
+        self.reserve_contended(kind, txn, prev, payload_len)
     }
 
     /// Contended path: consolidate, leader reserves and unlocks before
-    /// filling, groups release in LSN order.
-    fn insert_contended(&self, header: &RecordHeader, payload: &[u8]) -> Lsn {
-        let len = header.total_len as u64;
+    /// anyone fills, groups release in LSN order (last member publishes).
+    fn reserve_contended(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        let len = on_log_size(payload_len) as u64;
         let join = self.carray.join(len);
         if join.offset == 0 {
             // Leader: acquire space for the group, then unlock *before*
@@ -125,22 +149,33 @@ impl HybridBuffer {
             let group = self.carray.close_and_replace(join.slot);
             let base = self.reserve_and_unlock(group);
             join.slot.notify(base, group, 0);
-            self.core.fill_record(base, header, payload);
-            if join.slot.release_member(len) {
-                self.core.release_in_order(base, base.advance(group));
-                join.slot.free();
-            }
-            base
+            self.core.begin_fill(
+                base,
+                kind,
+                txn,
+                prev,
+                payload_len,
+                SlotFinish::GroupInOrder {
+                    slot: join.slot,
+                    base,
+                    group,
+                },
+            )
         } else {
             self.core.stats.record_consolidation();
             let (base, group, _) = join.slot.wait();
-            let my_at = base.advance(join.offset);
-            self.core.fill_record(my_at, header, payload);
-            if join.slot.release_member(len) {
-                self.core.release_in_order(base, base.advance(group));
-                join.slot.free();
-            }
-            my_at
+            self.core.begin_fill(
+                base.advance(join.offset),
+                kind,
+                txn,
+                prev,
+                payload_len,
+                SlotFinish::GroupInOrder {
+                    slot: join.slot,
+                    base,
+                    group,
+                },
+            )
         }
     }
 }

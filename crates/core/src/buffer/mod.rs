@@ -11,9 +11,21 @@
 //! | [`HybridBuffer`] (CD) | mutex, one leader per group | parallel | groups in LSN order |
 //! | [`DelegatedBuffer`] (CDME) | as CD | parallel | delegated via MCS queue |
 //!
+//! Every variant exposes the same **reservation protocol**
+//! ([`LogBuffer::reserve`] → [`LogSlot`]): acquire hands the caller an
+//! exclusively owned byte range of the ring with the header already encoded
+//! in place, the caller serializes its payload straight into the ring (the
+//! frame CRC streams along with the bytes), and releasing the slot runs the
+//! variant's release stage. Consolidation-group members compute disjoint
+//! fill offsets at join time, so they fill their slots in place with no
+//! extra coordination — exactly as the copy-based fill did.
+//!
 //! The insert critical path never allocates and never blocks on I/O;
 //! back-pressure (ring full) is the only wait, and it resolves as the flush
-//! daemon reclaims space.
+//! daemon reclaims space. A record costs exactly one pass over its payload:
+//! no intermediate encode buffer on the way in (see [`EncodePayload`]) and
+//! no scratch copy on the way out (the flush daemon drains ring slices via
+//! [`BufferCore::released_slices`]).
 
 mod baseline;
 mod consolidation;
@@ -27,9 +39,14 @@ pub use decoupled::DecoupledBuffer;
 pub use delegated::DelegatedBuffer;
 pub use hybrid::HybridBuffer;
 
+use crate::carray::Slot;
 use crate::config::LogConfig;
 use crate::lsn::{AtomicLsn, Lsn};
-use crate::record::{RecordHeader, RecordKind, HEADER_SIZE};
+use crate::mcs::{ReleaseHandle, ReleaseQueue};
+use crate::record::{
+    crc32_finish, crc32_update, encode_frame_header, on_log_size, RecordHeader, RecordKind,
+    CHECKSUM_OFFSET, CRC32_INIT, HEADER_SIZE, MAX_PAYLOAD,
+};
 use crate::ring::Ring;
 use crate::stats::BufferStats;
 use parking_lot::{Condvar, Mutex};
@@ -92,20 +109,371 @@ impl std::fmt::Display for BufferKind {
 }
 
 /// A log buffer: the contract every variant implements.
+///
+/// The primitive operation is [`LogBuffer::reserve`]: it runs the variant's
+/// acquire protocol (lock / consolidation / LSN generation / back-pressure)
+/// and hands back a [`LogSlot`] — an exclusively owned byte range of the
+/// ring with the record header already serialized in place. The caller
+/// writes its payload **directly into the ring** through the slot (the ring
+/// handles the wrap split; the frame CRC is computed as the bytes stream
+/// by) and then [`LogSlot::release`]s, which patches the checksum in place
+/// and runs the variant's ordinary release path. No intermediate buffer, no
+/// allocation, exactly one copy of the payload — the memcpy the paper says
+/// an insert should cost (§5).
+///
+/// [`LogBuffer::insert`] is a thin compatibility wrapper over `reserve` for
+/// callers that already hold an encoded payload slice.
 pub trait LogBuffer: Send + Sync {
-    /// Insert one record and return its start LSN.
+    /// Reserve ring space for one record of `payload_len` payload bytes and
+    /// return the slot to fill. Blocks only for ring back-pressure (and, by
+    /// design, contention); never for device I/O.
     ///
-    /// Blocks only for ring back-pressure (and, by design, contention); never
-    /// for device I/O. On return the record's bytes are in the ring and the
-    /// record is (or will momentarily be, once predecessors release)
-    /// *released* — eligible for flushing.
-    fn insert(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn;
+    /// The record is published when the returned slot is released (or
+    /// dropped); until then, depending on the variant, later inserts may be
+    /// blocked behind it — fill promptly.
+    fn reserve(&self, kind: RecordKind, txn: u64, prev: Lsn, payload_len: usize) -> LogSlot<'_>;
+
+    /// Insert one pre-encoded record and return its start LSN — the legacy
+    /// byte-slice path, now a wrapper over [`LogBuffer::reserve`].
+    fn insert(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> Lsn {
+        self.core().stats.record_wrapper();
+        let mut slot = self.reserve(kind, txn, prev, payload.len());
+        slot.write(payload);
+        slot.release()
+    }
 
     /// Shared core (watermarks, stats, ring geometry).
     fn core(&self) -> &BufferCore;
 
     /// Variant label for reporting.
     fn kind(&self) -> BufferKind;
+}
+
+/// Reject oversized payloads **before** any lock is taken or LSN space is
+/// reserved. Every variant's `reserve`/`reserve_backoff` calls this on
+/// entry: panicking later (insert mutex held, reservation issued, slot not
+/// yet constructed) would leave the lock locked and the hole unreleased,
+/// wedging every subsequent insert.
+#[inline]
+pub(crate) fn check_payload_len(payload_len: usize) {
+    assert!(
+        payload_len <= MAX_PAYLOAD,
+        "payload of {payload_len} bytes exceeds MAX_PAYLOAD"
+    );
+}
+
+/// A payload that can serialize itself straight into a reserved log slot.
+///
+/// Implementors promise `encode_into` writes exactly `encoded_len()` bytes.
+/// This is how the storage layer's WAL payloads (update/CLR/checkpoint)
+/// reach the log with zero intermediate `Vec`s: the encoding happens inside
+/// the ring, not into a temporary that is then copied.
+pub trait EncodePayload {
+    /// Exact number of bytes `encode_into` will write.
+    fn encoded_len(&self) -> usize;
+
+    /// Serialize into the slot's payload region.
+    fn encode_into(&self, w: &mut SlotWriter<'_>);
+}
+
+impl EncodePayload for [u8] {
+    fn encoded_len(&self) -> usize {
+        self.len()
+    }
+    fn encode_into(&self, w: &mut SlotWriter<'_>) {
+        w.put_slice(self);
+    }
+}
+
+impl<const N: usize> EncodePayload for [u8; N] {
+    fn encoded_len(&self) -> usize {
+        N
+    }
+    fn encode_into(&self, w: &mut SlotWriter<'_>) {
+        w.put_slice(self);
+    }
+}
+
+/// Streaming writer over a reserved payload region of the ring.
+///
+/// Bytes go straight to their final location (`write_at` splits the copy in
+/// at most two segments on ring wrap) while the frame CRC accumulates, so a
+/// record costs exactly one pass over its payload.
+pub struct SlotWriter<'a> {
+    ring: &'a Ring,
+    /// Stream offset of payload byte 0.
+    base: u64,
+    /// Payload capacity in bytes.
+    len: u32,
+    written: u32,
+    /// Running (pre-finalization) frame CRC: header already folded in.
+    crc: u32,
+}
+
+impl std::fmt::Debug for SlotWriter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotWriter")
+            .field("len", &self.len)
+            .field("written", &self.written)
+            .finish()
+    }
+}
+
+impl SlotWriter<'_> {
+    /// Payload capacity of the reservation.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Bytes written so far.
+    #[inline]
+    pub fn written(&self) -> usize {
+        self.written as usize
+    }
+
+    /// Bytes still unwritten.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        (self.len - self.written) as usize
+    }
+
+    /// Append `bytes` to the payload.
+    ///
+    /// # Panics
+    /// Panics if the write would overflow the reservation.
+    #[inline]
+    pub fn put_slice(&mut self, bytes: &[u8]) {
+        assert!(
+            bytes.len() <= self.remaining(),
+            "slot overflow: {} bytes into a reservation with {} remaining",
+            bytes.len(),
+            self.remaining()
+        );
+        // SAFETY: the slot owns `[base, base + len)` exclusively (LSN space
+        // is handed out exactly once) and `written` never exceeds `len`.
+        unsafe { self.ring.write_at(self.base + self.written as u64, bytes) };
+        self.crc = crc32_update(self.crc, bytes);
+        self.written += bytes.len() as u32;
+    }
+
+    /// Append one byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// How a [`LogSlot`] publishes its record — the release half of each
+/// variant's protocol, run by [`LogSlot::release`]. Consolidation-group
+/// members share one entry: whichever member finishes last performs the
+/// group's release exactly as the pre-reservation code did.
+#[derive(Clone, Copy)]
+pub(crate) enum SlotFinish<'a> {
+    /// Advance the released watermark past this record, then drop the
+    /// insert mutex (Baseline always; C's direct path).
+    LockedDirect { lock: &'a InsertLock },
+    /// Release in LSN order (D; CD's direct path).
+    InOrder,
+    /// Release through the delegated-release queue (CDME's direct path).
+    Queue {
+        queue: &'a ReleaseQueue,
+        handle: ReleaseHandle,
+    },
+    /// C group member: last one out publishes the group region, unlocks the
+    /// mutex the leader acquired, and recycles the slot.
+    GroupLocked {
+        slot: &'a Slot,
+        lock: &'a InsertLock,
+        base: Lsn,
+        group: u64,
+    },
+    /// CD group member: last one out releases the group region in LSN order.
+    GroupInOrder {
+        slot: &'a Slot,
+        base: Lsn,
+        group: u64,
+    },
+    /// CDME group member: last one out releases the group's queue node.
+    GroupQueue {
+        slot: &'a Slot,
+        queue: &'a ReleaseQueue,
+        extra: u64,
+    },
+}
+
+/// An exclusively owned, header-initialized record reservation in the ring.
+///
+/// Produced by [`LogBuffer::reserve`]; the caller streams its payload in via
+/// the embedded [`SlotWriter`] and calls [`LogSlot::release`]. Dropping a
+/// slot without releasing it zero-fills the unwritten payload tail and
+/// releases anyway — the release protocols are chained (in-order watermarks,
+/// group counts, cross-thread mutex handoff), so an abandoned reservation
+/// would wedge every later insert.
+pub struct LogSlot<'a> {
+    core: &'a BufferCore,
+    writer: SlotWriter<'a>,
+    start: Lsn,
+    total_len: u32,
+    timer: Option<std::time::Instant>,
+    finish: SlotFinish<'a>,
+    done: bool,
+}
+
+impl std::fmt::Debug for LogSlot<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogSlot")
+            .field("start", &self.start)
+            .field("total_len", &self.total_len)
+            .field("written", &self.writer.written)
+            .finish()
+    }
+}
+
+impl<'a> LogSlot<'a> {
+    /// Start LSN of the record.
+    #[inline]
+    pub fn lsn(&self) -> Lsn {
+        self.start
+    }
+
+    /// LSN one past the record (start + aligned on-log size) — the
+    /// durability target for commit waits on this record.
+    #[inline]
+    pub fn end_lsn(&self) -> Lsn {
+        self.start.advance(self.total_len as u64)
+    }
+
+    /// The payload writer.
+    #[inline]
+    pub fn writer(&mut self) -> &mut SlotWriter<'a> {
+        &mut self.writer
+    }
+
+    /// Append payload bytes (shorthand for `writer().put_slice`).
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.writer.put_slice(bytes);
+    }
+
+    /// Serialize `payload` into the slot. The payload's `encoded_len` must
+    /// match the reserved length (callers reserve with that same value).
+    #[inline]
+    pub fn fill<P: EncodePayload + ?Sized>(&mut self, payload: &P) {
+        payload.encode_into(&mut self.writer);
+    }
+
+    /// Finalize and publish the record: patch the frame CRC into the header
+    /// in place, account the insert, and run the variant's release path.
+    /// Returns the record's start LSN.
+    ///
+    /// The payload must be completely written; a debug assertion enforces it
+    /// (release builds treat a short release like a drop: the record is
+    /// neutralized to an all-zero [`RecordKind::Filler`]).
+    pub fn release(mut self) -> Lsn {
+        debug_assert_eq!(
+            self.writer.written, self.writer.len,
+            "released a slot with an incomplete payload"
+        );
+        let lsn = self.start;
+        self.finalize();
+        lsn
+    }
+
+    fn finalize(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        // Abandoned (or short-released) slot — e.g. a serializer panicked
+        // mid-fill. The release chain must still run (successors are queued
+        // behind this reservation), but the half-written record must NOT
+        // reach recovery or a replica under its original kind: a CRC-valid
+        // Update/Clr frame with a garbage payload would wedge replay
+        // forever. Neutralize it: rewrite the header in place as an
+        // all-zero-payload Filler (which every log consumer skips) and
+        // restart the frame CRC accordingly.
+        if self.writer.written < self.writer.len {
+            let header =
+                encode_frame_header(RecordKind::Filler, 0, Lsn::ZERO, self.writer.len as usize);
+            // SAFETY: the header and payload lie inside this reservation.
+            unsafe { self.core.ring.write_at(self.start.raw(), &header) };
+            self.writer.crc = crc32_update(CRC32_INIT, &header);
+            self.writer.written = 0;
+            while self.writer.remaining() > 0 {
+                const ZEROS: [u8; 64] = [0u8; 64];
+                let n = self.writer.remaining().min(ZEROS.len());
+                self.writer.put_slice(&ZEROS[..n]);
+            }
+        }
+        let crc = crc32_finish(self.writer.crc);
+        // SAFETY: the checksum field lies inside this slot's reservation.
+        unsafe {
+            self.core.ring.write_at(
+                self.start.raw() + CHECKSUM_OFFSET as u64,
+                &crc.to_le_bytes(),
+            );
+        }
+        self.core.stats.phase_fill(self.timer.take());
+        self.core.stats.record_insert(self.total_len as u64);
+        let end = self.end_lsn();
+        match self.finish {
+            SlotFinish::LockedDirect { lock } => {
+                self.core.advance_released(end);
+                lock.unlock();
+            }
+            SlotFinish::InOrder => self.core.release_in_order(self.start, end),
+            SlotFinish::Queue { queue, handle } => queue.release(handle, self.core),
+            SlotFinish::GroupLocked {
+                slot,
+                lock,
+                base,
+                group,
+            } => {
+                if slot.release_member(self.total_len as u64) {
+                    self.core.advance_released(base.advance(group));
+                    lock.unlock();
+                    slot.free();
+                }
+            }
+            SlotFinish::GroupInOrder { slot, base, group } => {
+                if slot.release_member(self.total_len as u64) {
+                    self.core.release_in_order(base, base.advance(group));
+                    slot.free();
+                }
+            }
+            SlotFinish::GroupQueue { slot, queue, extra } => {
+                if slot.release_member(self.total_len as u64) {
+                    queue.release(ReleaseHandle::unpack(extra), self.core);
+                    slot.free();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for LogSlot<'_> {
+    fn drop(&mut self) {
+        self.finalize();
+    }
 }
 
 /// Progressive wait backoff shared by every busy-wait in the crate:
@@ -462,33 +830,118 @@ impl BufferCore {
         self.advance_released(end);
     }
 
+    /// Open a [`LogSlot`] over the reservation starting at `start`: encode
+    /// the header straight into the ring (checksum zeroed, single pass),
+    /// zero the alignment pad, and seed the streaming frame CRC. The caller
+    /// (a buffer variant's `reserve`) must own the reservation
+    /// `[start, start + on_log_size(payload_len))` and supplies the release
+    /// action the slot will run when it is released.
+    pub(crate) fn begin_fill<'a>(
+        &'a self,
+        start: Lsn,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+        finish: SlotFinish<'a>,
+    ) -> LogSlot<'a> {
+        // Size validation happened in check_payload_len before any lock or
+        // LSN space was taken; panicking here — with the insert mutex held
+        // and the reservation issued — would wedge the log.
+        debug_assert!(payload_len <= MAX_PAYLOAD);
+        let timer = self.stats.phase_start();
+        let total = on_log_size(payload_len);
+        let header = encode_frame_header(kind, txn, prev, payload_len);
+        // SAFETY: the caller owns this reservation (LSN space is handed out
+        // exactly once), so the range is exclusive; see module docs.
+        unsafe {
+            self.ring.write_at(start.raw(), &header);
+            let pad = total - HEADER_SIZE - payload_len;
+            if pad > 0 {
+                // Zero the pad so the stream is deterministic (no stale
+                // ring bytes from a previous lap leak to the device).
+                self.ring.write_at(
+                    start.raw() + (total - pad) as u64,
+                    &[0u8; crate::record::RECORD_ALIGN][..pad],
+                );
+            }
+        }
+        LogSlot {
+            core: self,
+            writer: SlotWriter {
+                ring: &self.ring,
+                base: start.raw() + HEADER_SIZE as u64,
+                len: payload_len as u32,
+                written: 0,
+                crc: crc32_update(CRC32_INIT, &header),
+            },
+            start,
+            total_len: total as u32,
+            timer,
+            finish,
+            done: false,
+        }
+    }
+
     /// Copy an encoded record (header + payload) into the ring at `at`.
     ///
     /// Caller must own the reservation `[at, at + header.total_len)`.
+    /// Retained for tests and for callers that materialize a
+    /// [`RecordHeader`] themselves; the insert hot path goes through
+    /// [`LogBuffer::reserve`] instead, which serializes the header once,
+    /// in place, and never touches a `RecordHeader`.
     #[inline]
     pub fn fill_record(&self, at: Lsn, header: &RecordHeader, payload: &[u8]) {
         let t = self.stats.phase_start();
         let encoded = header.encode();
+        let total = header.total_len as usize;
+        let pad = total - HEADER_SIZE - payload.len();
         // SAFETY: the caller owns this reservation (LSN space is handed out
         // exactly once), so the range is exclusive; see module docs.
         unsafe {
             self.ring.write_at(at.raw(), &encoded);
             self.ring.write_at(at.raw() + HEADER_SIZE as u64, payload);
+            if pad > 0 {
+                self.ring.write_at(
+                    at.raw() + (total - pad) as u64,
+                    &[0u8; crate::record::RECORD_ALIGN][..pad],
+                );
+            }
         }
         self.stats.phase_fill(t);
         self.stats.record_insert(header.total_len as u64);
     }
 
-    /// Read `dst.len()` published bytes starting at `from` (flush daemon).
+    /// Read `dst.len()` published bytes starting at `from` into a caller
+    /// buffer (the scratch-copy drain the vectored path replaces; kept for
+    /// tests and diagnostics — each call counts toward the scratch-copy
+    /// stats so regressions back onto this path are visible).
     ///
     /// Caller must ensure `[from, from + dst.len())` is below `released` and
     /// at most `capacity` behind the current frontier (holds for the flush
     /// daemon, which is the only reclaimer).
     pub fn read_released(&self, from: Lsn, dst: &mut [u8]) {
         debug_assert!(from.advance(dst.len() as u64) <= self.released.load());
+        self.stats.record_scratch_copy(dst.len() as u64);
         // SAFETY: range is published (below `released`) and not yet
         // reclaimed (the caller is the reclaimer).
         unsafe { self.ring.read_at(from.raw(), dst) }
+    }
+
+    /// Borrow `len` published bytes starting at `from` directly out of the
+    /// ring as at most two slices — the zero-copy flush drain.
+    ///
+    /// # Safety
+    /// `[from, from + len)` must be published (below `released`) and must
+    /// stay unreclaimed for the whole lifetime of the returned slices; only
+    /// the single reclaimer (the flush daemon, which alone advances the
+    /// durable watermark) can guarantee that.
+    pub unsafe fn released_slices(&self, from: Lsn, len: u64) -> (&[u8], &[u8]) {
+        debug_assert!(from.advance(len) <= self.released.load());
+        // SAFETY: forwarded contract, plus `released - durable <= capacity`
+        // (writers cannot reserve past `durable + capacity`), so the range
+        // is within one lap of the frontier.
+        unsafe { self.ring.read_slices(from.raw(), len as usize) }
     }
 }
 

@@ -41,7 +41,10 @@ pub struct LogConfig {
     /// A CDME thread refuses to delegate with probability `1/treadmill_inv`
     /// to break delegation treadmills (§A.3). 0 disables refusal.
     pub treadmill_inv: u32,
-    /// Chunk size for flush-daemon copies from the ring to the device.
+    /// Legacy knob from the scratch-copy drain. The flush daemon now hands
+    /// ring slices straight to [`crate::device::LogDevice::write_vectored`]
+    /// (no staging buffer, so no chunking); the field is retained so
+    /// existing configurations keep validating.
     pub flush_chunk: usize,
     /// Group-commit policy for the flush daemon.
     pub group_commit: GroupCommitPolicy,

@@ -61,7 +61,7 @@ pub mod record;
 pub mod ring;
 pub mod stats;
 
-pub use buffer::{BufferKind, LogBuffer};
+pub use buffer::{BufferKind, EncodePayload, LogBuffer, LogSlot, SlotWriter};
 pub use commit::{CommitGate, DurabilityPolicy, ReplicaAck};
 pub use config::LogConfig;
 pub use device::DeviceKind;

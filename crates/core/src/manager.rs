@@ -1,7 +1,7 @@
 //! The Aether log manager: buffer variant + device + flush daemon + commit
 //! pipeline behind one facade.
 
-use crate::buffer::{BufferCore, BufferKind, LogBuffer};
+use crate::buffer::{BufferCore, BufferKind, EncodePayload, LogBuffer, LogSlot};
 use crate::commit::{CommitAction, CommitGate, CommitHandle, CommitPipeline, DurabilityPolicy};
 use crate::config::LogConfig;
 use crate::device::{DeviceKind, LogDevice};
@@ -105,7 +105,6 @@ impl LogManagerBuilder {
                 Arc::clone(&pipeline),
                 Arc::clone(&gate),
                 self.config.group_commit.clone(),
-                self.config.flush_chunk,
             ))
         };
         let flush_shared = daemon.as_ref().map(|d| Arc::clone(d.shared()));
@@ -184,6 +183,37 @@ impl LogManager {
     pub fn insert_ext(&self, kind: RecordKind, txn: u64, prev: Lsn, payload: &[u8]) -> (Lsn, Lsn) {
         let start = self.buffer.insert(kind, txn, prev, payload);
         (start, start.advance(on_log_size(payload.len()) as u64))
+    }
+
+    /// Reserve a record slot and serialize `payload` **directly into the
+    /// ring** — the zero-copy, zero-allocation insert path. Returns
+    /// `(start, end)` LSNs like [`LogManager::insert_ext`], but with no
+    /// intermediate encode buffer anywhere: the payload's bytes exist only
+    /// in the ring (and the frame CRC streams along with them).
+    pub fn insert_payload<P: EncodePayload + ?Sized>(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload: &P,
+    ) -> (Lsn, Lsn) {
+        let mut slot = self.buffer.reserve(kind, txn, prev, payload.encoded_len());
+        slot.fill(payload);
+        let end = slot.end_lsn();
+        (slot.release(), end)
+    }
+
+    /// Reserve a record slot for `payload_len` payload bytes; the caller
+    /// streams the payload through the returned [`LogSlot`] and releases
+    /// it. See [`crate::buffer::LogBuffer::reserve`].
+    pub fn reserve(
+        &self,
+        kind: RecordKind,
+        txn: u64,
+        prev: Lsn,
+        payload_len: usize,
+    ) -> LogSlot<'_> {
+        self.buffer.reserve(kind, txn, prev, payload_len)
     }
 
     /// The buffer variant in use.

@@ -17,6 +17,11 @@ use crate::lsn::Lsn;
 /// Size in bytes of the on-log record header.
 pub const HEADER_SIZE: usize = 32;
 
+/// Byte offset of the checksum field within the encoded header. The frame
+/// CRC is computed over the header with these four bytes zeroed, then the
+/// final value is patched in place — the header is serialized exactly once.
+pub const CHECKSUM_OFFSET: usize = 12;
+
 /// Records are padded to this alignment in the log stream.
 pub const RECORD_ALIGN: usize = 8;
 
@@ -163,6 +168,31 @@ pub fn checksum(header_zeroed: &[u8; HEADER_SIZE], payload: &[u8]) -> u32 {
     ))
 }
 
+/// Serialize a record header directly from its fields, with the checksum
+/// bytes zeroed — the single-pass encoding used by the reservation insert
+/// path. The result is both the frame-CRC input and (after patching bytes
+/// [`CHECKSUM_OFFSET`]`..`[`CHECKSUM_OFFSET`]`+4` with the final CRC) the
+/// on-log header; nothing is serialized twice.
+#[inline]
+pub fn encode_frame_header(
+    kind: RecordKind,
+    txn: u64,
+    prev_lsn: Lsn,
+    payload_len: usize,
+) -> [u8; HEADER_SIZE] {
+    debug_assert!(payload_len <= MAX_PAYLOAD);
+    let mut out = [0u8; HEADER_SIZE];
+    out[0..4].copy_from_slice(&(on_log_size(payload_len) as u32).to_le_bytes());
+    out[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[8] = kind as u8;
+    out[9] = RECORD_MAGIC;
+    // bytes 10..12 reserved, zero; CHECKSUM_OFFSET..+4 is the checksum,
+    // zero here (patched after the payload CRC is known)
+    out[16..24].copy_from_slice(&txn.to_le_bytes());
+    out[24..32].copy_from_slice(&prev_lsn.raw().to_le_bytes());
+    out
+}
+
 /// The decoded header of a log record.
 ///
 /// On-log layout (little-endian):
@@ -204,37 +234,34 @@ impl RecordHeader {
             "payload of {} bytes exceeds MAX_PAYLOAD",
             payload.len()
         );
-        let mut h = RecordHeader {
+        let zeroed = encode_frame_header(kind, txn, prev_lsn, payload.len());
+        RecordHeader {
             total_len: on_log_size(payload.len()) as u32,
             payload_len: payload.len() as u32,
             kind,
-            checksum: 0,
+            checksum: checksum(&zeroed, payload),
             txn,
             prev_lsn,
-        };
-        h.checksum = checksum(&h.encode_zeroed(), payload);
-        h
+        }
     }
 
-    /// Serialize into the fixed 32-byte on-log form.
+    /// Serialize into the fixed 32-byte on-log form: one field pass plus the
+    /// in-place checksum patch.
     pub fn encode(&self) -> [u8; HEADER_SIZE] {
         let mut out = self.encode_zeroed();
-        out[12..16].copy_from_slice(&self.checksum.to_le_bytes());
+        out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&self.checksum.to_le_bytes());
         out
     }
 
     /// The on-log form with the checksum field zeroed — the byte string the
     /// frame CRC is computed over.
     fn encode_zeroed(&self) -> [u8; HEADER_SIZE] {
-        let mut out = [0u8; HEADER_SIZE];
-        out[0..4].copy_from_slice(&self.total_len.to_le_bytes());
-        out[4..8].copy_from_slice(&self.payload_len.to_le_bytes());
-        out[8] = self.kind as u8;
-        out[9] = RECORD_MAGIC;
-        // bytes 10..12 reserved, zero; 12..16 is the checksum, zero here
-        out[16..24].copy_from_slice(&self.txn.to_le_bytes());
-        out[24..32].copy_from_slice(&self.prev_lsn.raw().to_le_bytes());
-        out
+        encode_frame_header(
+            self.kind,
+            self.txn,
+            self.prev_lsn,
+            self.payload_len as usize,
+        )
     }
 
     /// Decode and validate a header. Returns `None` for anything that cannot
@@ -312,6 +339,25 @@ mod tests {
         // the paper's two record-size peaks
         assert_eq!(on_log_size(40 - 32), 40);
         assert_eq!(on_log_size(264 - 32), 264);
+    }
+
+    #[test]
+    fn frame_header_is_the_zeroed_encoding() {
+        // The single-pass field encoder must agree with the struct path:
+        // patching the checksum into the zeroed form yields encode().
+        let payload = b"payload";
+        let h = RecordHeader::new(RecordKind::Clr, 5, Lsn(640), payload);
+        let mut framed = encode_frame_header(RecordKind::Clr, 5, Lsn(640), payload.len());
+        assert_eq!(
+            u32::from_le_bytes(
+                framed[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4]
+                    .try_into()
+                    .unwrap()
+            ),
+            0
+        );
+        framed[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&h.checksum.to_le_bytes());
+        assert_eq!(framed, h.encode());
     }
 
     #[test]

@@ -89,6 +89,39 @@ impl Ring {
         }
     }
 
+    /// Borrow the bytes `[at, at + len)` of the log stream directly out of
+    /// the ring, as at most two contiguous slices (the second is empty when
+    /// the range does not wrap). This is the zero-copy counterpart of
+    /// [`Ring::read_at`]: the flush daemon hands these slices straight to
+    /// [`crate::device::LogDevice::write_vectored`] instead of staging them
+    /// through a scratch buffer.
+    ///
+    /// # Safety
+    /// As for [`Ring::read_at`], the range must have been published and not
+    /// yet reclaimed — and additionally it must remain unreclaimed for the
+    /// whole lifetime of the returned slices, since they alias the ring's
+    /// storage. In practice only the single reclaimer (the flush daemon) can
+    /// uphold this: it does not advance the durable watermark until it is
+    /// done with the slices.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the ring capacity.
+    #[inline]
+    pub unsafe fn read_slices(&self, at: u64, len: usize) -> (&[u8], &[u8]) {
+        assert!(len as u64 <= self.capacity(), "read larger than ring");
+        let idx = (at & self.mask) as usize;
+        let cap = self.capacity() as usize;
+        let first = len.min(cap - idx);
+        // SAFETY: per the function contract the range is published, stable
+        // and stays unreclaimed while the borrows live.
+        unsafe {
+            (
+                std::slice::from_raw_parts(self.buf[idx].get(), first),
+                std::slice::from_raw_parts(self.buf[0].get(), len - first),
+            )
+        }
+    }
+
     /// Copy `dst.len()` bytes out of the ring starting at stream offset `at`.
     ///
     /// # Safety
@@ -148,6 +181,26 @@ mod tests {
         let mut out = vec![0u8; 50];
         unsafe { r.read_at(1000 * 64 + 40, &mut out) };
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn read_slices_match_copying_reads() {
+        let r = Ring::new(64);
+        let data: Vec<u8> = (0..50).collect();
+        unsafe { r.write_at(40, &data) };
+        // Wrapping range: 24 bytes at the tail, 26 at the head.
+        let (a, b) = unsafe { r.read_slices(40, 50) };
+        assert_eq!(a.len(), 24);
+        assert_eq!(b.len(), 26);
+        let joined: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(joined, data);
+        // Non-wrapping range: second slice empty.
+        let (a, b) = unsafe { r.read_slices(0, 30) };
+        assert_eq!(a.len(), 30);
+        assert!(b.is_empty());
+        // Zero-length range.
+        let (a, b) = unsafe { r.read_slices(17, 0) };
+        assert!(a.is_empty() && b.is_empty());
     }
 
     #[test]

@@ -25,6 +25,17 @@ pub struct BufferStats {
     group_acquires: CachePadded<AtomicU64>,
     /// Buffer releases delegated to a predecessor (CDME only).
     delegated_releases: CachePadded<AtomicU64>,
+    /// Inserts that arrived as pre-encoded byte slices through the legacy
+    /// `insert(&[u8])` wrapper. Each implies the caller materialized its
+    /// payload in a temporary buffer first — the allocation + copy the
+    /// reservation path exists to eliminate. Zero on a fully re-plumbed
+    /// hot path.
+    wrapper_inserts: CachePadded<AtomicU64>,
+    /// Bytes copied *out* of the ring into scratch buffers (the pre-vectored
+    /// flush drain). The vectored drain hands ring slices straight to the
+    /// device, so this stays zero unless something regresses onto
+    /// `read_released`.
+    scratch_bytes: CachePadded<AtomicU64>,
     /// Nanoseconds spent waiting to acquire buffer space (contention).
     acquire_wait_ns: CachePadded<AtomicU64>,
     /// Nanoseconds spent copying into the buffer (work).
@@ -48,6 +59,12 @@ pub struct StatsSnapshot {
     pub group_acquires: u64,
     /// Delegated buffer releases (CDME).
     pub delegated_releases: u64,
+    /// Inserts through the legacy pre-encoded-slice wrapper (each implies
+    /// an upstream payload materialization).
+    pub wrapper_inserts: u64,
+    /// Bytes copied out of the ring into scratch buffers on drain (zero
+    /// with the vectored flush path).
+    pub scratch_bytes: u64,
     /// ns waiting in acquire.
     pub acquire_wait_ns: u64,
     /// ns copying payloads.
@@ -114,6 +131,18 @@ impl BufferStats {
         self.delegated_releases.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a legacy byte-slice wrapper insert.
+    #[inline]
+    pub fn record_wrapper(&self) {
+        self.wrapper_inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `bytes` staged through a scratch buffer on drain.
+    #[inline]
+    pub fn record_scratch_copy(&self, bytes: u64) {
+        self.scratch_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Close an acquire-phase timer.
     #[inline]
     pub fn phase_acquire(&self, t: Option<Instant>) {
@@ -150,6 +179,8 @@ impl BufferStats {
             consolidations: self.consolidations.load(Ordering::Relaxed),
             group_acquires: self.group_acquires.load(Ordering::Relaxed),
             delegated_releases: self.delegated_releases.load(Ordering::Relaxed),
+            wrapper_inserts: self.wrapper_inserts.load(Ordering::Relaxed),
+            scratch_bytes: self.scratch_bytes.load(Ordering::Relaxed),
             acquire_wait_ns: self.acquire_wait_ns.load(Ordering::Relaxed),
             fill_ns: self.fill_ns.load(Ordering::Relaxed),
             release_wait_ns: self.release_wait_ns.load(Ordering::Relaxed),
@@ -167,6 +198,8 @@ impl StatsSnapshot {
             consolidations: self.consolidations - earlier.consolidations,
             group_acquires: self.group_acquires - earlier.group_acquires,
             delegated_releases: self.delegated_releases - earlier.delegated_releases,
+            wrapper_inserts: self.wrapper_inserts - earlier.wrapper_inserts,
+            scratch_bytes: self.scratch_bytes - earlier.scratch_bytes,
             acquire_wait_ns: self.acquire_wait_ns - earlier.acquire_wait_ns,
             fill_ns: self.fill_ns - earlier.fill_ns,
             release_wait_ns: self.release_wait_ns - earlier.release_wait_ns,

@@ -379,6 +379,11 @@ impl Db {
 
     /// Log an update record (chained into the txn's undo chain), remember
     /// the undo entry, and apply the after-image.
+    ///
+    /// The record is serialized straight into the reserved log slot — no
+    /// encode buffer — and the before/after images move into the payload
+    /// and out again rather than being cloned: an update costs exactly one
+    /// copy of its images (the memcpy into the ring).
     fn log_and_apply(
         &self,
         txn: &mut Transaction,
@@ -394,16 +399,14 @@ impl Db {
         let payload = UpdatePayload {
             page,
             slot: rid.slot,
-            before: before.clone(),
-            after: after.clone(),
+            before,
+            after,
         };
-        let lsn = self.log.insert_chained(
-            RecordKind::Update,
-            txn.id,
-            txn.last_lsn(),
-            &payload.encode(),
-        );
+        let (lsn, _) =
+            self.log
+                .insert_payload(RecordKind::Update, txn.id, txn.last_lsn(), &payload);
         txn.set_last_lsn(lsn);
+        let UpdatePayload { before, after, .. } = payload;
         txn.note_undo(UndoEntry {
             page,
             slot: rid.slot,
@@ -444,9 +447,9 @@ impl Db {
             return Ok(CommitOutcome::Durable);
         }
 
-        let (_, end) = self
-            .log
-            .insert_ext(RecordKind::Commit, txn.id, txn.last_lsn(), &[]);
+        let (_, end) =
+            self.log
+                .insert_payload::<[u8]>(RecordKind::Commit, txn.id, txn.last_lsn(), &[]);
         txn.status = TxnStatus::Precommitted;
         self.stats
             .commits
@@ -539,7 +542,11 @@ impl Db {
     pub fn abort(&self, mut txn: Transaction) -> StorageResult<()> {
         self.check_active(&txn)?;
         let undo: Vec<UndoEntry> = txn.undo.drain(..).collect();
-        for (i, e) in undo.iter().enumerate().rev() {
+        // The undo-chain continuation for entry i is entry i-1's update LSN;
+        // capture the chain up front so each entry's before-image can move
+        // into its CLR payload (no clone, no encode buffer).
+        let chain: Vec<Lsn> = undo.iter().map(|e| e.update_lsn).collect();
+        for (i, e) in undo.into_iter().enumerate().rev() {
             let t = self.table(e.page.table)?;
             let rid = crate::page::Rid {
                 page_no: e.page.page_no,
@@ -549,25 +556,21 @@ impl Db {
             // a delete restores it.
             let current = t.read_cell(rid);
             self.fix_index_on_restore(&t, rid, &current, &e.before);
-            let undo_next = if i == 0 {
-                Lsn::ZERO
-            } else {
-                undo[i - 1].update_lsn
-            };
+            let undo_next = if i == 0 { Lsn::ZERO } else { chain[i - 1] };
             let clr = ClrPayload {
                 page: e.page,
                 slot: e.slot,
-                restored: e.before.clone(),
+                restored: e.before,
                 undo_next,
             };
-            let lsn =
-                self.log
-                    .insert_chained(RecordKind::Clr, txn.id, txn.last_lsn(), &clr.encode());
+            let (lsn, _) = self
+                .log
+                .insert_payload(RecordKind::Clr, txn.id, txn.last_lsn(), &clr);
             txn.set_last_lsn(lsn);
-            t.apply_cell(rid, &e.before, lsn);
+            t.apply_cell(rid, &clr.restored, lsn);
         }
         self.log
-            .insert_chained(RecordKind::Abort, txn.id, txn.last_lsn(), &[]);
+            .insert_payload::<[u8]>(RecordKind::Abort, txn.id, txn.last_lsn(), &[]);
         txn.status = TxnStatus::Aborted;
         self.stats
             .aborts
@@ -631,9 +634,9 @@ impl Db {
             att,
             dpt: self.dpt_snapshot(),
         };
-        let (_, end) =
-            self.log
-                .insert_ext(RecordKind::CheckpointEnd, 0, Lsn::ZERO, &payload.encode());
+        let (_, end) = self
+            .log
+            .insert_payload(RecordKind::CheckpointEnd, 0, Lsn::ZERO, &payload);
         self.log.flush_until(end);
         self.last_checkpoint.fetch_max(begin);
         self.redo_low_water.fetch_max(self.log_truncation_point());

@@ -232,18 +232,19 @@ pub fn recover_with_stats(
                 let rid = u.rid();
                 let current = t.read_cell(rid);
                 db.fix_index_on_restore(&t, rid, &current, &u.before);
+                // The before-image moves into the CLR payload and is applied
+                // from there; the record itself is serialized straight into
+                // the reserved log slot (no encode buffer).
                 let clr = ClrPayload {
                     page: u.page,
                     slot: u.slot,
-                    restored: u.before.clone(),
+                    restored: u.before,
                     undo_next: rec.header.prev_lsn,
                 };
                 let prev = chain[&txn];
-                let clr_lsn = db
-                    .log()
-                    .insert_chained(RecordKind::Clr, txn, prev, &clr.encode());
+                let (clr_lsn, _) = db.log().insert_payload(RecordKind::Clr, txn, prev, &clr);
                 chain.insert(txn, clr_lsn);
-                t.apply_cell(rid, &u.before, clr_lsn);
+                t.apply_cell(rid, &clr.restored, clr_lsn);
                 stats.clrs_written += 1;
                 if rec.header.prev_lsn.is_zero() {
                     finish_loser(&db, txn, &mut chain);

@@ -3,9 +3,17 @@
 //! `aether-core` treats payloads as opaque bytes; this module gives them
 //! ARIES meaning. All encodings are little-endian and hand-rolled (no serde
 //! on the log hot path).
+//!
+//! Every payload implements [`EncodePayload`], so the hot path serializes
+//! **directly into the reserved log slot** (`encoded_len` sizes the
+//! reservation, `encode_into` streams the fields into the ring) — zero
+//! intermediate `Vec`s between a transaction and the log. The `encode()`
+//! methods build the same byte strings into owned buffers for tests,
+//! recovery tooling and anything else that wants a standalone copy; unit
+//! tests pin the two forms byte-identical.
 
 use crate::page::{PageId, Rid};
-use aether_core::Lsn;
+use aether_core::{EncodePayload, Lsn, SlotWriter};
 
 /// A physiological cell update: before/after images of one cell on one page.
 ///
@@ -68,6 +76,22 @@ impl UpdatePayload {
     }
 }
 
+impl EncodePayload for UpdatePayload {
+    fn encoded_len(&self) -> usize {
+        debug_assert_eq!(self.before.len(), self.after.len());
+        12 + 2 * self.before.len()
+    }
+
+    fn encode_into(&self, w: &mut SlotWriter<'_>) {
+        w.put_u32(self.page.table);
+        w.put_u32(self.page.page_no);
+        w.put_u16(self.slot);
+        w.put_u16(self.before.len() as u16);
+        w.put_slice(&self.before);
+        w.put_slice(&self.after);
+    }
+}
+
 /// A compensation log record: the redo-only image written while undoing one
 /// [`UpdatePayload`] during rollback, plus the next record to undo.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,6 +141,21 @@ impl ClrPayload {
             restored,
             undo_next,
         })
+    }
+}
+
+impl EncodePayload for ClrPayload {
+    fn encoded_len(&self) -> usize {
+        20 + self.restored.len()
+    }
+
+    fn encode_into(&self, w: &mut SlotWriter<'_>) {
+        w.put_u32(self.page.table);
+        w.put_u32(self.page.page_no);
+        w.put_u16(self.slot);
+        w.put_u16(self.restored.len() as u16);
+        w.put_slice(&self.restored);
+        w.put_u64(self.undo_next.raw());
     }
 }
 
@@ -178,6 +217,25 @@ impl CheckpointPayload {
     }
 }
 
+impl EncodePayload for CheckpointPayload {
+    fn encoded_len(&self) -> usize {
+        8 + 16 * (self.att.len() + self.dpt.len())
+    }
+
+    fn encode_into(&self, w: &mut SlotWriter<'_>) {
+        w.put_u32(self.att.len() as u32);
+        w.put_u32(self.dpt.len() as u32);
+        for (txn, lsn) in &self.att {
+            w.put_u64(*txn);
+            w.put_u64(lsn.raw());
+        }
+        for (pid, lsn) in &self.dpt {
+            w.put_u64(*pid);
+            w.put_u64(lsn.raw());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +278,52 @@ mod tests {
         let enc = c.encode();
         assert_eq!(ClrPayload::decode(&enc).unwrap(), c);
         assert!(ClrPayload::decode(&enc[..19]).is_none());
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_all_payloads() {
+        // Write each payload through the zero-copy reservation path and
+        // read the record back off the device: the payload bytes must be
+        // byte-identical to the owned `encode()` form.
+        use aether_core::{DeviceKind, LogManager, RecordKind};
+        let log = LogManager::builder().device(DeviceKind::Ram).build();
+        let u = UpdatePayload {
+            page: PageId {
+                table: 3,
+                page_no: 77,
+            },
+            slot: 12,
+            before: vec![1; 41],
+            after: vec![2; 41],
+        };
+        let c = ClrPayload {
+            page: PageId {
+                table: 1,
+                page_no: 2,
+            },
+            slot: 3,
+            restored: vec![7; 20],
+            undo_next: Lsn(4096),
+        };
+        let cp = CheckpointPayload {
+            att: vec![(1, Lsn(100)), (2, Lsn(200))],
+            dpt: vec![(5, Lsn(50))],
+        };
+        assert_eq!(u.encoded_len(), u.encode().len());
+        assert_eq!(c.encoded_len(), c.encode().len());
+        assert_eq!(cp.encoded_len(), cp.encode().len());
+        log.insert_payload(RecordKind::Update, 9, Lsn::ZERO, &u);
+        log.insert_payload(RecordKind::Clr, 9, Lsn::ZERO, &c);
+        log.insert_payload(RecordKind::CheckpointEnd, 0, Lsn::ZERO, &cp);
+        log.flush_all();
+        let recs = log.reader().read_all().unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].payload, u.encode());
+        assert_eq!(recs[1].payload, c.encode());
+        assert_eq!(recs[2].payload, cp.encode());
+        assert_eq!(UpdatePayload::decode(&recs[0].payload).unwrap(), u);
+        assert_eq!(ClrPayload::decode(&recs[1].payload).unwrap(), c);
+        assert_eq!(CheckpointPayload::decode(&recs[2].payload).unwrap(), cp);
     }
 
     #[test]

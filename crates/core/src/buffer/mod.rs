@@ -48,8 +48,9 @@ use crate::record::{
     CHECKSUM_OFFSET, CRC32_INIT, HEADER_SIZE, MAX_PAYLOAD,
 };
 use crate::ring::Ring;
+use crate::runtime::{self, RtCondvar};
 use crate::stats::BufferStats;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -333,7 +334,7 @@ pub struct LogSlot<'a> {
     writer: SlotWriter<'a>,
     start: Lsn,
     total_len: u32,
-    timer: Option<std::time::Instant>,
+    timer: Option<u64>,
     finish: SlotFinish<'a>,
     done: bool,
 }
@@ -500,9 +501,9 @@ impl WaitBackoff {
         if self.spins < 32 {
             std::hint::spin_loop();
         } else if self.spins < 256 {
-            std::thread::yield_now();
+            runtime::yield_now();
         } else {
-            std::thread::sleep(std::time::Duration::from_micros(20));
+            runtime::sleep(std::time::Duration::from_micros(20));
         }
     }
 }
@@ -625,13 +626,13 @@ pub struct BufferCore {
     /// Inserters blocked on ring space.
     space_waiters: AtomicUsize,
     space_mutex: Mutex<()>,
-    space_cv: Condvar,
+    space_cv: RtCondvar,
     /// Threads blocked in [`BufferCore::wait_durable`]; the durable-advance
     /// path only takes the watch mutex when this is non-zero, keeping the
     /// auto-reclaim hot path notification-free.
     watch_waiters: AtomicUsize,
     watch_mutex: Mutex<()>,
-    watch_cv: Condvar,
+    watch_cv: RtCondvar,
     /// Counters and phase timers.
     pub stats: BufferStats,
 }
@@ -663,10 +664,10 @@ impl BufferCore {
             auto_reclaim: AtomicBool::new(false),
             space_waiters: AtomicUsize::new(0),
             space_mutex: Mutex::new(()),
-            space_cv: Condvar::new(),
+            space_cv: RtCondvar::new(),
             watch_waiters: AtomicUsize::new(0),
             watch_mutex: Mutex::new(()),
-            watch_cv: Condvar::new(),
+            watch_cv: RtCondvar::new(),
             stats: BufferStats::new(),
         })
     }
@@ -726,15 +727,20 @@ impl BufferCore {
             }
             spins += 1;
             if spins < 100 {
-                std::thread::yield_now();
+                runtime::yield_now();
             } else {
                 self.space_waiters.fetch_add(1, Ordering::SeqCst);
-                let mut g = self.space_mutex.lock();
+                let g = self.space_mutex.lock();
                 if end.raw() - self.durable.load().raw() > self.capacity() {
-                    self.space_cv
-                        .wait_for(&mut g, std::time::Duration::from_micros(200));
+                    let (g, _) = self.space_cv.wait_for(
+                        &self.space_mutex,
+                        g,
+                        std::time::Duration::from_micros(200),
+                    );
+                    drop(g);
+                } else {
+                    drop(g);
                 }
-                drop(g);
                 self.space_waiters.fetch_sub(1, Ordering::SeqCst);
             }
         }
@@ -783,13 +789,15 @@ impl BufferCore {
                 return d;
             }
             self.watch_waiters.fetch_add(1, Ordering::SeqCst);
-            let mut g = self.watch_mutex.lock();
+            let g = self.watch_mutex.lock();
             // Re-check under the lock: an advance between the load above and
             // the waiter registration must not be missed.
             if self.durable.load() < lsn {
-                self.watch_cv.wait(&mut g);
+                let g = self.watch_cv.wait(&self.watch_mutex, g);
+                drop(g);
+            } else {
+                drop(g);
             }
-            drop(g);
             self.watch_waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -797,22 +805,28 @@ impl BufferCore {
     /// Like [`BufferCore::wait_durable`] but gives up after `timeout`;
     /// returns the durable LSN at wake-up (which may be below `lsn`).
     pub fn wait_durable_timeout(&self, lsn: Lsn, timeout: std::time::Duration) -> Lsn {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = runtime::monotonic_ns().saturating_add(timeout.as_nanos() as u64);
         loop {
             let d = self.durable.load();
             if d >= lsn {
                 return d;
             }
-            let now = std::time::Instant::now();
+            let now = runtime::monotonic_ns();
             if now >= deadline {
                 return d;
             }
             self.watch_waiters.fetch_add(1, Ordering::SeqCst);
-            let mut g = self.watch_mutex.lock();
+            let g = self.watch_mutex.lock();
             if self.durable.load() < lsn {
-                self.watch_cv.wait_for(&mut g, deadline - now);
+                let (g, _) = self.watch_cv.wait_for(
+                    &self.watch_mutex,
+                    g,
+                    std::time::Duration::from_nanos(deadline - now),
+                );
+                drop(g);
+            } else {
+                drop(g);
             }
-            drop(g);
             self.watch_waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -950,6 +964,11 @@ impl BufferCore {
 #[inline]
 pub(crate) fn fast_rand() -> u32 {
     use std::cell::Cell;
+    // Under simulation, draw from the actor's seeded stream so probe and
+    // backoff choices replay identically for a given seed.
+    if let Some(r) = runtime::sim_thread_rand() {
+        return (r >> 32) as u32;
+    }
     thread_local! {
         static STATE: Cell<u64> = const { Cell::new(0) };
     }
@@ -1045,7 +1064,7 @@ mod tests {
                 let core = Arc::clone(&core);
                 let order = Arc::clone(&order);
                 s.spawn(move || {
-                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                    crate::runtime::sleep(std::time::Duration::from_millis(delay_ms));
                     core.release_in_order(Lsn(start), Lsn(end));
                     order.lock().push(start);
                 });
@@ -1080,7 +1099,7 @@ mod tests {
         let t = std::thread::spawn(move || {
             core2.wait_for_space(end);
         });
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        crate::runtime::sleep(std::time::Duration::from_millis(20));
         assert!(!t.is_finished());
         core.advance_durable(Lsn(1));
         t.join().unwrap();
@@ -1091,7 +1110,7 @@ mod tests {
         let core = small_core();
         let core2 = Arc::clone(&core);
         let t = std::thread::spawn(move || core2.wait_durable(Lsn(100)));
-        std::thread::sleep(std::time::Duration::from_millis(10));
+        crate::runtime::sleep(std::time::Duration::from_millis(10));
         assert!(!t.is_finished());
         core.advance_durable(Lsn(64)); // not enough: waiter re-arms
         core.advance_durable(Lsn(128));
@@ -1103,9 +1122,9 @@ mod tests {
     #[test]
     fn wait_durable_timeout_expires() {
         let core = small_core();
-        let t = std::time::Instant::now();
+        let t = crate::runtime::monotonic_ns();
         let d = core.wait_durable_timeout(Lsn(1000), std::time::Duration::from_millis(20));
-        assert!(t.elapsed() >= std::time::Duration::from_millis(20));
+        assert!(crate::runtime::monotonic_ns() - t >= 20_000_000);
         assert_eq!(d, Lsn::ZERO);
     }
 

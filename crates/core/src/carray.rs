@@ -296,7 +296,7 @@ mod tests {
                 let j = ca2.join(100);
                 j.offset
             });
-            std::thread::sleep(std::time::Duration::from_millis(10));
+            crate::runtime::sleep(std::time::Duration::from_millis(10));
             let total = ca.close_and_replace(a.slot);
             assert_eq!(total, 500);
             assert_eq!(h.join().unwrap(), 0, "lands as leader of fresh slot");
@@ -322,7 +322,7 @@ mod tests {
                     let j = ca.join(size);
                     if j.offset == 0 {
                         // tiny delay lets others pile in
-                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        crate::runtime::sleep(std::time::Duration::from_millis(20));
                         let total = ca.close_and_replace(j.slot);
                         j.slot.notify(Lsn(0), total, 0);
                     }

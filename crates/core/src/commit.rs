@@ -9,7 +9,8 @@
 //! ever blocks on I/O; agent threads never context-switch for a commit.
 
 use crate::lsn::{AtomicLsn, Lsn};
-use parking_lot::{Condvar, Mutex, RwLock};
+use crate::runtime::RtCondvar;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,7 +20,7 @@ use std::time::Duration;
 #[derive(Debug, Default)]
 pub struct CommitState {
     done: Mutex<bool>,
-    cv: Condvar,
+    cv: RtCondvar,
 }
 
 impl CommitState {
@@ -47,7 +48,7 @@ impl CommitHandle {
     pub fn wait(&self) {
         let mut g = self.0.done.lock();
         while !*g {
-            self.0.cv.wait(&mut g);
+            g = self.0.cv.wait(&self.0.done, g);
         }
     }
 
@@ -264,7 +265,7 @@ pub struct CommitGate {
     /// waiters stop blocking, but their commits report *unreplicated*.
     poisoned: std::sync::atomic::AtomicBool,
     wait_mutex: Mutex<()>,
-    wait_cv: Condvar,
+    wait_cv: RtCondvar,
 }
 
 impl CommitGate {
@@ -388,7 +389,9 @@ impl CommitGate {
         // costs one 200µs re-check instead of a hang.
         let mut g = self.wait_mutex.lock();
         while self.effective(durable()) < lsn {
-            self.wait_cv.wait_for(&mut g, Duration::from_micros(200));
+            (g, _) = self
+                .wait_cv
+                .wait_for(&self.wait_mutex, g, Duration::from_micros(200));
         }
         drop(g);
         self.replicated_floor() >= lsn
@@ -432,7 +435,7 @@ mod tests {
         assert!(!h.is_done());
         let p2 = Arc::clone(&p);
         let t = std::thread::spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(10));
+            crate::runtime::sleep(std::time::Duration::from_millis(10));
             p2.complete_upto(Lsn(10));
         });
         h.wait();
@@ -537,7 +540,7 @@ mod tests {
         let r = g.register_replica();
         let g2 = Arc::clone(&g);
         let t = std::thread::spawn(move || g2.wait_effective(Lsn(100), || Lsn(100)));
-        std::thread::sleep(Duration::from_millis(5));
+        crate::runtime::sleep(Duration::from_millis(5));
         assert!(!t.is_finished());
         r.advance(Lsn(100));
         g.notify();
@@ -552,7 +555,7 @@ mod tests {
         r.advance(Lsn(50));
         let g2 = Arc::clone(&g);
         let t = std::thread::spawn(move || g2.wait_effective(Lsn(100), || Lsn(100)));
-        std::thread::sleep(Duration::from_millis(5));
+        crate::runtime::sleep(Duration::from_millis(5));
         assert!(!t.is_finished());
         g.poison();
         assert!(

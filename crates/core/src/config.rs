@@ -41,13 +41,12 @@ pub struct LogConfig {
     /// A CDME thread refuses to delegate with probability `1/treadmill_inv`
     /// to break delegation treadmills (§A.3). 0 disables refusal.
     pub treadmill_inv: u32,
-    /// Legacy knob from the scratch-copy drain. The flush daemon now hands
-    /// ring slices straight to [`crate::device::LogDevice::write_vectored`]
-    /// (no staging buffer, so no chunking); the field is retained so
-    /// existing configurations keep validating.
-    pub flush_chunk: usize,
     /// Group-commit policy for the flush daemon.
     pub group_commit: GroupCommitPolicy,
+    /// Runtime the log's background threads and waits run under. Defaults
+    /// to the real runtime; a simulated cluster injects
+    /// [`crate::runtime::Runtime::sim`] here for deterministic replay.
+    pub runtime: crate::runtime::Runtime,
 }
 
 impl Default for LogConfig {
@@ -58,8 +57,8 @@ impl Default for LogConfig {
             carray_pool: 64,
             release_queue_pool: 4096,
             treadmill_inv: 32,
-            flush_chunk: 1 << 20,
             group_commit: GroupCommitPolicy::default(),
+            runtime: crate::runtime::Runtime::default(),
         }
     }
 }
@@ -86,17 +85,18 @@ impl LogConfig {
         if self.release_queue_pool < 64 {
             return Err("release_queue_pool must be >= 64".into());
         }
-        if self.flush_chunk == 0 || self.flush_chunk > self.buffer_size {
-            return Err("flush_chunk must be in 1..=buffer_size".into());
-        }
         Ok(())
     }
 
-    /// Builder-style setter for the ring size (also clamps the flush chunk
-    /// so the configuration remains valid for small test rings).
+    /// Builder-style setter for the ring size.
     pub fn with_buffer_size(mut self, bytes: usize) -> Self {
         self.buffer_size = bytes;
-        self.flush_chunk = self.flush_chunk.min(bytes);
+        self
+    }
+
+    /// Builder-style setter for the runtime.
+    pub fn with_runtime(mut self, runtime: crate::runtime::Runtime) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -151,14 +151,10 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_flush_chunk() {
-        let c = LogConfig {
-            flush_chunk: 0,
-            ..LogConfig::default()
-        };
-        assert!(c.validate().is_err());
-        let mut c = LogConfig::default().with_buffer_size(4096);
-        c.flush_chunk = 8192;
-        assert!(c.validate().is_err());
+    fn runtime_defaults_to_real() {
+        let c = LogConfig::default();
+        assert!(!c.runtime.is_sim());
+        let c = c.with_runtime(crate::runtime::Runtime::sim(1));
+        assert!(c.runtime.is_sim());
     }
 }

@@ -14,7 +14,7 @@ use crate::lsn::Lsn;
 use parking_lot::Mutex;
 use std::io::{Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Abstraction over the durable end of the log.
 ///
@@ -103,21 +103,7 @@ pub trait LogDevice: Send + Sync {
     }
 }
 
-/// Sleep for `d` with sub-millisecond precision: short waits spin on the
-/// monotonic clock (like the paper's high-resolution timers), longer waits
-/// sleep and spin out the remainder.
-pub fn precise_sleep(d: Duration) {
-    if d.is_zero() {
-        return;
-    }
-    let deadline = Instant::now() + d;
-    if d > Duration::from_micros(500) {
-        std::thread::sleep(d - Duration::from_micros(300));
-    }
-    while Instant::now() < deadline {
-        std::hint::spin_loop();
-    }
-}
+pub use crate::runtime::precise_sleep;
 
 /// Discards everything; tracks only length. Used by the Figure-8/11/12
 /// microbenchmarks ("log insertions without flushes to disk").
@@ -509,9 +495,9 @@ mod tests {
     fn sim_device_latency_charged_on_sync() {
         let d = SimDevice::new(Duration::from_millis(2));
         d.append(b"x").unwrap();
-        let t = Instant::now();
+        let t = crate::runtime::monotonic_ns();
         d.sync().unwrap();
-        assert!(t.elapsed() >= Duration::from_millis(2));
+        assert!(crate::runtime::monotonic_ns() - t >= 2_000_000);
         assert_eq!(d.nominal_latency(), Duration::from_millis(2));
     }
 
@@ -588,12 +574,12 @@ mod tests {
 
     #[test]
     fn precise_sleep_short_and_long() {
-        let t = Instant::now();
+        let t = crate::runtime::monotonic_ns();
         precise_sleep(Duration::from_micros(50));
-        assert!(t.elapsed() >= Duration::from_micros(50));
-        let t = Instant::now();
+        assert!(crate::runtime::monotonic_ns() - t >= 50_000);
+        let t = crate::runtime::monotonic_ns();
         precise_sleep(Duration::from_millis(1));
-        assert!(t.elapsed() >= Duration::from_millis(1));
+        assert!(crate::runtime::monotonic_ns() - t >= 1_000_000);
         precise_sleep(Duration::ZERO); // no-op
     }
 }

@@ -18,10 +18,11 @@ use crate::commit::{CommitGate, CommitPipeline};
 use crate::config::GroupCommitPolicy;
 use crate::device::LogDevice;
 use crate::lsn::Lsn;
-use parking_lot::{Condvar, Mutex};
+use crate::runtime::{self, RtCondvar, Runtime};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 #[derive(Debug)]
 struct FlushInner {
@@ -30,8 +31,9 @@ struct FlushInner {
     requested: Lsn,
     /// Commits submitted since the last flush (the "X transactions" trigger).
     pending_commits: usize,
-    /// When the oldest unserviced request arrived (the "T time" trigger).
-    oldest: Option<Instant>,
+    /// When (runtime-monotonic ns) the oldest unserviced request arrived
+    /// (the "T time" trigger).
+    oldest: Option<u64>,
     shutdown: bool,
 }
 
@@ -39,8 +41,8 @@ struct FlushInner {
 #[derive(Debug)]
 pub struct FlushShared {
     inner: Mutex<FlushInner>,
-    daemon_cv: Condvar,
-    waiter_cv: Condvar,
+    daemon_cv: RtCondvar,
+    waiter_cv: RtCondvar,
     flushes: AtomicU64,
     flushed_bytes: AtomicU64,
 }
@@ -60,11 +62,11 @@ impl FlushShared {
             g.requested = lsn;
         }
         if g.oldest.is_none() {
-            g.oldest = Some(Instant::now());
+            g.oldest = Some(runtime::monotonic_ns());
         }
         self.daemon_cv.notify_one();
         while core.durable_lsn() < lsn && !g.shutdown {
-            self.waiter_cv.wait(&mut g);
+            g = self.waiter_cv.wait(&self.inner, g);
         }
     }
 
@@ -74,7 +76,7 @@ impl FlushShared {
         let mut g = self.inner.lock();
         g.pending_commits += 1;
         if g.oldest.is_none() {
-            g.oldest = Some(Instant::now());
+            g.oldest = Some(runtime::monotonic_ns());
         }
         if g.pending_commits >= policy.max_pending_commits {
             self.daemon_cv.notify_one();
@@ -99,8 +101,8 @@ impl FlushShared {
                 oldest: None,
                 shutdown: false,
             }),
-            daemon_cv: Condvar::new(),
-            waiter_cv: Condvar::new(),
+            daemon_cv: RtCondvar::new(),
+            waiter_cv: RtCondvar::new(),
             flushes: AtomicU64::new(0),
             flushed_bytes: AtomicU64::new(0),
         })
@@ -122,7 +124,7 @@ impl FlushShared {
 pub struct FlushDaemon {
     shared: Arc<FlushShared>,
     core: Arc<BufferCore>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    thread: Option<runtime::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for FlushDaemon {
@@ -134,9 +136,11 @@ impl std::fmt::Debug for FlushDaemon {
 }
 
 impl FlushDaemon {
-    /// Spawn the daemon over `core`/`device`, completing commits through
-    /// `pipeline` once they clear `gate` (local durability + replica acks).
+    /// Spawn the daemon over `core`/`device` under `rt`, completing commits
+    /// through `pipeline` once they clear `gate` (local durability +
+    /// replica acks).
     pub fn spawn(
+        rt: &Runtime,
         core: Arc<BufferCore>,
         device: Arc<dyn LogDevice>,
         pipeline: Arc<CommitPipeline>,
@@ -146,10 +150,9 @@ impl FlushDaemon {
         let shared = FlushShared::new();
         let sh = Arc::clone(&shared);
         let co = Arc::clone(&core);
-        let thread = std::thread::Builder::new()
-            .name("aether-flushd".into())
-            .spawn(move || daemon_loop(sh, co, device, pipeline, gate, policy))
-            .expect("spawn flush daemon");
+        let thread = rt.spawn("aether-flushd", move || {
+            daemon_loop(sh, co, device, pipeline, gate, policy)
+        });
         FlushDaemon {
             shared,
             core,
@@ -222,6 +225,7 @@ fn daemon_loop(
     // of group commit [Helland et al.], and without it a slow device
     // degrades to ~1 commit per sync.
     let batch_window = device.nominal_latency() / 4;
+    let max_wait_ns = u64::try_from(policy.max_wait.as_nanos()).unwrap_or(u64::MAX);
     loop {
         // Decide whether (and how far) to flush.
         {
@@ -232,7 +236,7 @@ fn daemon_loop(
                 let pending_bytes = released.raw() - durable.raw();
                 let timed_out = g
                     .oldest
-                    .map(|t| t.elapsed() >= policy.max_wait)
+                    .map(|t| runtime::monotonic_ns().saturating_sub(t) >= max_wait_ns)
                     .unwrap_or(false);
                 let trigger = g.requested > durable
                     || g.pending_commits >= policy.max_pending_commits
@@ -248,13 +252,13 @@ fn daemon_loop(
                     g.oldest = None;
                     break;
                 }
-                shared.daemon_cv.wait_for(&mut g, poll);
+                (g, _) = shared.daemon_cv.wait_for(&shared.inner, g, poll);
             }
         }
 
         // Batch: give trailing committers a moment to get their records in.
         if !batch_window.is_zero() {
-            std::thread::sleep(batch_window);
+            runtime::sleep(batch_window);
         }
 
         // Drain [durable, target) to the device and sync. The window is at
@@ -325,6 +329,7 @@ mod tests {
         let device = Arc::new(SimDevice::new(Duration::from_micros(latency_us)));
         let pipeline = Arc::new(CommitPipeline::new());
         let daemon = FlushDaemon::spawn(
+            &Runtime::default(),
             Arc::clone(&core),
             device.clone() as Arc<dyn LogDevice>,
             Arc::clone(&pipeline),
@@ -382,6 +387,7 @@ mod tests {
             max_wait: Duration::from_millis(5),
         };
         let daemon = FlushDaemon::spawn(
+            &Runtime::default(),
             Arc::clone(&core),
             device.clone() as Arc<dyn LogDevice>,
             pipeline,

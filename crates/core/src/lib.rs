@@ -59,6 +59,7 @@ pub mod partition;
 pub mod reader;
 pub mod record;
 pub mod ring;
+pub mod runtime;
 pub mod stats;
 
 pub use buffer::{BufferKind, EncodePayload, LogBuffer, LogSlot, SlotWriter};
@@ -69,3 +70,4 @@ pub use error::{LogError, Result};
 pub use lsn::Lsn;
 pub use manager::{DurableWatch, LogManager, TruncationOutcome, TruncationStats, TruncationWatch};
 pub use record::{RecordHeader, RecordKind};
+pub use runtime::Runtime;

@@ -100,6 +100,7 @@ impl LogManagerBuilder {
             None
         } else {
             Some(FlushDaemon::spawn(
+                &self.config.runtime,
                 Arc::clone(&core),
                 Arc::clone(&device),
                 Arc::clone(&pipeline),
@@ -113,7 +114,7 @@ impl LogManagerBuilder {
             truncations: std::sync::atomic::AtomicU64::new(0),
             segments_recycled: std::sync::atomic::AtomicU64::new(0),
             mutex: parking_lot::Mutex::new(()),
-            cv: parking_lot::Condvar::new(),
+            cv: crate::runtime::RtCondvar::new(),
         });
         Ok(LogManager {
             core,
@@ -536,7 +537,7 @@ struct TruncationShared {
     truncations: std::sync::atomic::AtomicU64,
     segments_recycled: std::sync::atomic::AtomicU64,
     mutex: parking_lot::Mutex<()>,
-    cv: parking_lot::Condvar,
+    cv: crate::runtime::RtCondvar,
 }
 
 /// Result of one [`LogManager::truncate_to`] / `force_truncate_to` call.
@@ -592,18 +593,20 @@ impl TruncationWatch {
     /// shipper deciding whether its read position was truncated away)
     /// responsive to shutdown.
     pub fn wait_past(&self, past: Lsn, timeout: std::time::Duration) -> Lsn {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = crate::runtime::monotonic_ns().saturating_add(timeout.as_nanos() as u64);
         let mut g = self.shared.mutex.lock();
         loop {
             let lw = self.shared.low_water.load();
             if lw > past {
                 return lw;
             }
-            let left = deadline.saturating_duration_since(std::time::Instant::now());
-            if left.is_zero() {
+            let now = crate::runtime::monotonic_ns();
+            if now >= deadline {
                 return lw;
             }
-            self.shared.cv.wait_for(&mut g, left);
+            let left = std::time::Duration::from_nanos(deadline - now);
+            let (g2, _) = self.shared.cv.wait_for(&self.shared.mutex, g, left);
+            g = g2;
         }
     }
 }

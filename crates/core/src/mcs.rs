@@ -127,7 +127,7 @@ impl ReleaseQueue {
             }
             // Pool exhausted: releases are in flight on other threads and do
             // not need the insert lock we hold, so spinning here is live.
-            std::thread::yield_now();
+            crate::runtime::yield_now();
         };
         let n = &self.nodes[idx as usize];
         n.start.store(start.raw(), Ordering::Relaxed);

@@ -170,10 +170,12 @@ impl LogDevice for SegmentedDevice {
     }
 
     fn sync(&self) -> Result<()> {
-        // Only the open (last) segment can have unsynced bytes.
-        let segments = self.segments.lock();
-        if let Some(last) = segments.last() {
-            last.device.sync()?;
+        // Only the open (last) segment can have unsynced bytes. Sync it
+        // outside the segments lock: a latency-modeling segment parks in
+        // `sync`, and readers must be able to take the lock meanwhile.
+        let last = self.segments.lock().last().map(|s| Arc::clone(&s.device));
+        if let Some(last) = last {
+            last.sync()?;
         }
         Ok(())
     }

@@ -8,7 +8,6 @@
 
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
 
 /// Aggregate counters for a log buffer. All counters are monotonically
 /// increasing; read a consistent-enough view via [`BufferStats::snapshot`].
@@ -90,11 +89,12 @@ impl BufferStats {
         self.timing_enabled.load(Ordering::Relaxed)
     }
 
-    /// Start a phase timer iff timing is enabled.
+    /// Start a phase timer iff timing is enabled. The value is a
+    /// runtime-monotonic timestamp in nanoseconds (virtual under simulation).
     #[inline]
-    pub fn phase_start(&self) -> Option<Instant> {
+    pub fn phase_start(&self) -> Option<u64> {
         if self.timing() {
-            Some(Instant::now())
+            Some(crate::runtime::monotonic_ns())
         } else {
             None
         }
@@ -145,28 +145,28 @@ impl BufferStats {
 
     /// Close an acquire-phase timer.
     #[inline]
-    pub fn phase_acquire(&self, t: Option<Instant>) {
+    pub fn phase_acquire(&self, t: Option<u64>) {
         if let Some(t) = t {
-            self.acquire_wait_ns
-                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let dt = crate::runtime::monotonic_ns().saturating_sub(t);
+            self.acquire_wait_ns.fetch_add(dt, Ordering::Relaxed);
         }
     }
 
     /// Close a fill-phase timer.
     #[inline]
-    pub fn phase_fill(&self, t: Option<Instant>) {
+    pub fn phase_fill(&self, t: Option<u64>) {
         if let Some(t) = t {
-            self.fill_ns
-                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let dt = crate::runtime::monotonic_ns().saturating_sub(t);
+            self.fill_ns.fetch_add(dt, Ordering::Relaxed);
         }
     }
 
     /// Close a release-phase timer.
     #[inline]
-    pub fn phase_release(&self, t: Option<Instant>) {
+    pub fn phase_release(&self, t: Option<u64>) {
         if let Some(t) = t {
-            self.release_wait_ns
-                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let dt = crate::runtime::monotonic_ns().saturating_sub(t);
+            self.release_wait_ns.fetch_add(dt, Ordering::Relaxed);
         }
     }
 
@@ -245,7 +245,7 @@ mod tests {
         let s = BufferStats::new();
         s.set_timing(true);
         let t = s.phase_start();
-        std::thread::sleep(std::time::Duration::from_millis(2));
+        crate::runtime::sleep(std::time::Duration::from_millis(2));
         s.phase_fill(t);
         assert!(s.snapshot().fill_ns >= 1_000_000);
     }

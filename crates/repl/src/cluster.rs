@@ -19,13 +19,14 @@ use crate::replica::{Replica, ReplicaConfig, ReplicaStatus};
 use crate::shipper::{Shipper, ShipperConfig};
 use crate::transport::{link, LinkConfig};
 use aether_core::commit::DurabilityPolicy;
+use aether_core::runtime;
 use aether_core::Lsn;
 use aether_storage::db::Db;
 use aether_storage::error::StorageResult;
 use aether_storage::recovery::RecoveryStats;
 use aether_storage::replay::{self, BaseSnapshot};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Cluster-level replication settings.
 #[derive(Debug, Clone)]
@@ -118,6 +119,7 @@ impl ReplicatedDb {
             // return path only carries the latency.
             latency: cfg.link.latency,
             reorder_period: 0,
+            runtime: cfg.link.runtime.clone(),
         });
         let replica = Replica::spawn_from_snapshot(
             self.primary.options().clone(),
@@ -170,10 +172,10 @@ impl ReplicatedDb {
     /// frontier (true) or `timeout` elapses (false).
     pub fn wait_catchup(&self, timeout: Duration) -> bool {
         let target = self.primary.log().durable_lsn();
-        let deadline = Instant::now() + timeout;
+        let deadline = runtime::monotonic_ns().saturating_add(timeout.as_nanos() as u64);
         self.replicas.iter().all(|r| {
-            let left = deadline.saturating_duration_since(Instant::now());
-            r.wait_replay(target, left)
+            let left = deadline.saturating_sub(runtime::monotonic_ns());
+            r.wait_replay(target, Duration::from_nanos(left))
         })
     }
 
@@ -305,7 +307,7 @@ mod tests {
             p2.update_with(&mut txn, 0, 3, |r| r[8] = 9).unwrap();
             p2.commit(txn).unwrap()
         });
-        std::thread::sleep(Duration::from_millis(10));
+        runtime::sleep(Duration::from_millis(10));
         cluster.kill_primary();
         let outcome = committer.join().unwrap();
         assert!(

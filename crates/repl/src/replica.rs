@@ -22,6 +22,7 @@ use crate::frame::{SnapshotFrame, WireMsg};
 use crate::transport::{LinkReceiver, LinkSender};
 use aether_core::device::{LogDevice, OffsetDevice};
 use aether_core::reader::LogReader;
+use aether_core::runtime;
 use aether_core::Lsn;
 use aether_storage::db::{CrashImage, Db, DbOptions};
 use aether_storage::error::StorageResult;
@@ -32,7 +33,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Replica tuning.
 #[derive(Debug, Clone)]
@@ -85,16 +86,16 @@ struct ReplicaShared {
     commits_seen: AtomicU64,
     corrupt_frames: AtomicU64,
     bootstraps: AtomicU64,
-    /// `Some(t)` while replay lags the received bytes, recording when the
-    /// lag began; `None` while caught up.
-    lag_since: Mutex<Option<Instant>>,
+    /// `Some(t)` while replay lags the received bytes, recording the
+    /// runtime-monotonic ns when the lag began; `None` while caught up.
+    lag_since: Mutex<Option<u64>>,
 }
 
 /// A running replica (apply thread + standby database).
 pub struct Replica {
     shared: Arc<ReplicaShared>,
     stop: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    thread: Option<runtime::JoinHandle<()>>,
     opts: DbOptions,
 }
 
@@ -167,11 +168,11 @@ impl Replica {
         let thread = {
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
+            let rt = opts.log_config.runtime.clone();
             let opts = opts.clone();
-            std::thread::Builder::new()
-                .name("aether-replica".into())
-                .spawn(move || apply_loop(shared, stop, opts, rx, ack_tx, cfg))
-                .expect("spawn replica apply thread")
+            rt.spawn("aether-replica", move || {
+                apply_loop(shared, stop, opts, rx, ack_tx, cfg)
+            })
         };
         Ok(Replica {
             shared,
@@ -207,7 +208,7 @@ impl Replica {
                 .shared
                 .lag_since
                 .lock()
-                .map(|t| t.elapsed())
+                .map(|t| Duration::from_nanos(runtime::monotonic_ns().saturating_sub(t)))
                 .unwrap_or(Duration::ZERO),
         }
     }
@@ -215,10 +216,10 @@ impl Replica {
     /// Block until the replay frontier reaches `lsn` or `timeout` elapses;
     /// true on success.
     pub fn wait_replay(&self, lsn: Lsn, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+        let deadline = runtime::monotonic_ns().saturating_add(timeout.as_nanos() as u64);
         let mut backoff = aether_core::buffer::WaitBackoff::new();
         while Lsn(self.shared.replay.load(Ordering::Acquire)) < lsn {
-            if Instant::now() >= deadline {
+            if runtime::monotonic_ns() >= deadline {
                 return false;
             }
             backoff.wait();
@@ -370,7 +371,7 @@ fn ingest(
         shared.received.store(received, Ordering::Release);
         let mut lag = shared.lag_since.lock();
         if lag.is_none() {
-            *lag = Some(Instant::now());
+            *lag = Some(runtime::monotonic_ns());
         }
         drop(lag);
         // One cumulative ack per restored run: this is what the primary's

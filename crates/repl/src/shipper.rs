@@ -55,8 +55,8 @@ pub struct Shipper {
     stop: Arc<AtomicBool>,
     shipped: Arc<AtomicU64>,
     snapshots_sent: Arc<AtomicU64>,
-    ship_thread: Option<std::thread::JoinHandle<()>>,
-    ack_thread: Option<std::thread::JoinHandle<()>>,
+    ship_thread: Option<aether_core::runtime::JoinHandle<()>>,
+    ack_thread: Option<aether_core::runtime::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shipper {
@@ -84,6 +84,7 @@ impl Shipper {
         let stop = Arc::new(AtomicBool::new(false));
         let shipped = Arc::new(AtomicU64::new(start_lsn.raw()));
         let snapshots_sent = Arc::new(AtomicU64::new(0));
+        let rt = primary.log().config().runtime.clone();
 
         let ship_thread = {
             let primary = Arc::clone(&primary);
@@ -91,88 +92,82 @@ impl Shipper {
             let shipped = Arc::clone(&shipped);
             let snapshots_sent = Arc::clone(&snapshots_sent);
             let cfg = cfg.clone();
-            std::thread::Builder::new()
-                .name("aether-shipper".into())
-                .spawn(move || {
-                    let log = Arc::clone(primary.log());
-                    let watch = log.durable_watch();
-                    // The truncation counterpart of the durable watch: the
-                    // ship cursor is compared against the low-water mark it
-                    // tracks to detect falling behind a truncation.
-                    let trunc = log.truncation_watch();
-                    let device = Arc::clone(log.device());
-                    let mut at = start_lsn;
-                    let mut seq = 0u64;
-                    while !stop.load(Ordering::Relaxed) {
-                        // Fell behind the truncated prefix? The bytes below
-                        // the low-water mark are gone; re-seed the replica
-                        // from a fresh checkpoint snapshot instead.
-                        if at < trunc.current() {
-                            let snap: BaseSnapshot = replay::base_snapshot(&primary);
-                            let msg = SnapshotFrame {
-                                seq,
-                                body: snap.encode(),
-                            };
-                            if !tx.send(msg.encode()) {
-                                return; // replica gone
-                            }
-                            seq += 1;
-                            at = snap.start_lsn;
-                            shipped.store(at.raw(), Ordering::Release);
-                            snapshots_sent.fetch_add(1, Ordering::Relaxed);
-                            continue;
+            rt.spawn("aether-shipper", move || {
+                let log = Arc::clone(primary.log());
+                let watch = log.durable_watch();
+                // The truncation counterpart of the durable watch: the
+                // ship cursor is compared against the low-water mark it
+                // tracks to detect falling behind a truncation.
+                let trunc = log.truncation_watch();
+                let device = Arc::clone(log.device());
+                let mut at = start_lsn;
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Fell behind the truncated prefix? The bytes below
+                    // the low-water mark are gone; re-seed the replica
+                    // from a fresh checkpoint snapshot instead.
+                    if at < trunc.current() {
+                        let snap: BaseSnapshot = replay::base_snapshot(&primary);
+                        let msg = SnapshotFrame {
+                            seq,
+                            body: snap.encode(),
+                        };
+                        if !tx.send(msg.encode()) {
+                            return; // replica gone
                         }
-                        let durable = watch.wait_past(at, cfg.poll);
-                        while at < durable {
-                            if at < trunc.current() {
-                                break; // truncated mid-run: snapshot instead
-                            }
-                            let n = (cfg.chunk as u64).min(durable.since(at)) as usize;
-                            let mut bytes = vec![0u8; n];
-                            let got = match device.read_at(at.raw(), &mut bytes) {
-                                Ok(g) => g,
-                                Err(_) => return,
-                            };
-                            if got == 0 {
-                                break;
-                            }
-                            bytes.truncate(got);
-                            let frame = Frame {
-                                seq,
-                                start_lsn: at,
-                                bytes,
-                            };
-                            if !tx.send(frame.encode()) {
-                                return; // replica gone
-                            }
-                            seq += 1;
-                            at = at.advance(got as u64);
-                            shipped.store(at.raw(), Ordering::Release);
-                        }
+                        seq += 1;
+                        at = snap.start_lsn;
+                        shipped.store(at.raw(), Ordering::Release);
+                        snapshots_sent.fetch_add(1, Ordering::Relaxed);
+                        continue;
                     }
-                })
-                .expect("spawn ship thread")
+                    let durable = watch.wait_past(at, cfg.poll);
+                    while at < durable {
+                        if at < trunc.current() {
+                            break; // truncated mid-run: snapshot instead
+                        }
+                        let n = (cfg.chunk as u64).min(durable.since(at)) as usize;
+                        let mut bytes = vec![0u8; n];
+                        let got = match device.read_at(at.raw(), &mut bytes) {
+                            Ok(g) => g,
+                            Err(_) => return,
+                        };
+                        if got == 0 {
+                            break;
+                        }
+                        bytes.truncate(got);
+                        let frame = Frame {
+                            seq,
+                            start_lsn: at,
+                            bytes,
+                        };
+                        if !tx.send(frame.encode()) {
+                            return; // replica gone
+                        }
+                        seq += 1;
+                        at = at.advance(got as u64);
+                        shipped.store(at.raw(), Ordering::Release);
+                    }
+                }
+            })
         };
 
         let ack_thread = {
             let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("aether-shipper-ack".into())
-                .spawn(move || {
-                    let log = Arc::clone(primary.log());
-                    while !stop.load(Ordering::Relaxed) {
-                        if let Some(lsn) = ack_rx.recv_timeout(cfg.poll) {
-                            ack.advance(lsn);
-                            // Drain any further queued acks before the (per
-                            // flush-group, not per-commit) recheck.
-                            while let Some(more) = ack_rx.try_recv() {
-                                ack.advance(more);
-                            }
-                            log.replication_recheck();
+            rt.spawn("aether-shipper-ack", move || {
+                let log = Arc::clone(primary.log());
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(lsn) = ack_rx.recv_timeout(cfg.poll) {
+                        ack.advance(lsn);
+                        // Drain any further queued acks before the (per
+                        // flush-group, not per-commit) recheck.
+                        while let Some(more) = ack_rx.try_recv() {
+                            ack.advance(more);
                         }
+                        log.replication_recheck();
                     }
-                })
-                .expect("spawn ack thread")
+                }
+            })
         };
 
         Shipper {

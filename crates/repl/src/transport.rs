@@ -7,14 +7,18 @@
 //! deterministically reorder every Nth message behind its successor — which
 //! is exactly what the frame sequence numbers on the receive side must
 //! absorb.
+//!
+//! All timing goes through [`aether_core::runtime`], so under a simulated
+//! runtime the delivery thread becomes a sim actor, the latency is virtual,
+//! and a partitioned or slow link is just a fault the simulation can inject
+//! and replay byte-identically.
 
-use aether_core::device::precise_sleep;
+use aether_core::runtime::{self, rt_channel, RtReceiver, RtSender, Runtime};
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Link tuning: one-way latency plus deterministic reordering.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LinkConfig {
     /// One-way delivery latency.
     pub latency: Duration,
@@ -22,15 +26,9 @@ pub struct LinkConfig {
     /// its successor (0 disables reordering). Deterministic, so tests
     /// reproduce exactly.
     pub reorder_period: usize,
-}
-
-impl Default for LinkConfig {
-    fn default() -> Self {
-        LinkConfig {
-            latency: Duration::ZERO,
-            reorder_period: 0,
-        }
-    }
+    /// Runtime the delivery thread runs under (real by default; the
+    /// simulated cluster injects its [`Runtime::sim`] here).
+    pub runtime: Runtime,
 }
 
 impl LinkConfig {
@@ -41,104 +39,100 @@ impl LinkConfig {
             ..LinkConfig::default()
         }
     }
+
+    /// Builder-style setter for the runtime.
+    pub fn with_runtime(mut self, runtime: Runtime) -> LinkConfig {
+        self.runtime = runtime;
+        self
+    }
 }
 
 /// Sending half of a link.
 pub struct LinkSender<T: Send> {
-    tx: mpsc::Sender<(Instant, T)>,
+    tx: RtSender<(u64, T)>,
 }
 
 impl<T: Send> LinkSender<T> {
     /// Send a message; returns false once the receiving side is gone.
     pub fn send(&self, msg: T) -> bool {
-        self.tx.send((Instant::now(), msg)).is_ok()
+        self.tx.send((runtime::monotonic_ns(), msg))
     }
 }
 
 /// Receiving half of a link.
 pub struct LinkReceiver<T: Send> {
-    rx: mpsc::Receiver<T>,
+    rx: RtReceiver<T>,
 }
 
 impl<T: Send> LinkReceiver<T> {
     /// Receive the next delivered message, waiting at most `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
-        self.rx.recv_timeout(timeout).ok()
+        self.rx.recv_timeout(timeout)
     }
 
     /// Drain anything already delivered without waiting.
     pub fn try_recv(&self) -> Option<T> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv()
     }
 }
 
 /// Build a one-directional link. The delivery thread exits when the sender
 /// is dropped and the in-flight queue drains, or when the receiver is gone.
 pub fn link<T: Send + 'static>(cfg: LinkConfig) -> (LinkSender<T>, LinkReceiver<T>) {
-    let (in_tx, in_rx) = mpsc::channel::<(Instant, T)>();
-    let (out_tx, out_rx) = mpsc::channel::<T>();
+    let (in_tx, in_rx) = rt_channel::<(u64, T)>();
+    let (out_tx, out_rx) = rt_channel::<T>();
     let latency = cfg.latency;
     let period = cfg.reorder_period;
     // A held-back message is flushed anyway once no successor overtakes it
     // in time — real networks delay packets, they don't park them forever.
     let hold_flush = Duration::from_millis(1).max(latency * 2);
-    std::thread::Builder::new()
-        .name("aether-link".into())
-        .spawn(move || {
-            let mut n: usize = 0;
-            // At most one message rides here, waiting to be overtaken.
-            let mut held: VecDeque<T> = VecDeque::new();
-            loop {
-                let received = if held.is_empty() {
-                    in_rx
-                        .recv()
-                        .map_err(|_| mpsc::RecvTimeoutError::Disconnected)
-                } else {
-                    in_rx.recv_timeout(hold_flush)
-                };
-                match received {
-                    Ok((sent, msg)) => {
-                        let deliver_at = sent + latency;
-                        let now = Instant::now();
-                        if deliver_at > now {
-                            precise_sleep(deliver_at - now);
-                        }
-                        n += 1;
-                        let reorder_this = period > 0 && n.is_multiple_of(period);
-                        if reorder_this && held.is_empty() {
-                            held.push_back(msg);
-                            continue;
-                        }
-                        if out_tx.send(msg).is_err() {
+    cfg.runtime.spawn("aether-link", move || {
+        let mut n: usize = 0;
+        // At most one message rides here, waiting to be overtaken.
+        let mut held: VecDeque<T> = VecDeque::new();
+        loop {
+            let received = if held.is_empty() {
+                in_rx.recv()
+            } else {
+                in_rx.recv_timeout(hold_flush)
+            };
+            match received {
+                Some((sent, msg)) => {
+                    let deliver_at = sent.saturating_add(latency.as_nanos() as u64);
+                    let now = runtime::monotonic_ns();
+                    if deliver_at > now {
+                        runtime::precise_sleep(Duration::from_nanos(deliver_at - now));
+                    }
+                    n += 1;
+                    let reorder_this = period > 0 && n.is_multiple_of(period);
+                    if reorder_this && held.is_empty() {
+                        held.push_back(msg);
+                        continue;
+                    }
+                    if !out_tx.send(msg) {
+                        return;
+                    }
+                    while let Some(h) = held.pop_front() {
+                        if !out_tx.send(h) {
                             return;
                         }
-                        while let Some(h) = held.pop_front() {
-                            if out_tx.send(h).is_err() {
-                                return;
-                            }
+                    }
+                }
+                None => {
+                    // Timeout (no successor overtook the held message) or
+                    // sender gone: flush anything held back either way.
+                    while let Some(h) = held.pop_front() {
+                        if !out_tx.send(h) {
+                            return;
                         }
                     }
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        // No successor showed up: deliver the held message.
-                        while let Some(h) = held.pop_front() {
-                            if out_tx.send(h).is_err() {
-                                return;
-                            }
-                        }
-                    }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => {
-                        // Sender gone: flush anything held back, then exit.
-                        while let Some(h) = held.pop_front() {
-                            if out_tx.send(h).is_err() {
-                                return;
-                            }
-                        }
+                    if in_rx.is_disconnected() {
                         return;
                     }
                 }
             }
-        })
-        .expect("spawn link delivery thread");
+        }
+    });
     (LinkSender { tx: in_tx }, LinkReceiver { rx: out_rx })
 }
 
@@ -161,18 +155,18 @@ mod tests {
     #[test]
     fn latency_is_charged_once_per_batch_not_per_message() {
         let (tx, rx) = link::<u32>(LinkConfig::with_latency_us(20_000)); // 20ms
-        let t = Instant::now();
+        let t = runtime::monotonic_ns();
         for i in 0..10 {
             tx.send(i);
         }
         for _ in 0..10 {
             rx.recv_timeout(Duration::from_secs(1)).unwrap();
         }
-        let elapsed = t.elapsed();
-        assert!(elapsed >= Duration::from_millis(20), "latency applied");
+        let elapsed_ms = (runtime::monotonic_ns() - t) / 1_000_000;
+        assert!(elapsed_ms >= 20, "latency applied");
         assert!(
-            elapsed < Duration::from_millis(150),
-            "messages overlap in flight (took {elapsed:?})"
+            elapsed_ms < 150,
+            "messages overlap in flight (took {elapsed_ms}ms)"
         );
     }
 
@@ -181,6 +175,7 @@ mod tests {
         let (tx, rx) = link::<u32>(LinkConfig {
             latency: Duration::ZERO,
             reorder_period: 3,
+            ..LinkConfig::default()
         });
         for i in 0..9 {
             tx.send(i);
@@ -202,6 +197,7 @@ mod tests {
         let (tx, rx) = link::<u32>(LinkConfig {
             latency: Duration::ZERO,
             reorder_period: 2,
+            ..LinkConfig::default()
         });
         tx.send(0);
         tx.send(1); // held back by reordering

@@ -49,7 +49,7 @@ fn counter_of(rec: &[u8]) -> u64 {
 #[test]
 fn semisync_failover_loses_no_acked_commit() {
     let workers = env_or("AETHER_TEST_THREADS", 4u64).max(2);
-    let crash_ms = env_or("AETHER_TEST_CRASH_MS", 150u64);
+    let min_acks = env_or("AETHER_TEST_MIN_ACKS", 5u64);
 
     let primary = Db::open(opts(CommitProtocol::Baseline));
     primary.create_table(40, workers);
@@ -97,8 +97,14 @@ fn semisync_failover_loses_no_acked_commit() {
                 }
             });
         }
-        // Let them race, snapshot the ack floor, then pull the plug.
-        std::thread::sleep(Duration::from_millis(crash_ms));
+        // Let them race until every worker has a meaningful number of
+        // SemiSync-acked commits — an ack-count trigger rather than a
+        // wall-clock window, so the kill always lands mid-flight with a
+        // non-trivial floor — then snapshot the floor and pull the plug.
+        let mut backoff = aether_core::buffer::WaitBackoff::new();
+        while acked.iter().any(|a| a.load(Ordering::SeqCst) < min_acks) {
+            backoff.wait();
+        }
         let floor: Vec<u64> = acked.iter().map(|a| a.load(Ordering::SeqCst)).collect();
         cluster.kill_primary();
         stop.store(true, Ordering::Relaxed);
@@ -189,10 +195,13 @@ fn corrupt_frame_truncates_cleanly_on_promote() {
     }
     // The replica applies only the first batch, then stalls at the gap.
     assert!(replica.wait_replay(aether_core::Lsn(marks[0]), Duration::from_secs(5)));
-    // The corrupt frame may still be in flight when replay catches up.
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while replica.status().corrupt_frames == 0 && std::time::Instant::now() < deadline {
-        std::thread::yield_now();
+    // The corrupt frame may still be in flight when replay catches up: the
+    // link delivers in order, so wait on the drop counter itself (the
+    // replica's "ack" that it saw and rejected the frame) instead of
+    // sleeping a wall-clock deadline away.
+    let mut backoff = aether_core::buffer::WaitBackoff::new();
+    while replica.status().corrupt_frames == 0 {
+        backoff.wait();
     }
     let st = replica.status();
     assert_eq!(st.corrupt_frames, 1, "corrupt frame detected and dropped");

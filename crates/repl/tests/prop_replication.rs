@@ -143,6 +143,7 @@ proptest! {
                 link: LinkConfig {
                     latency: Duration::from_micros(latency_us),
                     reorder_period: reorder,
+                    ..LinkConfig::default()
                 },
                 shipper: ShipperConfig { chunk: 96, ..ShipperConfig::default() },
                 ..ReplicationConfig::default()

@@ -1,0 +1,112 @@
+//! Seed-sweep driver for the deterministic cluster simulation.
+//!
+//! ```text
+//! sim_sweep [COUNT] [BASE_SEED]       # run COUNT seeds starting at BASE_SEED
+//! AETHER_SIM_SEED=7213 sim_sweep      # rerun one seed, verbosely
+//! AETHER_SIM_OUT=failing.txt sim_sweep 500
+//! ```
+//!
+//! Environment:
+//! * `AETHER_SIM_SEED` — run exactly this seed and print its full report.
+//! * `AETHER_SIM_SEEDS` — seed count when no positional COUNT is given
+//!   (default 200).
+//! * `AETHER_SIM_BASE` — first seed when no positional BASE_SEED is given
+//!   (default 1).
+//! * `AETHER_SIM_OUT` — file to write failing seeds to (one per line);
+//!   always written when set, even if empty, so CI can upload it as an
+//!   artifact unconditionally.
+//!
+//! Exit code 0 iff every seed satisfied every invariant.
+
+use aether_sim::run_seed;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    // Single-seed replay mode: the "reproduce this failure" entry point.
+    if let Ok(v) = std::env::var("AETHER_SIM_SEED") {
+        let seed: u64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("AETHER_SIM_SEED must be a u64, got {v:?}");
+            std::process::exit(2);
+        });
+        println!("seed     : {seed}");
+        println!("plan     : {:?}", aether_sim::FaultPlan::decode(seed));
+        let report = run_seed(seed);
+        println!("acked    : {}", report.acked);
+        println!(
+            "history  : {:016x} over {} events",
+            report.history.0, report.history.1
+        );
+        if report.ok() {
+            println!("verdict  : PASS");
+        } else {
+            println!("verdict  : FAIL");
+            for v in &report.violations {
+                println!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let args: Vec<String> = std::env::args().collect();
+    let count = args
+        .get(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| env_u64("AETHER_SIM_SEEDS", 200));
+    let base = args
+        .get(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| env_u64("AETHER_SIM_BASE", 1));
+
+    let mut failing: Vec<(u64, String)> = Vec::new();
+    let mut acked_total = 0u64;
+    for i in 0..count {
+        let seed = base + i;
+        match catch_unwind(AssertUnwindSafe(|| run_seed(seed))) {
+            Ok(report) if report.ok() => acked_total += report.acked,
+            Ok(report) => {
+                eprintln!("seed {seed}: FAIL ({})", report.violations.join("; "));
+                failing.push((seed, report.violations.join("; ")));
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic");
+                eprintln!("seed {seed}: PANIC ({msg})");
+                failing.push((seed, format!("panic: {msg}")));
+            }
+        }
+    }
+
+    if let Ok(path) = std::env::var("AETHER_SIM_OUT") {
+        let mut f =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        for (seed, why) in &failing {
+            writeln!(f, "{seed}\t{why}").unwrap();
+        }
+    }
+
+    println!(
+        "sim_sweep: {}/{count} seeds passed ({} commits acked); rerun a failure with \
+         AETHER_SIM_SEED=<seed> sim_sweep",
+        count - failing.len() as u64,
+        acked_total
+    );
+    if !failing.is_empty() {
+        eprintln!(
+            "failing seeds: {:?}",
+            failing.iter().map(|(s, _)| s).collect::<Vec<_>>()
+        );
+        std::process::exit(1);
+    }
+}

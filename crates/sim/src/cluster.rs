@@ -1,0 +1,483 @@
+//! One seed, one cluster, one verdict.
+//!
+//! [`run_seed`] decodes a [`FaultPlan`], boots a whole cluster — primary,
+//! flush daemon, optional replicas with their shippers and links, worker
+//! actors committing counters — entirely under [`Runtime::sim`], drives the
+//! planned fault into it, and checks the DESIGN.md invariants that scenario
+//! puts at risk:
+//!
+//! * **Dense stream** (inv. 1): the durable log parses cleanly and every
+//!   record starts exactly where the previous one ended.
+//! * **Commit safety / zero acked loss** (inv. 4, 6): every commit
+//!   acknowledged `Durable` before a fault is present after recovery or on
+//!   the promoted replica.
+//! * **Recovery convergence** (inv. 5): recovery from a crash image — torn
+//!   or clean — succeeds, is deterministic (same image twice ⇒ same state),
+//!   and yields a database that accepts new committed work.
+//! * **Replication equivalence** (inv. 6): a caught-up replica's state
+//!   fingerprint equals the primary's.
+//! * **Truncation safety** (inv. 7): a wedged recycler degrades log
+//!   boundedness, never correctness.
+//!
+//! Violations are collected as strings rather than panics so a sweep can
+//! report every failing seed instead of dying on the first.
+
+use crate::fault::FaultDevice;
+use crate::plan::{Fault, FaultPlan};
+use aether_core::device::{LogDevice, SimDevice};
+use aether_core::partition::{MemSegmentFactory, SegmentedDevice};
+use aether_core::reader::LogReader;
+use aether_core::runtime::{self, Runtime};
+use aether_core::{BufferKind, LogConfig};
+use aether_repl::prelude::*;
+use aether_storage::recovery::recover_with_stats;
+use aether_storage::replay::{snapshot_read, state_fingerprint};
+use aether_storage::{Checkpointer, CommitProtocol, Db, DbOptions};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Outcome of one simulated run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// The decoded scenario.
+    pub plan: FaultPlan,
+    /// Total commits acknowledged `Durable` across all workers.
+    pub acked: u64,
+    /// `(hash, events)` of the scheduler history — the reproducibility
+    /// witness: rerunning the seed must reproduce it bit-for-bit.
+    pub history: (u64, u64),
+    /// Invariant violations ("" ⇒ the seed passes).
+    pub violations: Vec<String>,
+}
+
+impl SimReport {
+    /// True when the run satisfied every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Fixed worker record layout: key at `[0..8]`, counter at `[8..16]`.
+fn record(key: u64, counter: u64) -> Vec<u8> {
+    let mut r = vec![0u8; 40];
+    r[..8].copy_from_slice(&key.to_le_bytes());
+    r[8..16].copy_from_slice(&counter.to_le_bytes());
+    r
+}
+
+fn counter_of(rec: &[u8]) -> u64 {
+    u64::from_le_bytes(rec[8..16].try_into().unwrap())
+}
+
+/// Run the scenario for `seed` to completion and report.
+pub fn run_seed(seed: u64) -> SimReport {
+    let plan = FaultPlan::decode(seed);
+    let rt = Runtime::sim(seed);
+    let guard = rt.enter();
+    let (acked, violations) = Scenario::new(&rt, &plan).run();
+    let history = rt.history();
+    drop(guard);
+    SimReport {
+        seed,
+        plan,
+        acked,
+        history,
+        violations,
+    }
+}
+
+/// Everything a running scenario needs in one place.
+struct Scenario<'a> {
+    rt: &'a Runtime,
+    plan: &'a FaultPlan,
+    device: Arc<FaultDevice>,
+    primary: Arc<Db>,
+    violations: Vec<String>,
+}
+
+impl<'a> Scenario<'a> {
+    fn new(rt: &'a Runtime, plan: &'a FaultPlan) -> Scenario<'a> {
+        let inner: Arc<dyn LogDevice> = if plan.segmented {
+            Arc::new(SegmentedDevice::new(Box::new(MemSegmentFactory), 16 * 1024).unwrap())
+        } else {
+            Arc::new(SimDevice::new(Duration::ZERO))
+        };
+        let device = FaultDevice::new(inner);
+        let opts = DbOptions {
+            protocol: if plan.elr {
+                CommitProtocol::Elr
+            } else {
+                CommitProtocol::Baseline
+            },
+            buffer: BufferKind::Hybrid,
+            log_config: LogConfig::default()
+                .with_buffer_size(1 << 20)
+                .with_runtime(rt.clone()),
+            ..DbOptions::default()
+        };
+        let primary = Db::open_with_device(opts, Arc::clone(&device) as Arc<dyn LogDevice>);
+        primary.create_table(40, plan.workers);
+        for k in 0..plan.workers {
+            primary.load(0, k, &record(k, 0)).unwrap();
+        }
+        primary.setup_complete();
+        Scenario {
+            rt,
+            plan,
+            device,
+            primary,
+            violations: Vec::new(),
+        }
+    }
+
+    fn violate(&mut self, msg: String) {
+        self.rt.note(&format!("violation:{msg}"));
+        self.violations.push(msg);
+    }
+
+    fn run(mut self) -> (u64, Vec<String>) {
+        let plan = self.plan;
+        let cluster = if plan.replicas > 0 {
+            let latency = match plan.fault {
+                // The latency-spike fault: tens of virtual milliseconds per
+                // hop. Free under the virtual clock, brutal for SemiSync.
+                Fault::SlowLink => Duration::from_millis(20 + plan.fault_entropy % 30),
+                _ => plan.link_latency,
+            };
+            Some(
+                ReplicatedDb::attach(
+                    Arc::clone(&self.primary),
+                    ReplicationConfig {
+                        replicas: plan.replicas,
+                        policy: DurabilityPolicy::SemiSync(1),
+                        link: LinkConfig {
+                            latency,
+                            reorder_period: plan.reorder_period,
+                            runtime: self.rt.clone(),
+                        },
+                        ..ReplicationConfig::default()
+                    },
+                )
+                .unwrap(),
+            )
+        } else {
+            None
+        };
+
+        // Worker actors: each owns one key and commits an incrementing
+        // counter. `submitted` is the value handed to `commit`; `acked` the
+        // last value whose commit returned `Durable`.
+        let stop = Arc::new(AtomicBool::new(false));
+        let submitted: Arc<Vec<AtomicU64>> =
+            Arc::new((0..plan.workers).map(|_| AtomicU64::new(0)).collect());
+        let acked: Arc<Vec<AtomicU64>> =
+            Arc::new((0..plan.workers).map(|_| AtomicU64::new(0)).collect());
+        let workers: Vec<_> = (0..plan.workers)
+            .map(|k| {
+                let db = Arc::clone(&self.primary);
+                let stop = Arc::clone(&stop);
+                let submitted = Arc::clone(&submitted);
+                let acked = Arc::clone(&acked);
+                let rt = self.rt.clone();
+                self.rt.spawn("sim-worker", move || {
+                    let mut v = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        v += 1;
+                        let mut txn = db.begin();
+                        db.update(&mut txn, 0, k, &record(k, v)).unwrap();
+                        submitted[k as usize].store(v, Ordering::SeqCst);
+                        if db.commit(txn).unwrap().is_durable_now() {
+                            acked[k as usize].store(v, Ordering::SeqCst);
+                            rt.note(&format!("ack:{k}:{v}"));
+                        }
+                        // Pace commits so virtual time moves relative to the
+                        // workload (each worker at a slightly different
+                        // deterministic rate).
+                        runtime::sleep(Duration::from_micros(80 + k * 37));
+                    }
+                })
+            })
+            .collect();
+
+        // Trigger: wait (in virtual time) until every worker has made
+        // enough progress for the fault to land mid-flight.
+        let floor_counts: &Vec<AtomicU64> = if plan.replicas > 0 || !plan.elr {
+            &acked
+        } else {
+            // ELR acks are deliberately decoupled from durability; progress
+            // is measured by submissions instead.
+            &submitted
+        };
+        let deadline = runtime::monotonic_ns() + 120_000_000_000; // 120 virtual s
+        while floor_counts
+            .iter()
+            .any(|a| a.load(Ordering::SeqCst) < plan.acks_before_fault)
+        {
+            if runtime::monotonic_ns() > deadline {
+                self.violate("trigger: workload made no progress in 120 virtual s".into());
+                break;
+            }
+            runtime::sleep(Duration::from_millis(1));
+        }
+
+        // Inject the planned fault and check its invariants.
+        let acked_total = match plan.fault {
+            Fault::KillPrimary => {
+                self.rt.note("fault:kill-primary");
+                let floor: Vec<u64> = acked.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                let mut cluster = cluster.expect("KillPrimary requires replicas");
+                cluster.kill_primary();
+                stop.store(true, Ordering::SeqCst);
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let submitted: Vec<u64> =
+                    submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.check_failover(cluster, &floor, &submitted);
+                floor.iter().sum()
+            }
+            Fault::TornWrite => {
+                self.rt.note("fault:torn-write");
+                // Snapshot the floor *before* the device starts lying: those
+                // acks were honestly durable and must survive recovery.
+                let floor: Vec<u64> = acked.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.device.arm_torn_write(plan.fault_entropy % 256);
+                // Let the workload run into the dark device for a while.
+                runtime::sleep(Duration::from_millis(5));
+                stop.store(true, Ordering::SeqCst);
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let submitted: Vec<u64> =
+                    submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.check_torn_recovery(&floor, &submitted);
+                floor.iter().sum()
+            }
+            Fault::TruncateStuck => {
+                self.rt.note("fault:truncate-stuck");
+                self.device.set_truncate_stuck(true);
+                self.check_stuck_truncation();
+                self.device.set_truncate_stuck(false);
+                let _ = Checkpointer::checkpoint_once(&self.primary);
+                stop.store(true, Ordering::SeqCst);
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let submitted: Vec<u64> =
+                    submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.check_quiesced(cluster, &submitted);
+                acked.iter().map(|a| a.load(Ordering::SeqCst)).sum()
+            }
+            Fault::None | Fault::SlowLink => {
+                stop.store(true, Ordering::SeqCst);
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let submitted: Vec<u64> =
+                    submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.check_quiesced(cluster, &submitted);
+                acked.iter().map(|a| a.load(Ordering::SeqCst)).sum()
+            }
+        };
+
+        (acked_total, self.violations)
+    }
+
+    // -- Invariant checks ---------------------------------------------------
+
+    /// Fault-free / slow-link / unstuck-truncation endgame: quiesce, then
+    /// check replication equivalence, the dense stream, and clean-crash
+    /// recovery equal to the exact committed state.
+    fn check_quiesced(&mut self, cluster: Option<ReplicatedDb>, submitted: &[u64]) {
+        self.primary.log().flush_all();
+        if let Some(mut cluster) = cluster {
+            if !cluster.wait_catchup(Duration::from_secs(30)) {
+                self.violate("replication: replica failed to catch up in 30 virtual s".into());
+            }
+            for (i, st) in cluster.status().iter().enumerate() {
+                if st.corrupt_frames != 0 {
+                    self.violate(format!(
+                        "replication: replica {i} dropped {} frames on a clean link",
+                        st.corrupt_frames
+                    ));
+                }
+            }
+            let want = state_fingerprint(&self.primary).unwrap();
+            for i in 0..cluster.replicas().len() {
+                let got = state_fingerprint(&cluster.replica(i).db()).unwrap();
+                if got != want {
+                    self.violate(format!(
+                        "replication equivalence: replica {i} state != primary state"
+                    ));
+                }
+            }
+            cluster.shutdown();
+        }
+        self.check_dense_stream();
+        // Clean crash at a quiesced point: recovery must reproduce exactly
+        // the submitted counters (every commit completed and was flushed).
+        let recovered = match recover_with_stats(self.primary.crash(), self.sim_opts()) {
+            Ok((db, _)) => db,
+            Err(e) => {
+                self.violate(format!("recovery: clean-crash recovery failed: {e:?}"));
+                return;
+            }
+        };
+        for (k, &want) in submitted.iter().enumerate() {
+            let got = snapshot_read(&recovered, 0, k as u64)
+                .unwrap()
+                .map(|r| counter_of(&r))
+                .unwrap_or(0);
+            if got != want {
+                self.violate(format!(
+                    "durability: key {k} recovered {got}, committed {want}"
+                ));
+            }
+        }
+    }
+
+    /// Kill-primary endgame: promote the most-caught-up replica; every
+    /// acked commit must be on it, and it must accept new work.
+    fn check_failover(&mut self, cluster: ReplicatedDb, floor: &[u64], submitted: &[u64]) {
+        let candidate = cluster.most_caught_up();
+        let (promoted, _stats) = match cluster.promote(candidate) {
+            Ok(p) => p,
+            Err(e) => {
+                self.violate(format!("failover: promotion failed: {e:?}"));
+                return;
+            }
+        };
+        for (k, (&a, &s)) in floor.iter().zip(submitted).enumerate() {
+            let got = snapshot_read(&promoted, 0, k as u64)
+                .unwrap()
+                .map(|r| counter_of(&r))
+                .unwrap_or(0);
+            if got < a {
+                self.violate(format!(
+                    "zero acked loss: key {k} promoted with {got}, acked floor {a}"
+                ));
+            }
+            if got > s {
+                self.violate(format!(
+                    "phantom commit: key {k} promoted with {got}, never submitted past {s}"
+                ));
+            }
+        }
+        // The promoted replica is a full primary.
+        let mut txn = promoted.begin();
+        promoted
+            .update(&mut txn, 0, 0, &record(0, u64::MAX))
+            .unwrap();
+        if promoted.commit(txn).is_err() {
+            self.violate("failover: promoted replica rejected new work".into());
+        }
+    }
+
+    /// Torn-write endgame: recover from the torn image; the pre-tear acked
+    /// floor must survive, recovery must be deterministic, and the
+    /// recovered database must accept new committed work.
+    fn check_torn_recovery(&mut self, floor: &[u64], submitted: &[u64]) {
+        let image = self.primary.crash();
+        let (r1, stats) = match recover_with_stats(image, self.sim_opts()) {
+            Ok(r) => r,
+            Err(e) => {
+                self.violate(format!("recovery: torn-image recovery failed: {e:?}"));
+                return;
+            }
+        };
+        let (r2, stats2) = recover_with_stats(self.primary.crash(), self.sim_opts())
+            .expect("second recovery of the same image");
+        if state_fingerprint(&r1).unwrap() != state_fingerprint(&r2).unwrap() {
+            self.violate("recovery convergence: same torn image recovered to two states".into());
+        }
+        if stats != stats2 {
+            self.violate(format!(
+                "recovery convergence: same torn image, different recovery paths: {stats:?} vs {stats2:?}"
+            ));
+        }
+        for (k, (&a, &s)) in floor.iter().zip(submitted).enumerate() {
+            let got = snapshot_read(&r1, 0, k as u64)
+                .unwrap()
+                .map(|r| counter_of(&r))
+                .unwrap_or(0);
+            if got < a {
+                self.violate(format!(
+                    "torn durability: key {k} recovered {got}, pre-tear acked floor {a}"
+                ));
+            }
+            if got > s {
+                self.violate(format!(
+                    "torn phantom: key {k} recovered {got}, never submitted past {s}"
+                ));
+            }
+        }
+        let mut txn = r1.begin();
+        r1.update(&mut txn, 0, 0, &record(0, u64::MAX)).unwrap();
+        if r1.commit(txn).is_err() {
+            self.violate("recovery: recovered database rejected new work".into());
+        }
+    }
+
+    /// With the recycler wedged, checkpoints keep succeeding and the
+    /// truncation point never outruns the published redo low-water mark;
+    /// the log simply stops shrinking.
+    fn check_stuck_truncation(&mut self) {
+        for round in 0..3 {
+            let out = Checkpointer::checkpoint_once(&self.primary);
+            if out.applied > self.primary.redo_low_water() {
+                self.violate(format!(
+                    "truncation safety: applied {:?} outran redo low-water {:?} (round {round})",
+                    out.applied,
+                    self.primary.redo_low_water()
+                ));
+            }
+            runtime::sleep(Duration::from_millis(2));
+        }
+        if self.primary.log().truncation_stats().segments_recycled > 0 {
+            self.violate("truncation: wedged device still reported recycled segments".into());
+        }
+    }
+
+    /// Dense-stream check over the primary's durable log: records parse
+    /// cleanly from the low-water mark and each starts where the previous
+    /// ended.
+    fn check_dense_stream(&mut self) {
+        let device = Arc::clone(self.primary.log().device());
+        let mut prev_end = device.low_water();
+        let mut reader = LogReader::from_lsn(device, prev_end);
+        loop {
+            match reader.next_record() {
+                Ok(Some(rec)) => {
+                    if rec.lsn != prev_end {
+                        self.violate(format!(
+                            "dense stream: record at {:?} follows end {:?}",
+                            rec.lsn, prev_end
+                        ));
+                        return;
+                    }
+                    prev_end = rec.next_lsn();
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.violate(format!("dense stream: scan failed at {prev_end:?}: {e:?}"));
+                    return;
+                }
+            }
+        }
+        let durable = self.primary.log().durable_lsn();
+        if prev_end < durable && !self.device.is_frozen() {
+            self.violate(format!(
+                "dense stream: scan ended at {prev_end:?} short of durable {durable:?}"
+            ));
+        }
+    }
+
+    /// Recovery options: same protocol/buffer as the primary, same sim
+    /// runtime (the recovered database's flush daemon must be a sim actor).
+    fn sim_opts(&self) -> DbOptions {
+        self.primary.options().clone()
+    }
+}

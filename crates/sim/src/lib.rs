@@ -1,0 +1,36 @@
+//! Deterministic whole-cluster simulation for the Aether logging stack.
+//!
+//! The core, storage, and replication crates route every clock read, sleep,
+//! thread spawn, and blocking wait through
+//! [`aether_core::runtime`]. This crate exploits that seam: it boots an
+//! entire cluster — primary with its flush daemon, replicas with shippers
+//! and simulated links, committing workers — under
+//! [`aether_core::runtime::Runtime::sim`], where a seeded cooperative
+//! scheduler and a virtual clock make the whole execution a pure function
+//! of one `u64` seed.
+//!
+//! On top of the virtual runtime sits a seeded **fault harness**:
+//!
+//! * [`plan::FaultPlan`] decodes each seed into a scenario — cluster shape,
+//!   link latency/reordering, commit protocol, and one injected fault
+//!   (primary kill, torn device write, wedged truncation, latency spike);
+//! * [`fault::FaultDevice`] is a [`aether_core::device::LogDevice`] wrapper
+//!   that tears writes and wedges truncation on command;
+//! * [`cluster::run_seed`] runs the scenario and checks the DESIGN.md
+//!   invariants it puts at risk, returning a [`cluster::SimReport`] whose
+//!   `history` field is the reproducibility witness: the same seed must
+//!   reproduce it bit-for-bit.
+//!
+//! The `sim_sweep` binary runs a batch of seeds (default 200) and prints
+//! the failing ones; `AETHER_SIM_SEED=<n> sim_sweep` reruns a single seed —
+//! byte-identically, every time.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod fault;
+pub mod plan;
+
+pub use cluster::{run_seed, SimReport};
+pub use fault::FaultDevice;
+pub use plan::{Fault, FaultPlan, SeedRng};

@@ -1,0 +1,188 @@
+//! Seed → scenario decoding.
+//!
+//! Every simulated run is a pure function of one `u64` seed. The seed feeds
+//! two independent consumers:
+//!
+//! * the scheduler inside [`aether_core::runtime::Runtime::sim`], which
+//!   decides the thread interleaving, and
+//! * this module, which decodes the *scenario*: cluster shape, link
+//!   behavior, and which fault (if any) fires, when, and how hard.
+//!
+//! Both draw from the same number, so "rerun seed 7213" reproduces not just
+//! the interleaving but the whole experiment.
+
+use std::time::Duration;
+
+/// Splitmix64: a tiny, well-distributed PRNG used only for decoding the
+/// scenario (never for scheduling — the runtime has its own stream).
+#[derive(Debug, Clone)]
+pub struct SeedRng(u64);
+
+impl SeedRng {
+    /// Derive a scenario stream from `seed`. The constant offsets the
+    /// stream away from the scheduler's, so scenario and schedule decisions
+    /// are decorrelated even though they share one seed.
+    pub fn new(seed: u64) -> SeedRng {
+        SeedRng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn draw(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.draw() % n.max(1)
+    }
+}
+
+/// Which single fault this run injects (one per run keeps every failing
+/// seed attributable to one mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: the run only has to satisfy the steady-state invariants.
+    None,
+    /// Cut the network and poison the primary's commit gate mid-flight,
+    /// then promote the most-caught-up replica. Requires replicas.
+    KillPrimary,
+    /// The next log-device write lands only a prefix, then the device goes
+    /// dark (a torn final write followed by power loss).
+    TornWrite,
+    /// The log device stops honoring `truncate_before` (segment recycling
+    /// wedged, as on a disk-full metadata store). Requires a segmented log.
+    TruncateStuck,
+    /// A latency spike on the replication links: acks crawl, commits under
+    /// SemiSync stall behind them. Virtual time makes this free to run.
+    SlowLink,
+}
+
+/// The fully decoded scenario for one seed.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The seed this plan was decoded from.
+    pub seed: u64,
+    /// Committing worker actors (each owns one key).
+    pub workers: u64,
+    /// Replicas attached behind the primary (0 = standalone).
+    pub replicas: usize,
+    /// Use a segmented log device (enables truncation faults) instead of a
+    /// plain byte-stream device.
+    pub segmented: bool,
+    /// Run the ELR commit protocol instead of Baseline.
+    pub elr: bool,
+    /// One-way frame/ack link latency.
+    pub link_latency: Duration,
+    /// Reorder period for the frame link (0 = in-order).
+    pub reorder_period: usize,
+    /// SemiSync-acked commits per worker before the fault trigger fires.
+    pub acks_before_fault: u64,
+    /// The injected fault.
+    pub fault: Fault,
+    /// Raw entropy for fault parameters (e.g. how many bytes of the torn
+    /// write survive).
+    pub fault_entropy: u64,
+}
+
+impl FaultPlan {
+    /// Decode the scenario for `seed`.
+    pub fn decode(seed: u64) -> FaultPlan {
+        let mut rng = SeedRng::new(seed);
+        let workers = 1 + rng.below(3);
+        let mut replicas = rng.below(3) as usize;
+        let segmented = rng.below(2) == 1;
+        // ELR decouples the commit ack from durability, so the acked-floor
+        // invariants (which equate "commit returned Durable" with "on disk /
+        // on a replica") only run it standalone.
+        let elr = rng.below(2) == 1 && replicas == 0;
+        let link_latency = Duration::from_micros([0, 50, 200, 1_000][rng.below(4) as usize]);
+        let reorder_period = rng.below(4) as usize;
+        let acks_before_fault = 3 + rng.below(6);
+        let fault = match rng.below(5) {
+            0 => Fault::None,
+            1 if replicas > 0 => Fault::KillPrimary,
+            2 => Fault::TornWrite,
+            3 if segmented => Fault::TruncateStuck,
+            4 if replicas > 0 => Fault::SlowLink,
+            // Draws whose precondition (replicas, segmentation) failed run
+            // the fault-free scenario; the shape axes still vary.
+            _ => Fault::None,
+        };
+        if fault == Fault::TornWrite {
+            // A dark device stops acks dead: under SemiSync every commit
+            // would hang forever on a replica ack that can never come. The
+            // torn-write scenario is about local recovery, so it runs
+            // standalone.
+            replicas = 0;
+        }
+        FaultPlan {
+            seed,
+            workers,
+            replicas,
+            segmented,
+            elr,
+            link_latency,
+            reorder_period,
+            acks_before_fault,
+            fault,
+            fault_entropy: rng.draw(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_is_deterministic() {
+        for seed in 0..64 {
+            let a = FaultPlan::decode(seed);
+            let b = FaultPlan::decode(seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn decode_respects_preconditions() {
+        for seed in 0..4096 {
+            let p = FaultPlan::decode(seed);
+            assert!((1..=3).contains(&p.workers));
+            assert!(p.replicas <= 2);
+            if p.fault == Fault::KillPrimary || p.fault == Fault::SlowLink {
+                assert!(p.replicas > 0, "seed {seed}: fault needs replicas");
+            }
+            if p.fault == Fault::TruncateStuck {
+                assert!(p.segmented, "seed {seed}: fault needs a segmented log");
+            }
+            if p.fault == Fault::TornWrite {
+                assert_eq!(p.replicas, 0, "seed {seed}: torn writes run standalone");
+            }
+            if p.elr {
+                assert_eq!(p.replicas, 0, "seed {seed}: ELR runs standalone");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_menu_is_reachable() {
+        let mut seen = [false; 5];
+        for seed in 0..4096 {
+            seen[match FaultPlan::decode(seed).fault {
+                Fault::None => 0,
+                Fault::KillPrimary => 1,
+                Fault::TornWrite => 2,
+                Fault::TruncateStuck => 3,
+                Fault::SlowLink => 4,
+            }] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every fault must be reachable from some seed: {seen:?}"
+        );
+    }
+}

@@ -11,8 +11,9 @@
 //! slowest replica acknowledgement.
 
 use crate::db::Db;
+use aether_core::runtime::{self, RtCondvar};
 use aether_core::TruncationOutcome;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,8 +21,8 @@ use std::time::Duration;
 /// Handle to a running checkpoint daemon; checkpointing stops when this is
 /// dropped or [`Checkpointer::stop`] is called.
 pub struct Checkpointer {
-    stop: Arc<(Mutex<bool>, Condvar)>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    stop: Arc<(Mutex<bool>, RtCondvar)>,
+    thread: Option<runtime::JoinHandle<()>>,
     checkpoints: Arc<AtomicU64>,
 }
 
@@ -37,27 +38,26 @@ impl Checkpointer {
     /// Start checkpointing `db` every `interval`. Each cycle also truncates
     /// the log behind the fresh checkpoint's redo low-water mark.
     pub fn start(db: Arc<Db>, interval: Duration) -> Checkpointer {
-        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let rt = db.log().config().runtime.clone();
+        let stop = Arc::new((Mutex::new(false), RtCondvar::new()));
         let checkpoints = Arc::new(AtomicU64::new(0));
         let st = Arc::clone(&stop);
         let ck = Arc::clone(&checkpoints);
-        let thread = std::thread::Builder::new()
-            .name("aether-ckptd".into())
-            .spawn(move || loop {
-                {
-                    let (lock, cv) = &*st;
-                    let mut stopped = lock.lock();
-                    if !*stopped {
-                        cv.wait_for(&mut stopped, interval);
-                    }
-                    if *stopped {
-                        return;
-                    }
+        let thread = rt.spawn("aether-ckptd", move || loop {
+            {
+                let (lock, cv) = &*st;
+                let mut stopped = lock.lock();
+                if !*stopped {
+                    let (g, _) = cv.wait_for(lock, stopped, interval);
+                    stopped = g;
                 }
-                Self::checkpoint_once(&db);
-                ck.fetch_add(1, Ordering::Relaxed);
-            })
-            .expect("spawn checkpoint daemon");
+                if *stopped {
+                    return;
+                }
+            }
+            Self::checkpoint_once(&db);
+            ck.fetch_add(1, Ordering::Relaxed);
+        });
         Checkpointer {
             stop,
             thread: Some(thread),
@@ -134,7 +134,7 @@ mod tests {
             db.update_with(&mut txn, 0, i % 32, |r| r[8] = r[8].wrapping_add(1))
                 .unwrap();
             db.commit(txn).unwrap();
-            std::thread::sleep(Duration::from_millis(1));
+            runtime::sleep(Duration::from_millis(1));
         }
         ck.stop();
         let taken = ck.count();

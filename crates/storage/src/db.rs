@@ -460,12 +460,12 @@ impl Db {
         // primary-failure simulation released the wait and the commit's
         // replicated fate is indeterminate (reported as Unsafe below).
         let timed_flush = |lsn| {
-            let t = std::time::Instant::now();
+            let t = aether_core::runtime::monotonic_ns();
             let replicated = self.log.wait_committed(lsn);
-            self.stats.flush_wait_ns.fetch_add(
-                t.elapsed().as_nanos() as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
+            let dt = aether_core::runtime::monotonic_ns().saturating_sub(t);
+            self.stats
+                .flush_wait_ns
+                .fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
             replicated
         };
 
@@ -926,23 +926,23 @@ mod tests {
         db.setup_complete();
 
         let db2 = Arc::clone(&db);
-        let start = std::time::Instant::now();
+        let start = aether_core::runtime::monotonic_ns();
         let committer = std::thread::spawn(move || {
             let mut txn = db2.begin();
             db2.update_with(&mut txn, 0, 0, |r| r[8] = 2).unwrap();
             db2.commit(txn).unwrap(); // blocks ~20ms on flush
         });
         // Give the committer time to insert its commit record and release.
-        std::thread::sleep(std::time::Duration::from_millis(5));
+        aether_core::runtime::sleep(std::time::Duration::from_millis(5));
         let mut txn = db.begin();
         let got = db.read_for_update(&mut txn, 0, 0);
-        let waited = start.elapsed();
+        let waited_ms = (aether_core::runtime::monotonic_ns() - start) / 1_000_000;
         committer.join().unwrap();
         got.unwrap();
         db.abort(txn).unwrap();
         assert!(
-            waited < std::time::Duration::from_millis(18),
-            "ELR should hand over the lock before the 20ms flush finishes (waited {waited:?})"
+            waited_ms < 18,
+            "ELR should hand over the lock before the 20ms flush finishes (waited {waited_ms}ms)"
         );
     }
 

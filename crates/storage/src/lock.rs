@@ -17,10 +17,11 @@
 //! graph with cycle detection (victim = the requester that closes the cycle).
 
 use crate::error::{StorageError, StorageResult};
-use parking_lot::{Condvar, Mutex};
+use aether_core::runtime::{self, RtCondvar};
+use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Lock modes. Intention modes (IS/IX) are taken at table granularity;
 /// S/X at row granularity.
@@ -126,7 +127,7 @@ impl Entry {
 
 struct Shard {
     entries: Mutex<HashMap<LockId, Entry>>,
-    cv: Condvar,
+    cv: RtCondvar,
 }
 
 /// Lock-manager tuning.
@@ -249,7 +250,7 @@ impl LockManager {
         let shards = (0..config.shards.max(1))
             .map(|_| Shard {
                 entries: Mutex::new(HashMap::new()),
-                cv: Condvar::new(),
+                cv: RtCondvar::new(),
             })
             .collect();
         Arc::new(LockManager {
@@ -341,15 +342,14 @@ impl LockManager {
             }
         }
 
-        let deadline = Instant::now() + self.config.timeout;
-        let wait_started = Instant::now();
+        let wait_started = runtime::monotonic_ns();
+        let deadline = wait_started.saturating_add(self.config.timeout.as_nanos() as u64);
         self.blocked_acquires
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let charge = |t: Instant| {
-            self.wait_ns.fetch_add(
-                t.elapsed().as_nanos() as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
+        let charge = |start_ns: u64| {
+            let dt = runtime::monotonic_ns().saturating_sub(start_ns);
+            self.wait_ns
+                .fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
         };
         loop {
             // A release may have granted us while we weren't looking.
@@ -363,8 +363,26 @@ impl LockManager {
                     return Ok(());
                 }
             }
-            if shard.cv.wait_until(&mut entries, deadline).timed_out() {
+            let now = runtime::monotonic_ns();
+            let timed_out = if now >= deadline {
+                true
+            } else {
+                let (g, timed_out) = shard.cv.wait_for(
+                    &shard.entries,
+                    entries,
+                    Duration::from_nanos(deadline - now),
+                );
+                entries = g;
+                timed_out
+            };
+            if timed_out {
                 let entry = entries.get_mut(&id).expect("entry vanished on timeout");
+                // One last re-check: a grant may have raced the timeout.
+                if let Some(w) = entry.waiters.iter().find(|w| w.txn == txn) {
+                    if w.granted {
+                        continue;
+                    }
+                }
                 entry.waiters.retain(|w| w.txn != txn);
                 self.clear_waits(txn);
                 charge(wait_started);
@@ -492,6 +510,17 @@ mod tests {
         })
     }
 
+    /// Wait until `n` acquires have entered the blocked slow path — the
+    /// ack-based replacement for "sleep and hope the other thread got
+    /// there": the counter is bumped after the waiter is enqueued (and its
+    /// wait-for edges published), which is exactly the state the callers
+    /// below need to observe.
+    fn wait_until_blocked(m: &LockManager, n: u64) {
+        while m.blocked_acquires() < n {
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
     fn compatibility_matrix() {
         use LockMode::*;
@@ -555,7 +584,7 @@ mod tests {
         m.acquire(1, id, LockMode::X).unwrap();
         let m2 = Arc::clone(&m);
         let t = std::thread::spawn(move || m2.acquire(2, id, LockMode::X));
-        std::thread::sleep(Duration::from_millis(30));
+        wait_until_blocked(&m, 1);
         assert!(!t.is_finished());
         m.release_all(1, &[id]);
         t.join().unwrap().unwrap();
@@ -570,16 +599,16 @@ mod tests {
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut handles = vec![];
         for txn in 2..=4u64 {
-            let m = Arc::clone(&m);
+            let m2 = Arc::clone(&m);
             let order = Arc::clone(&order);
             handles.push(std::thread::spawn(move || {
-                m.acquire(txn, id, LockMode::X).unwrap();
+                m2.acquire(txn, id, LockMode::X).unwrap();
                 order.lock().push(txn);
-                std::thread::sleep(Duration::from_millis(5));
-                m.release_all(txn, &[id]);
+                m2.release_all(txn, &[id]);
             }));
-            // Stagger arrivals so the queue order is deterministic.
-            std::thread::sleep(Duration::from_millis(20));
+            // Stagger arrivals so the queue order is deterministic: wait for
+            // this waiter to be enqueued before launching the next.
+            wait_until_blocked(&m, txn - 1);
         }
         m.release_all(1, &[id]);
         for h in handles {
@@ -600,7 +629,8 @@ mod tests {
             // txn 1 waits for b (held by 2)
             m2.acquire(1, b, LockMode::X)
         });
-        std::thread::sleep(Duration::from_millis(30));
+        // Wait for txn 1's wait-for edges to be published.
+        wait_until_blocked(&m, 1);
         // txn 2 requesting a closes the cycle → victim.
         let r = m.acquire(2, a, LockMode::X);
         assert!(matches!(r, Err(StorageError::Deadlock { txn: 2 })));

@@ -22,7 +22,7 @@
 
 use aether_bench::env_or;
 use aether_core::partition::{MemSegmentFactory, SegmentedDevice};
-use aether_core::{BufferKind, LogConfig};
+use aether_core::{BufferKind, LogConfig, TelemetryConfig};
 use aether_storage::{CommitProtocol, Db, DbOptions};
 use std::sync::Arc;
 use std::time::Instant;
@@ -62,7 +62,12 @@ fn main() {
                 DbOptions {
                     protocol: CommitProtocol::Elr,
                     buffer: BufferKind::Hybrid,
-                    log_config: LogConfig::default().with_buffer_size(1 << 22),
+                    // AETHER_TELEMETRY=1: perf-smoke reads the truncation
+                    // and checkpoint counters from the JSON-lines snapshot
+                    // the manager emits on drop (AETHER_TELEMETRY_OUT).
+                    log_config: LogConfig::default()
+                        .with_buffer_size(1 << 22)
+                        .with_telemetry(TelemetryConfig::from_env()),
                     ..DbOptions::default()
                 },
                 Arc::clone(&segments) as _,
@@ -100,6 +105,13 @@ fn main() {
 
             // Crash and time recovery over the retained suffix only.
             let image = db.crash();
+            if db.log().telemetry().on() {
+                eprint!(
+                    "{}",
+                    db.telemetry_snapshot(&format!("fig15 ckpt={ckpt_every} txns={txns}"))
+                        .render_text()
+                );
+            }
             drop(db);
             let t = Instant::now();
             let (recovered, stats) = aether_storage::recovery::recover_with_stats(

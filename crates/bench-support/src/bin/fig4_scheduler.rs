@@ -29,6 +29,9 @@ fn main() {
     let ms = env_or("AETHER_MS", 1000u64);
     let accounts = env_or("AETHER_ACCOUNTS", 10_000u64);
     println!("# Figure 4: scheduler activity vs clients, TPC-B on flash-class log (100us)");
+    if !aether_bench::measure::ctx_switches_supported() {
+        println!("# note: /proc ctx-switch counters unavailable on this host; ctx columns read 0");
+    }
     println!("mode\tclients\ttps\tctx_per_s\tctx_per_txn\tflushes\tflushes_per_txn");
     for (label, protocol) in [
         ("baseline", CommitProtocol::Baseline),

@@ -11,7 +11,7 @@
 use aether_bench::driver::{run_closed_loop, DriverConfig};
 use aether_bench::env_or;
 use aether_bench::tpcb::{Tpcb, TpcbConfig};
-use aether_core::{DeviceKind, LogConfig};
+use aether_core::{DeviceKind, LogConfig, TelemetryConfig};
 use aether_storage::{CommitProtocol, Db, DbOptions};
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,7 +37,9 @@ fn main() {
             let db = Db::open(DbOptions {
                 protocol,
                 device: DeviceKind::Flash,
-                log_config: LogConfig::default(),
+                // AETHER_TELEMETRY=1 snapshots every run: JSON-lines to
+                // AETHER_TELEMETRY_OUT on drop, text to stderr below.
+                log_config: LogConfig::default().with_telemetry(TelemetryConfig::from_env()),
                 ..DbOptions::default()
             });
             let tpcb = Arc::new(Tpcb::setup(
@@ -66,6 +68,13 @@ fn main() {
                 "{label}\t{clients}\t{:.0}\t{}\t{}",
                 r.tps, r.committed, r.aborts
             );
+            if db.log().telemetry().on() {
+                eprint!(
+                    "{}",
+                    db.telemetry_snapshot(&format!("fig5 {label} clients={clients}"))
+                        .render_text()
+                );
+            }
         }
     }
 }

@@ -23,7 +23,8 @@ use aether_core::buffer::{
     HybridBuffer, LogBuffer,
 };
 use aether_core::record::{on_log_size, RecordKind, HEADER_SIZE};
-use aether_core::{LogConfig, Lsn};
+use aether_core::telemetry::Unit;
+use aether_core::{LogConfig, Lsn, TelemetryConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -206,7 +207,11 @@ impl AnyBuffer {
 pub fn run_micro(cfg: &MicroConfig) -> MicroResult {
     let log_config = LogConfig::default()
         .with_buffer_size(cfg.buffer_size)
-        .with_carray_slots(cfg.slots);
+        .with_carray_slots(cfg.slots)
+        // Honor AETHER_TELEMETRY/_SAMPLE: fig8/11/12 runs then carry the
+        // insert-latency histogram and emit one structured document each
+        // to AETHER_TELEMETRY_OUT. Off (a single relaxed load) by default.
+        .with_telemetry(TelemetryConfig::from_env());
     let (core, buffer) = AnyBuffer::build(cfg.kind, &log_config);
     let buffer = Arc::new(buffer);
     let stop = Arc::new(AtomicBool::new(false));
@@ -240,6 +245,30 @@ pub fn run_micro(cfg: &MicroConfig) -> MicroResult {
     });
     let wall_s = start.elapsed().as_secs_f64();
     let snap = core.stats.snapshot();
+    let tel = core.telemetry();
+    if tel.on() {
+        // One structured document per run: the registry's own metrics
+        // (log.insert_ns and any sampled spans) plus the BufferStats
+        // totals, scoped by the run configuration.
+        let scope = format!(
+            "micro variant={:?} threads={} slots={} backoff={}",
+            cfg.kind, cfg.threads, cfg.slots, cfg.backoff
+        );
+        let mut doc = tel.snapshot(&scope);
+        doc.push_counter("log.inserts", Unit::Records, snap.inserts);
+        doc.push_counter("log.bytes", Unit::Bytes, snap.bytes);
+        doc.push_counter("log.direct_acquires", Unit::Count, snap.direct_acquires);
+        doc.push_counter("log.consolidations", Unit::Count, snap.consolidations);
+        doc.push_counter("log.group_acquires", Unit::Count, snap.group_acquires);
+        doc.push_counter(
+            "log.delegated_releases",
+            Unit::Count,
+            snap.delegated_releases,
+        );
+        doc.push_counter("log.wrapper_inserts", Unit::Count, snap.wrapper_inserts);
+        doc.push_counter("log.scratch_bytes", Unit::Bytes, snap.scratch_bytes);
+        let _ = doc.emit_env();
+    }
     MicroResult {
         inserts: snap.inserts,
         bytes: snap.bytes,

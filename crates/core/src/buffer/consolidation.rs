@@ -75,6 +75,7 @@ impl ConsolidationBuffer {
 impl LogBuffer for ConsolidationBuffer {
     fn reserve(&self, kind: RecordKind, txn: u64, prev: Lsn, payload_len: usize) -> LogSlot<'_> {
         super::check_payload_len(payload_len);
+        self.core.note_reserve_start();
         let len = on_log_size(payload_len) as u64;
 
         // Fast path (Algorithm 2, lines 2–6): no contention, no backoff.
@@ -125,6 +126,7 @@ impl ConsolidationBuffer {
         payload_len: usize,
     ) -> LogSlot<'_> {
         super::check_payload_len(payload_len);
+        self.core.note_reserve_start();
         if on_log_size(payload_len) as u64 > self.carray.max_group() {
             let t = self.core.stats.phase_start();
             self.lock.lock();

@@ -34,6 +34,7 @@ impl DecoupledBuffer {
 impl LogBuffer for DecoupledBuffer {
     fn reserve(&self, kind: RecordKind, txn: u64, prev: Lsn, payload_len: usize) -> LogSlot<'_> {
         super::check_payload_len(payload_len);
+        self.core.note_reserve_start();
         let len = on_log_size(payload_len) as u64;
 
         // --- acquire: mutex covers only LSN generation + back-pressure ---

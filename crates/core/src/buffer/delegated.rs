@@ -82,6 +82,7 @@ impl DelegatedBuffer {
 impl LogBuffer for DelegatedBuffer {
     fn reserve(&self, kind: RecordKind, txn: u64, prev: Lsn, payload_len: usize) -> LogSlot<'_> {
         super::check_payload_len(payload_len);
+        self.core.note_reserve_start();
         let len = on_log_size(payload_len) as u64;
 
         // Fast path: uncontended.
@@ -130,6 +131,7 @@ impl DelegatedBuffer {
         payload_len: usize,
     ) -> LogSlot<'_> {
         super::check_payload_len(payload_len);
+        self.core.note_reserve_start();
         if on_log_size(payload_len) as u64 > self.carray.max_group() {
             let t = self.core.stats.phase_start();
             self.lock.lock();

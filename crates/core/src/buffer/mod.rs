@@ -50,6 +50,7 @@ use crate::record::{
 use crate::ring::Ring;
 use crate::runtime::{self, RtCondvar};
 use crate::stats::BufferStats;
+use crate::telemetry::{Stage, Telemetry};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -335,6 +336,8 @@ pub struct LogSlot<'a> {
     start: Lsn,
     total_len: u32,
     timer: Option<u64>,
+    /// Fill-start timestamp when telemetry is enabled, else 0.
+    t_fill: u64,
     finish: SlotFinish<'a>,
     done: bool,
 }
@@ -435,6 +438,11 @@ impl<'a> LogSlot<'a> {
         }
         self.core.stats.phase_fill(self.timer.take());
         self.core.stats.record_insert(self.total_len as u64);
+        let t_rel = if self.core.telemetry.on() {
+            runtime::monotonic_ns()
+        } else {
+            0
+        };
         let end = self.end_lsn();
         match self.finish {
             SlotFinish::LockedDirect { lock } => {
@@ -467,6 +475,15 @@ impl<'a> LogSlot<'a> {
                     slot.free();
                 }
             }
+        }
+        if t_rel != 0 {
+            let done = runtime::monotonic_ns();
+            let tel = &self.core.telemetry;
+            if self.t_fill != 0 {
+                tel.record(tel.ids().log_insert_ns, done.saturating_sub(self.t_fill));
+                tel.span(Stage::Fill, self.start, self.t_fill, t_rel);
+            }
+            tel.span(Stage::Release, self.start, t_rel, done);
         }
     }
 }
@@ -635,6 +652,9 @@ pub struct BufferCore {
     watch_cv: RtCondvar,
     /// Counters and phase timers.
     pub stats: BufferStats,
+    /// Per-log telemetry registry, shared (via [`BufferCore::telemetry`])
+    /// with the flush daemon, commit gate, storage and replication layers.
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for BufferCore {
@@ -669,7 +689,26 @@ impl BufferCore {
             watch_mutex: Mutex::new(()),
             watch_cv: RtCondvar::new(),
             stats: BufferStats::new(),
+            telemetry: Arc::new(Telemetry::new(&config.telemetry)),
         })
+    }
+
+    /// The per-log telemetry registry. One registry serves every layer that
+    /// touches this log (flush daemon, commit gate, storage, replication),
+    /// so a single snapshot describes the whole pipeline.
+    #[inline]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Stash "reserve started now" for the calling thread iff telemetry is
+    /// enabled. Buffer variants call this on reserve entry, before the LSN
+    /// is known; [`BufferCore::begin_fill`] consumes the mark once it is.
+    #[inline]
+    pub(crate) fn note_reserve_start(&self) {
+        if self.telemetry.on() {
+            crate::telemetry::mark_reserve_start();
+        }
     }
 
     /// Ring capacity in bytes.
@@ -864,6 +903,19 @@ impl BufferCore {
         // and the reservation issued — would wedge the log.
         debug_assert!(payload_len <= MAX_PAYLOAD);
         let timer = self.stats.phase_start();
+        // The LSN is known here for the first time: close the Reserve span
+        // (entry timestamp parked thread-locally by `note_reserve_start`)
+        // and pin the fill start for the Fill/Release spans in `finalize`.
+        let t_fill = if self.telemetry.on() {
+            let now = timer.unwrap_or_else(runtime::monotonic_ns);
+            let t0 = crate::telemetry::take_reserve_mark();
+            if t0 != 0 {
+                self.telemetry.span(Stage::Reserve, start, t0, now);
+            }
+            now
+        } else {
+            0
+        };
         let total = on_log_size(payload_len);
         let header = encode_frame_header(kind, txn, prev, payload_len);
         // SAFETY: the caller owns this reservation (LSN space is handed out
@@ -892,6 +944,7 @@ impl BufferCore {
             start,
             total_len: total as u32,
             timer,
+            t_fill,
             finish,
             done: false,
         }

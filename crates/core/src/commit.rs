@@ -10,10 +10,11 @@
 
 use crate::lsn::{AtomicLsn, Lsn};
 use crate::runtime::RtCondvar;
+use crate::telemetry::{Stage, Telemetry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Completion state shared between a [`CommitHandle`] and the pipeline.
@@ -109,6 +110,7 @@ pub struct CommitPipeline {
     heap: Mutex<BinaryHeap<Pending>>,
     submitted: AtomicU64,
     completed: AtomicU64,
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl std::fmt::Debug for CommitPipeline {
@@ -124,6 +126,13 @@ impl CommitPipeline {
     /// Empty pipeline.
     pub fn new() -> CommitPipeline {
         CommitPipeline::default()
+    }
+
+    /// Attach the log's telemetry registry so completions emit
+    /// [`Stage::CommitComplete`] trace events. First call wins; later calls
+    /// are ignored (one pipeline serves one log).
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
     }
 
     /// Enqueue a commit whose record ends at `lsn`; its action runs once the
@@ -169,7 +178,15 @@ impl CommitPipeline {
             }
         }
         let n = ready.len();
+        let t_done = self
+            .telemetry
+            .get()
+            .filter(|t| t.on())
+            .map(|t| (t, crate::runtime::monotonic_ns()));
         for p in ready {
+            if let Some((tel, now)) = &t_done {
+                tel.event(Stage::CommitComplete, p.lsn, *now);
+            }
             // Count first: an action may wake a waiter that immediately
             // reads `completed()`.
             self.completed.fetch_add(1, Ordering::Relaxed);
@@ -266,12 +283,19 @@ pub struct CommitGate {
     poisoned: std::sync::atomic::AtomicBool,
     wait_mutex: Mutex<()>,
     wait_cv: RtCondvar,
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl CommitGate {
     /// New gate with no policy (equivalent to [`DurabilityPolicy::Async`]).
     pub fn new() -> CommitGate {
         CommitGate::default()
+    }
+
+    /// Attach the log's telemetry registry so policy waits feed the
+    /// `commit.wait_ns` histogram. First call wins.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
     }
 
     /// Install the durability policy.
@@ -385,6 +409,7 @@ impl CommitGate {
     /// requirement was genuinely met for `lsn` — false only when a
     /// poisoned gate released the wait before enough acks arrived.
     pub fn wait_effective(&self, lsn: Lsn, durable: impl Fn() -> Lsn) -> bool {
+        let t0 = self.telemetry.get().and_then(|t| t.ts());
         // Bounded condvar waits: a notify racing ahead of waiter registration
         // costs one 200µs re-check instead of a hang.
         let mut g = self.wait_mutex.lock();
@@ -394,6 +419,10 @@ impl CommitGate {
                 .wait_for(&self.wait_mutex, g, Duration::from_micros(200));
         }
         drop(g);
+        if let (Some(t0), Some(tel)) = (t0, self.telemetry.get()) {
+            let dt = crate::runtime::monotonic_ns().saturating_sub(t0);
+            tel.record(tel.ids().commit_wait_ns, dt);
+        }
         self.replicated_floor() >= lsn
     }
 }

@@ -47,6 +47,10 @@ pub struct LogConfig {
     /// to the real runtime; a simulated cluster injects
     /// [`crate::runtime::Runtime::sim`] here for deterministic replay.
     pub runtime: crate::runtime::Runtime,
+    /// Telemetry (metrics registry + pipeline tracing) configuration.
+    /// Disabled by default: instrumented hot paths then cost a single
+    /// relaxed load.
+    pub telemetry: crate::telemetry::TelemetryConfig,
 }
 
 impl Default for LogConfig {
@@ -59,6 +63,7 @@ impl Default for LogConfig {
             treadmill_inv: 32,
             group_commit: GroupCommitPolicy::default(),
             runtime: crate::runtime::Runtime::default(),
+            telemetry: crate::telemetry::TelemetryConfig::default(),
         }
     }
 }
@@ -85,6 +90,7 @@ impl LogConfig {
         if self.release_queue_pool < 64 {
             return Err("release_queue_pool must be >= 64".into());
         }
+        self.telemetry.validate()?;
         Ok(())
     }
 
@@ -104,6 +110,12 @@ impl LogConfig {
     pub fn with_carray_slots(mut self, slots: usize) -> Self {
         self.carray_slots = slots;
         self.carray_pool = self.carray_pool.max(2 * slots);
+        self
+    }
+
+    /// Builder-style setter for the telemetry configuration.
+    pub fn with_telemetry(mut self, telemetry: crate::telemetry::TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

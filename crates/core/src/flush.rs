@@ -19,6 +19,7 @@ use crate::config::GroupCommitPolicy;
 use crate::device::LogDevice;
 use crate::lsn::Lsn;
 use crate::runtime::{self, RtCondvar, Runtime};
+use crate::telemetry::Stage;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -226,8 +227,10 @@ fn daemon_loop(
     // degrades to ~1 commit per sync.
     let batch_window = device.nominal_latency() / 4;
     let max_wait_ns = u64::try_from(policy.max_wait.as_nanos()).unwrap_or(u64::MAX);
+    let tel = Arc::clone(core.telemetry());
     loop {
         // Decide whether (and how far) to flush.
+        let t_trigger;
         {
             let mut g = shared.inner.lock();
             loop {
@@ -250,6 +253,12 @@ fn daemon_loop(
                 if trigger {
                     g.pending_commits = 0;
                     g.oldest = None;
+                    t_trigger = tel.ts();
+                    if t_trigger.is_some() {
+                        let ids = tel.ids();
+                        tel.gauge_set(ids.flush_queue_depth, pipeline.pending() as i64);
+                        tel.gauge_set(ids.flush_pending_bytes, pending_bytes as i64);
+                    }
                     break;
                 }
                 (g, _) = shared.daemon_cv.wait_for(&shared.inner, g, poll);
@@ -268,6 +277,7 @@ fn daemon_loop(
         let target = core.released_lsn();
         let at = core.durable_lsn();
         if at < target {
+            let t_drain = tel.ts();
             if !device.discards() {
                 // SAFETY: [at, target) is published (≤ released) and this
                 // daemon is the only reclaimer — durable does not advance
@@ -291,13 +301,27 @@ fn daemon_loop(
             shared
                 .flushed_bytes
                 .fetch_add(target.since(core.durable_lsn()), Ordering::Relaxed);
+            if let Some(t0) = t_drain {
+                let now = runtime::monotonic_ns();
+                let ids = tel.ids();
+                tel.record(ids.flush_write_bytes, target.since(at));
+                tel.record(ids.flush_drain_ns, now.saturating_sub(t0));
+                if let Some(tt) = t_trigger {
+                    tel.span(Stage::FlushEnqueue, target, tt, t0);
+                }
+                tel.span(Stage::DeviceWrite, target, t0, now);
+                tel.event(Stage::Durable, target, now);
+            }
             core.advance_durable(target);
         }
 
         // Reattach: complete pipelined commits that are both durable and
         // sufficiently replicated (the gate is transparent without a
         // policy), wake blocking flushers, and nudge gate waiters.
-        pipeline.complete_upto(gate.effective(target));
+        let completed = pipeline.complete_upto(gate.effective(target));
+        if completed > 0 {
+            tel.record(tel.ids().commit_group_size, completed as u64);
+        }
         {
             let _g = shared.inner.lock();
             shared.waiter_cv.notify_all();

@@ -61,6 +61,7 @@ pub mod record;
 pub mod ring;
 pub mod runtime;
 pub mod stats;
+pub mod telemetry;
 
 pub use buffer::{BufferKind, EncodePayload, LogBuffer, LogSlot, SlotWriter};
 pub use commit::{CommitGate, DurabilityPolicy, ReplicaAck};
@@ -71,3 +72,4 @@ pub use lsn::Lsn;
 pub use manager::{DurableWatch, LogManager, TruncationOutcome, TruncationStats, TruncationWatch};
 pub use record::{RecordHeader, RecordKind};
 pub use runtime::Runtime;
+pub use telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};

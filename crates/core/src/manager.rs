@@ -11,6 +11,7 @@ use crate::lsn::Lsn;
 use crate::reader::LogReader;
 use crate::record::{on_log_size, RecordKind};
 use crate::stats::StatsSnapshot;
+use crate::telemetry::{Telemetry, TelemetrySnapshot, Unit};
 use std::sync::Arc;
 
 /// Builder for [`LogManager`].
@@ -94,6 +95,8 @@ impl LogManagerBuilder {
         let buffer = self.buffer.build(Arc::clone(&core), &self.config);
         let pipeline = Arc::new(CommitPipeline::new());
         let gate = Arc::new(CommitGate::new());
+        pipeline.set_telemetry(Arc::clone(core.telemetry()));
+        gate.set_telemetry(Arc::clone(core.telemetry()));
         let daemon = if device.discards() {
             // Microbenchmark mode: no daemon; releasing reclaims directly.
             core.set_auto_reclaim(true);
@@ -116,6 +119,33 @@ impl LogManagerBuilder {
             mutex: parking_lot::Mutex::new(()),
             cv: crate::runtime::RtCondvar::new(),
         });
+        // Periodic telemetry exporter: snapshots the whole log (registry +
+        // layer counters) on a fixed cadence; the final snapshot is emitted
+        // at shutdown whether or not the daemon runs.
+        let exporter = match (
+            self.config.telemetry.enabled,
+            self.config.telemetry.export_every,
+        ) {
+            (true, Some(every)) => {
+                let out = std::env::var("AETHER_TELEMETRY_OUT")
+                    .ok()
+                    .filter(|p| !p.is_empty())
+                    .map(std::path::PathBuf::from);
+                let c = Arc::clone(&core);
+                let p = Arc::clone(&pipeline);
+                let g = Arc::clone(&gate);
+                let f = flush_shared.clone();
+                let t = Arc::clone(&truncation);
+                let d = Arc::clone(&device);
+                Some(crate::telemetry::spawn_exporter(
+                    &self.config.runtime,
+                    every,
+                    out,
+                    move || assemble_snapshot("log", &c, &p, &g, f.as_ref(), &t, &d),
+                ))
+            }
+            _ => None,
+        };
         Ok(LogManager {
             core,
             buffer,
@@ -125,9 +155,84 @@ impl LogManagerBuilder {
             flush_shared,
             truncation,
             daemon: parking_lot::Mutex::new(daemon),
+            exporter: parking_lot::Mutex::new(exporter),
+            final_emitted: std::sync::atomic::AtomicBool::new(false),
             config: self.config,
         })
     }
+}
+
+/// Assemble the full-log telemetry snapshot: the registry's own metrics
+/// plus the counters that live outside it (buffer stats, flush totals,
+/// commit pipeline, truncation watermarks, replication gate).
+fn assemble_snapshot(
+    scope: &str,
+    core: &Arc<BufferCore>,
+    pipeline: &Arc<CommitPipeline>,
+    gate: &Arc<CommitGate>,
+    flush_shared: Option<&Arc<crate::flush::FlushShared>>,
+    truncation: &Arc<TruncationShared>,
+    device: &Arc<dyn LogDevice>,
+) -> TelemetrySnapshot {
+    let mut snap = core.telemetry().snapshot(scope);
+    let s = core.stats.snapshot();
+    snap.push_counter("log.inserts", Unit::Records, s.inserts);
+    snap.push_counter("log.bytes", Unit::Bytes, s.bytes);
+    snap.push_counter("log.direct_acquires", Unit::Count, s.direct_acquires);
+    snap.push_counter("log.consolidations", Unit::Count, s.consolidations);
+    snap.push_counter("log.group_acquires", Unit::Count, s.group_acquires);
+    snap.push_counter("log.delegated_releases", Unit::Count, s.delegated_releases);
+    snap.push_counter("log.wrapper_inserts", Unit::Count, s.wrapper_inserts);
+    snap.push_counter("log.scratch_bytes", Unit::Bytes, s.scratch_bytes);
+    snap.push_counter("log.acquire_wait_ns", Unit::Nanos, s.acquire_wait_ns);
+    snap.push_counter("log.fill_ns", Unit::Nanos, s.fill_ns);
+    snap.push_counter("log.release_wait_ns", Unit::Nanos, s.release_wait_ns);
+    if let Some(f) = flush_shared {
+        snap.push_counter("flush.flushes", Unit::Count, f.flush_count());
+        snap.push_counter("flush.flushed_bytes", Unit::Bytes, f.flushed_bytes());
+    }
+    snap.push_counter("commit.submitted", Unit::Records, pipeline.submitted());
+    snap.push_counter("commit.completed", Unit::Records, pipeline.completed());
+    snap.push_gauge("commit.pending", Unit::Records, pipeline.pending() as i64);
+    let relaxed = std::sync::atomic::Ordering::Relaxed;
+    snap.push_counter(
+        "truncation.truncations",
+        Unit::Count,
+        truncation.truncations.load(relaxed),
+    );
+    snap.push_counter(
+        "truncation.segments_recycled",
+        Unit::Count,
+        truncation.segments_recycled.load(relaxed),
+    );
+    snap.push_gauge(
+        "truncation.low_water",
+        Unit::Lsns,
+        device.low_water().raw() as i64,
+    );
+    snap.push_gauge(
+        "log.released_lsn",
+        Unit::Lsns,
+        core.released_lsn().raw() as i64,
+    );
+    snap.push_gauge(
+        "log.durable_lsn",
+        Unit::Lsns,
+        core.durable_lsn().raw() as i64,
+    );
+    if gate.policy().is_some() {
+        snap.push_gauge(
+            "repl.replicated_floor",
+            Unit::Lsns,
+            gate.replicated_floor().raw() as i64,
+        );
+        snap.push_gauge(
+            "repl.slowest_ack",
+            Unit::Lsns,
+            gate.slowest_ack().raw() as i64,
+        );
+    }
+    snap
 }
 
 /// The assembled log manager.
@@ -149,6 +254,10 @@ pub struct LogManager {
     truncation: Arc<TruncationShared>,
     /// The daemon thread handle; the mutex is touched only at shutdown.
     daemon: parking_lot::Mutex<Option<FlushDaemon>>,
+    /// Periodic telemetry exporter, if configured; stopped at shutdown.
+    exporter: parking_lot::Mutex<Option<crate::telemetry::Exporter>>,
+    /// Guard so the shutdown telemetry emit happens exactly once.
+    final_emitted: std::sync::atomic::AtomicBool,
     config: LogConfig,
 }
 
@@ -309,6 +418,33 @@ impl LogManager {
     /// Buffer statistics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.core.stats.snapshot()
+    }
+
+    /// The log's telemetry registry (register layer metrics, flip sampling).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.core.telemetry()
+    }
+
+    /// Full telemetry snapshot under the default `log` scope; see
+    /// [`LogManager::telemetry_snapshot_scoped`].
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry_snapshot_scoped("log")
+    }
+
+    /// Full telemetry snapshot tagged with `scope` (e.g. `primary`,
+    /// `replica-1`): registry metrics plus buffer-stats counters, flush
+    /// totals, commit-pipeline counts, truncation watermarks, and — when a
+    /// durability policy is installed — the replication gate's floors.
+    pub fn telemetry_snapshot_scoped(&self, scope: &str) -> TelemetrySnapshot {
+        assemble_snapshot(
+            scope,
+            &self.core,
+            &self.pipeline,
+            &self.gate,
+            self.flush_shared.as_ref(),
+            &self.truncation,
+            &self.device,
+        )
     }
 
     /// Enable per-phase timing (Figures 2/7 breakdowns).
@@ -481,10 +617,26 @@ impl LogManager {
     }
 
     /// Stop the flush daemon after a final flush. Called automatically on
-    /// drop; explicit calls are idempotent.
+    /// drop; explicit calls are idempotent. With telemetry enabled, one
+    /// final snapshot is emitted (by the exporter daemon if one runs, else
+    /// directly to `AETHER_TELEMETRY_OUT` when set).
     pub fn shutdown(&self) {
         if let Some(d) = self.daemon.lock().as_mut() {
             d.shutdown();
+        }
+        let exporter = self.exporter.lock().take();
+        if !self
+            .final_emitted
+            .swap(true, std::sync::atomic::Ordering::Relaxed)
+        {
+            match exporter {
+                // Stopping the exporter emits the final snapshot itself.
+                Some(mut e) => e.stop(),
+                None if self.core.telemetry().on() => {
+                    let _ = self.telemetry_snapshot().emit_env();
+                }
+                None => {}
+            }
         }
     }
 }

@@ -1,0 +1,145 @@
+//! Property and concurrency tests for the telemetry histogram: quantiles
+//! against a sorted-vector oracle, bucket-boundary exactness, shard-merge
+//! idempotence, and multi-threaded recording.
+
+use aether_core::telemetry::histogram::{
+    bucket_index, bucket_lower, bucket_upper, Histogram, BUCKET_COUNT, MAX_BITS, SUB_BITS,
+    SUB_COUNT,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The documented quantile contract, against a sorted-vector oracle:
+    /// `value_at_quantile(q)` is exactly the upper bound of the bucket
+    /// holding the rank-`ceil(q*n)` observation, clamped to the observed
+    /// maximum — which bounds the relative error by one sub-bucket width.
+    #[test]
+    fn quantiles_match_sorted_oracle(
+        values in proptest::collection::vec(any::<u64>(), 1..400),
+        qs in proptest::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let h = Histogram::new(4);
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.merged();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count, sorted.len() as u64);
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for &qi in &qs {
+            let q = qi as f64 / 1000.0;
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let got = snap.value_at_quantile(q);
+            prop_assert_eq!(
+                got,
+                bucket_upper(bucket_index(oracle)).min(snap.max),
+                "q={} rank={} oracle={}", q, rank, oracle
+            );
+            // And the headline property that contract implies:
+            prop_assert!(got >= oracle, "quantile may never under-report");
+            if oracle < (1 << MAX_BITS) {
+                let width = bucket_upper(bucket_index(oracle))
+                    .saturating_sub(bucket_lower(bucket_index(oracle)));
+                prop_assert!(
+                    got - oracle <= width,
+                    "q={}: {} overshoots oracle {} by more than its bucket", q, got, oracle
+                );
+            }
+        }
+    }
+
+    /// Bucket boundaries are exact: every value round-trips into a bucket
+    /// whose bounds contain it, and bucketing preserves the total order.
+    #[test]
+    fn bucket_boundaries_contain_and_order(a in any::<u64>(), b in any::<u64>()) {
+        for v in [a, b] {
+            let i = bucket_index(v);
+            prop_assert!(i < BUCKET_COUNT);
+            prop_assert!(bucket_lower(i) <= v && v <= bucket_upper(i));
+        }
+        if a <= b {
+            prop_assert!(bucket_index(a) <= bucket_index(b));
+        }
+    }
+}
+
+/// Values below `SUB_COUNT` and every power-of-two boundary up to the clamp
+/// are bucketed exactly: one value per bucket below `SUB_COUNT`, and each
+/// `2^k` starts its bucket.
+#[test]
+fn bucket_boundary_exactness() {
+    for v in 0..SUB_COUNT as u64 {
+        let i = bucket_index(v);
+        assert_eq!((bucket_lower(i), bucket_upper(i)), (v, v), "value {v}");
+    }
+    for bits in SUB_BITS..MAX_BITS {
+        let p = 1u64 << bits;
+        assert_eq!(bucket_lower(bucket_index(p)), p, "2^{bits}");
+        assert_ne!(bucket_index(p - 1), bucket_index(p), "2^{bits} boundary");
+    }
+    assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+}
+
+/// Concurrent recording from many threads loses nothing: count, sum, min
+/// and max all match the closed-form totals, regardless of which shard
+/// each thread landed on.
+#[test]
+fn concurrent_recording_is_lossless() {
+    let h = Arc::new(Histogram::new(8));
+    let threads = 8u64;
+    let per = 10_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for i in 0..per {
+                    // Distinct magnitudes per thread so every shard sees a
+                    // different distribution.
+                    h.record(t * per + i + 1);
+                }
+            });
+        }
+    });
+    let snap = h.merged();
+    let n = threads * per;
+    assert_eq!(snap.count, n);
+    assert_eq!(snap.sum, n * (n + 1) / 2);
+    assert_eq!(snap.min, 1);
+    assert_eq!(snap.max, n);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), n);
+}
+
+/// Merging is idempotent (same histogram, same snapshot twice) and
+/// shard-independent: the merged view of a many-sharded histogram filled
+/// from many threads equals a single-sharded one fed the same values.
+#[test]
+fn shard_merge_is_idempotent_and_shard_independent() {
+    let sharded = Arc::new(Histogram::new(8));
+    let single = Histogram::new(1);
+    let values: Vec<u64> = (0..5000u64)
+        .map(|i| i.wrapping_mul(2654435761) >> 16)
+        .collect();
+    std::thread::scope(|s| {
+        for chunk in values.chunks(1250) {
+            let h = Arc::clone(&sharded);
+            let chunk = chunk.to_vec();
+            s.spawn(move || {
+                for v in chunk {
+                    h.record(v);
+                }
+            });
+        }
+    });
+    for &v in &values {
+        single.record(v);
+    }
+    let a = sharded.merged();
+    assert_eq!(a, sharded.merged(), "merge must be idempotent");
+    assert_eq!(a, single.merged(), "merge must not depend on shard layout");
+}

@@ -275,6 +275,12 @@ fn apply_loop(
     ack_tx: LinkSender<Lsn>,
     cfg: ReplicaConfig,
 ) {
+    // Replica-side observability rides on the standby's log telemetry (the
+    // standby is re-seedable, so re-fetch the registry after a bootstrap —
+    // ids are stable because registration is idempotent by name).
+    let tel = Arc::clone(shared.state.read().db.log().telemetry());
+    let m_reorder = tel.gauge("repl.reorder_depth", aether_core::telemetry::Unit::Records);
+    let m_staleness = tel.gauge("repl.staleness_ns", aether_core::telemetry::Unit::Nanos);
     // Reorder resistance: messages parked until their predecessors arrive.
     let mut pending: BTreeMap<u64, WireMsg> = BTreeMap::new();
     let mut next_seq = 0u64;
@@ -290,9 +296,18 @@ fn apply_loop(
                 replay_at,
                 &bytes,
             );
+            tel.gauge_set(m_reorder, pending.len() as i64);
         }
         // Continuous redo over everything received so far.
         replay_at = replay_available(&shared, replay_at);
+        if tel.on() {
+            let stale = shared
+                .lag_since
+                .lock()
+                .map(|t| runtime::monotonic_ns().saturating_sub(t))
+                .unwrap_or(0);
+            tel.gauge_set(m_staleness, stale as i64);
+        }
         if stop.load(Ordering::Relaxed) {
             // Final drain of already-delivered messages, then exit. Frames
             // still parked behind a gap stay unapplied — the gap is where

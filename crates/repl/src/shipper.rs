@@ -25,6 +25,7 @@
 use crate::frame::{Frame, SnapshotFrame};
 use crate::transport::{LinkReceiver, LinkSender};
 use aether_core::commit::ReplicaAck;
+use aether_core::telemetry::{Stage, Unit};
 use aether_core::Lsn;
 use aether_storage::db::Db;
 use aether_storage::replay::{self, BaseSnapshot};
@@ -100,6 +101,15 @@ impl Shipper {
                 // tracks to detect falling behind a truncation.
                 let trunc = log.truncation_watch();
                 let device = Arc::clone(log.device());
+                let tel = Arc::clone(log.telemetry());
+                let m_frames = tel.counter("ship.frames", Unit::Count);
+                let m_bytes = tel.counter("ship.bytes", Unit::Bytes);
+                let m_snapshots = tel.counter("ship.snapshots", Unit::Count);
+                let m_lag_lsns = tel.gauge("ship.lag_lsns", Unit::Lsns);
+                let m_lag_ns = tel.gauge("ship.lag_ns", Unit::Nanos);
+                // Runtime-monotonic instant when the ship cursor fell
+                // behind the durable frontier; None while caught up.
+                let mut behind_since: Option<u64> = None;
                 let mut at = start_lsn;
                 let mut seq = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -119,9 +129,26 @@ impl Shipper {
                         at = snap.start_lsn;
                         shipped.store(at.raw(), Ordering::Release);
                         snapshots_sent.fetch_add(1, Ordering::Relaxed);
+                        tel.inc(m_snapshots);
                         continue;
                     }
                     let durable = watch.wait_past(at, cfg.poll);
+                    if tel.on() {
+                        // Replication lag, both ways the operator asks for
+                        // it: bytes of durable log not yet shipped, and how
+                        // long the cursor has been behind.
+                        let lag = durable.since(at);
+                        tel.gauge_set(m_lag_lsns, lag as i64);
+                        let now = aether_core::runtime::monotonic_ns();
+                        let lag_ns = if lag == 0 {
+                            behind_since = None;
+                            0
+                        } else {
+                            let t0 = *behind_since.get_or_insert(now);
+                            now.saturating_sub(t0)
+                        };
+                        tel.gauge_set(m_lag_ns, lag_ns as i64);
+                    }
                     while at < durable {
                         if at < trunc.current() {
                             break; // truncated mid-run: snapshot instead
@@ -147,6 +174,8 @@ impl Shipper {
                         seq += 1;
                         at = at.advance(got as u64);
                         shipped.store(at.raw(), Ordering::Release);
+                        tel.inc(m_frames);
+                        tel.add(m_bytes, got as u64);
                     }
                 }
             })
@@ -156,13 +185,22 @@ impl Shipper {
             let stop = Arc::clone(&stop);
             rt.spawn("aether-shipper-ack", move || {
                 let log = Arc::clone(primary.log());
+                let tel = Arc::clone(log.telemetry());
                 while !stop.load(Ordering::Relaxed) {
                     if let Some(lsn) = ack_rx.recv_timeout(cfg.poll) {
+                        let mut highest = lsn;
                         ack.advance(lsn);
                         // Drain any further queued acks before the (per
                         // flush-group, not per-commit) recheck.
                         while let Some(more) = ack_rx.try_recv() {
                             ack.advance(more);
+                            highest = highest.max(more);
+                        }
+                        // One ack event per folded batch: joined with the
+                        // flush daemon's `durable` event, the span gives
+                        // the replication round-trip in (virtual) ns.
+                        if let Some(now) = tel.ts() {
+                            tel.event(Stage::ReplicaAck, highest, now);
                         }
                         log.replication_recheck();
                     }

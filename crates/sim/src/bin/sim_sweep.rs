@@ -46,11 +46,16 @@ fn main() {
         );
         if report.ok() {
             println!("verdict  : PASS");
+            print!("{}", report.telemetry);
         } else {
             println!("verdict  : FAIL");
             for v in &report.violations {
                 println!("  - {v}");
             }
+            // The structured snapshot is the "actor dump" for the log
+            // pipeline: counters, latency histograms, and sampled spans at
+            // the moment the invariant broke. Grep-stable (`telemetry>`).
+            print!("{}", report.telemetry);
             std::process::exit(1);
         }
         return;
@@ -74,6 +79,10 @@ fn main() {
             Ok(report) if report.ok() => acked_total += report.acked,
             Ok(report) => {
                 eprintln!("seed {seed}: FAIL ({})", report.violations.join("; "));
+                // Dump the end-of-run telemetry snapshot alongside the
+                // verdict so a CI log alone is enough to see what the
+                // pipeline was doing; every line is `telemetry>`-prefixed.
+                eprint!("{}", report.telemetry);
                 failing.push((seed, report.violations.join("; ")));
             }
             Err(panic) => {

@@ -28,7 +28,7 @@ use aether_core::device::{LogDevice, SimDevice};
 use aether_core::partition::{MemSegmentFactory, SegmentedDevice};
 use aether_core::reader::LogReader;
 use aether_core::runtime::{self, Runtime};
-use aether_core::{BufferKind, LogConfig};
+use aether_core::{BufferKind, LogConfig, TelemetryConfig};
 use aether_repl::prelude::*;
 use aether_storage::recovery::recover_with_stats;
 use aether_storage::replay::{snapshot_read, state_fingerprint};
@@ -51,6 +51,11 @@ pub struct SimReport {
     pub history: (u64, u64),
     /// Invariant violations ("" ⇒ the seed passes).
     pub violations: Vec<String>,
+    /// Rendered primary telemetry snapshot (`telemetry>`-prefixed lines),
+    /// captured at end of run under the virtual clock. Part of the
+    /// determinism contract: same seed ⇒ byte-identical text. Dumped next
+    /// to the violations when a seed fails.
+    pub telemetry: String,
 }
 
 impl SimReport {
@@ -77,7 +82,7 @@ pub fn run_seed(seed: u64) -> SimReport {
     let plan = FaultPlan::decode(seed);
     let rt = Runtime::sim(seed);
     let guard = rt.enter();
-    let (acked, violations) = Scenario::new(&rt, &plan).run();
+    let (acked, violations, telemetry) = Scenario::new(&rt, &plan).run();
     let history = rt.history();
     drop(guard);
     SimReport {
@@ -86,6 +91,7 @@ pub fn run_seed(seed: u64) -> SimReport {
         acked,
         history,
         violations,
+        telemetry,
     }
 }
 
@@ -115,7 +121,16 @@ impl<'a> Scenario<'a> {
             buffer: BufferKind::Hybrid,
             log_config: LogConfig::default()
                 .with_buffer_size(1 << 20)
-                .with_runtime(rt.clone()),
+                .with_runtime(rt.clone())
+                // Telemetry always on under sim: it costs nothing in
+                // virtual time and every invariant failure then comes
+                // with a snapshot. Dense sampling (every 8th record)
+                // keeps span traces populated at sim-sized workloads.
+                .with_telemetry(TelemetryConfig {
+                    enabled: true,
+                    sample_every: 8,
+                    ..TelemetryConfig::default()
+                }),
             ..DbOptions::default()
         };
         let primary = Db::open_with_device(opts, Arc::clone(&device) as Arc<dyn LogDevice>);
@@ -138,7 +153,7 @@ impl<'a> Scenario<'a> {
         self.violations.push(msg);
     }
 
-    fn run(mut self) -> (u64, Vec<String>) {
+    fn run(mut self) -> (u64, Vec<String>, String) {
         let plan = self.plan;
         let cluster = if plan.replicas > 0 {
             let latency = match plan.fault {
@@ -283,7 +298,12 @@ impl<'a> Scenario<'a> {
             }
         };
 
-        (acked_total, self.violations)
+        // Snapshot the primary's telemetry while still under the virtual
+        // clock — counters, histograms, and any live sampled spans. The
+        // registry outlives a killed primary (it is all Arc'd atomics), so
+        // this works on every fault path.
+        let telemetry = self.primary.telemetry_snapshot("sim").render_text();
+        (acked_total, self.violations, telemetry)
     }
 
     // -- Invariant checks ---------------------------------------------------

@@ -21,6 +21,35 @@ fn same_seed_replays_byte_identically() {
     }
 }
 
+/// The telemetry snapshot rides the same contract: every timestamp in it is
+/// virtual, sampling is a pure function of the LSN, and shard merges are
+/// commutative — so rerunning a seed must render a byte-identical snapshot,
+/// and a real run must actually contain data (counters, hists, spans).
+#[test]
+fn same_seed_renders_identical_telemetry() {
+    for seed in [3, 11, 0xA37] {
+        let a = run_seed(seed);
+        let b = run_seed(seed);
+        assert_eq!(
+            a.telemetry, b.telemetry,
+            "seed {seed}: telemetry snapshot diverged between runs"
+        );
+        assert!(
+            a.telemetry.lines().all(|l| l.starts_with("telemetry> ")),
+            "seed {seed}: unprefixed snapshot line"
+        );
+        assert!(
+            a.telemetry.contains("counter log.inserts="),
+            "seed {seed}: snapshot missing insert counter:\n{}",
+            a.telemetry
+        );
+        assert!(
+            a.telemetry.contains("hist log.insert_ns count="),
+            "seed {seed}: snapshot missing insert latency histogram"
+        );
+    }
+}
+
 /// Different seeds take different paths (scheduling, scenario, or both).
 #[test]
 fn different_seeds_diverge() {

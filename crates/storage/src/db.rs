@@ -10,7 +10,10 @@ use crate::txn::{CommitOutcome, CommitProtocol, Transaction, TxnManager, TxnStat
 use crate::wal::{CheckpointPayload, ClrPayload, UpdatePayload};
 use aether_core::commit::{CommitAction, CommitHandle};
 use aether_core::device::LogDevice;
-use aether_core::{BufferKind, DeviceKind, LogConfig, LogManager, Lsn, RecordKind};
+use aether_core::telemetry::{CounterId, HistId, Unit};
+use aether_core::{
+    BufferKind, DeviceKind, LogConfig, LogManager, Lsn, RecordKind, TelemetrySnapshot,
+};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -113,6 +116,19 @@ pub struct Db {
     /// ARIES truncation point computed at checkpoint time. Everything
     /// strictly below it is recoverable from the page store alone.
     redo_low_water: aether_core::lsn::AtomicLsn,
+    /// Ids of the storage-layer metrics registered on the log's telemetry.
+    tel: DbTelIds,
+}
+
+/// Storage-layer metric ids, registered once at [`Db::assemble`].
+#[derive(Debug, Clone, Copy)]
+struct DbTelIds {
+    /// `db.commit_latency_ns` — commit entry to durable (per protocol).
+    commit_latency_ns: HistId,
+    /// `ckpt.cycles` — housekeeping cycles completed.
+    ckpt_cycles: CounterId,
+    /// `ckpt.cycle_ns` — flush + checkpoint + truncate latency per cycle.
+    ckpt_cycle_ns: HistId,
 }
 
 impl std::fmt::Debug for Db {
@@ -157,6 +173,12 @@ impl Db {
         store: Arc<PageStore>,
     ) -> Arc<Db> {
         let locks = LockManager::new(opts.lock_config.clone());
+        let t = log.telemetry();
+        let tel = DbTelIds {
+            commit_latency_ns: t.histogram("db.commit_latency_ns", Unit::Nanos),
+            ckpt_cycles: t.counter("ckpt.cycles", Unit::Count),
+            ckpt_cycle_ns: t.histogram("ckpt.cycle_ns", Unit::Nanos),
+        };
         Arc::new(Db {
             log,
             locks,
@@ -167,12 +189,42 @@ impl Db {
             stats: DbStats::default(),
             last_checkpoint: aether_core::lsn::AtomicLsn::new(Lsn::ZERO),
             redo_low_water: aether_core::lsn::AtomicLsn::new(Lsn::ZERO),
+            tel,
         })
     }
 
     /// Aggregate counters.
     pub fn stats(&self) -> &DbStats {
         &self.stats
+    }
+
+    /// Full telemetry snapshot: the log's own snapshot plus the storage
+    /// layer's counters (commit/abort totals, lock-manager contention and
+    /// deadlock victims, active-transaction count), tagged with `scope`.
+    pub fn telemetry_snapshot(&self, scope: &str) -> TelemetrySnapshot {
+        let mut snap = self.log.telemetry_snapshot_scoped(scope);
+        snap.push_counter("db.commits", Unit::Count, self.stats.commits());
+        snap.push_counter("db.aborts", Unit::Count, self.stats.aborts());
+        snap.push_counter("db.flush_wait_ns", Unit::Nanos, self.stats.flush_wait_ns());
+        snap.push_counter("lock.wait_ns", Unit::Nanos, self.locks.wait_ns());
+        snap.push_counter(
+            "lock.blocked_acquires",
+            Unit::Count,
+            self.locks.blocked_acquires(),
+        );
+        snap.push_counter(
+            "lock.deadlock_victims",
+            Unit::Count,
+            self.locks.deadlock_victims(),
+        );
+        snap.push_counter("lock.timeouts", Unit::Count, self.locks.lock_timeouts());
+        snap.push_gauge(
+            "lock.granted",
+            Unit::Count,
+            self.locks.granted_count() as i64,
+        );
+        snap.push_gauge("txn.active", Unit::Count, self.txns.active_count() as i64);
+        snap
     }
 
     /// The log manager (experiments read stats and watermarks from here).
@@ -435,6 +487,7 @@ impl Db {
         on_durable: Option<Box<dyn FnOnce() + Send>>,
     ) -> StorageResult<CommitOutcome> {
         self.check_active(&txn)?;
+        let t_commit = self.log.telemetry().ts();
 
         // Read-only transactions: nothing to harden.
         if txn.undo.is_empty() {
@@ -468,11 +521,25 @@ impl Db {
                 .fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
             replicated
         };
+        // Commit latency: entry to durable, whichever thread observes it.
+        // Blocking protocols record inline; async ones record in the
+        // durability callback (same clock, same histogram).
+        let record_latency = {
+            let tel = Arc::clone(self.log.telemetry());
+            let id = self.tel.commit_latency_ns;
+            move || {
+                if let Some(t0) = t_commit {
+                    let dt = aether_core::runtime::monotonic_ns().saturating_sub(t0);
+                    tel.record(id, dt);
+                }
+            }
+        };
 
         match self.opts.protocol {
             CommitProtocol::Baseline => {
                 // Flush first, *then* release locks: delay (B) of Figure 1.
                 let replicated = timed_flush(end);
+                record_latency();
                 self.locks.release_all(txn.id, &txn.held);
                 self.txns.finish(txn.id);
                 if let Some(f) = on_durable {
@@ -489,6 +556,7 @@ impl Db {
                 // waits for the I/O.
                 self.locks.release_all(txn.id, &txn.held);
                 let replicated = timed_flush(end);
+                record_latency();
                 self.txns.finish(txn.id);
                 if let Some(f) = on_durable {
                     f();
@@ -506,6 +574,7 @@ impl Db {
                 self.log.commit_async(
                     end,
                     CommitAction::Callback(Box::new(move || {
+                        record_latency();
                         txns.finish(id);
                         if let Some(f) = on_durable {
                             f();
@@ -522,6 +591,7 @@ impl Db {
                 self.log.commit_async(
                     end,
                     CommitAction::Callback(Box::new(move || {
+                        record_latency();
                         txns.finish(id);
                         // Run the driver callback *before* completing the
                         // handle: a waiter on the handle must observe every
@@ -669,12 +739,19 @@ impl Db {
     /// distance instead of growing with uptime; only a genuinely lagging
     /// replica pins the log.
     pub fn checkpoint_and_truncate(&self) -> aether_core::TruncationOutcome {
+        let tel = self.log.telemetry();
+        let t0 = tel.ts();
         let prev = self.redo_low_water();
         self.flush_pages();
         self.checkpoint();
-        let out = self.log.truncate_to(self.redo_low_water());
+        let mut out = self.log.truncate_to(self.redo_low_water());
         if out.held_back_by_replica && prev > self.log.low_water() {
-            return self.log.truncate_to(prev);
+            out = self.log.truncate_to(prev);
+        }
+        if let Some(t0) = t0 {
+            tel.inc(self.tel.ckpt_cycles);
+            let dt = aether_core::runtime::monotonic_ns().saturating_sub(t0);
+            tel.record(self.tel.ckpt_cycle_ns, dt);
         }
         out
     }

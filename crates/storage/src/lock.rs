@@ -234,6 +234,11 @@ pub struct LockManager {
     wait_ns: std::sync::atomic::AtomicU64,
     /// Number of acquires that had to block.
     blocked_acquires: std::sync::atomic::AtomicU64,
+    /// Acquires refused as deadlock victims (detector cycles and
+    /// conservative upgrade refusals).
+    deadlock_victims: std::sync::atomic::AtomicU64,
+    /// Acquires that gave up on timeout.
+    lock_timeouts: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for LockManager {
@@ -259,6 +264,8 @@ impl LockManager {
             waits_for: WaitForGraph::new(),
             wait_ns: std::sync::atomic::AtomicU64::new(0),
             blocked_acquires: std::sync::atomic::AtomicU64::new(0),
+            deadlock_victims: std::sync::atomic::AtomicU64::new(0),
+            lock_timeouts: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -270,6 +277,18 @@ impl LockManager {
     /// Number of acquires that blocked.
     pub fn blocked_acquires(&self) -> u64 {
         self.blocked_acquires
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Acquires refused as deadlock victims.
+    pub fn deadlock_victims(&self) -> u64 {
+        self.deadlock_victims
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Acquires that gave up on timeout.
+    pub fn lock_timeouts(&self) -> u64 {
+        self.lock_timeouts
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 
@@ -314,6 +333,8 @@ impl LockManager {
             }
             // Conservative: upgrades that would wait behind other holders
             // are a classic deadlock source; fail fast as a victim.
+            self.deadlock_victims
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Err(StorageError::Deadlock { txn });
         }
 
@@ -338,6 +359,8 @@ impl LockManager {
             if self.would_deadlock(txn, &holders) {
                 // Remove ourselves and bail out as the victim.
                 entry.waiters.retain(|w| w.txn != txn);
+                self.deadlock_victims
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return Err(StorageError::Deadlock { txn });
             }
         }
@@ -386,6 +409,8 @@ impl LockManager {
                 entry.waiters.retain(|w| w.txn != txn);
                 self.clear_waits(txn);
                 charge(wait_started);
+                self.lock_timeouts
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return Err(StorageError::LockTimeout { txn });
             }
         }

@@ -59,6 +59,33 @@ impl CommitHandle {
     }
 }
 
+/// A commit's position in the log's total order: the end LSN of its commit
+/// record, handed back to the client as a *session token*.
+///
+/// Tokens are the currency of read-your-writes: a client that threads the
+/// token from its last commit into a replica read (see `aether-repl`'s
+/// `ReadRouter::read_at_least`) is guaranteed a snapshot whose applied
+/// watermark covers that commit. Tokens are totally ordered (log order), so
+/// a session tracking several commits only needs to keep the maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CommitToken(Lsn);
+
+impl CommitToken {
+    /// The zero token: observed by no commit, satisfied by any snapshot.
+    pub const ZERO: CommitToken = CommitToken(Lsn::ZERO);
+
+    /// Token covering everything below `lsn` (the commit record's end LSN).
+    pub fn at(lsn: Lsn) -> CommitToken {
+        CommitToken(lsn)
+    }
+
+    /// The LSN a snapshot's applied watermark must reach to satisfy this
+    /// token.
+    pub fn lsn(self) -> Lsn {
+        self.0
+    }
+}
+
 /// What to do when a pending commit becomes durable.
 pub enum CommitAction {
     /// Wake a [`CommitHandle`].

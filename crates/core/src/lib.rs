@@ -64,7 +64,7 @@ pub mod stats;
 pub mod telemetry;
 
 pub use buffer::{BufferKind, EncodePayload, LogBuffer, LogSlot, SlotWriter};
-pub use commit::{CommitGate, DurabilityPolicy, ReplicaAck};
+pub use commit::{CommitGate, CommitToken, DurabilityPolicy, ReplicaAck};
 pub use config::LogConfig;
 pub use device::DeviceKind;
 pub use error::{LogError, Result};

@@ -16,15 +16,17 @@
 //! truncation together.
 
 use crate::replica::{Replica, ReplicaConfig, ReplicaStatus};
+use crate::router::{ReadRouter, RouterConfig};
 use crate::shipper::{Shipper, ShipperConfig};
 use crate::transport::{link, LinkConfig};
-use aether_core::commit::DurabilityPolicy;
+use aether_core::commit::{CommitToken, DurabilityPolicy};
 use aether_core::runtime;
 use aether_core::Lsn;
 use aether_storage::db::Db;
 use aether_storage::error::StorageResult;
 use aether_storage::recovery::RecoveryStats;
 use aether_storage::replay::{self, BaseSnapshot};
+use aether_storage::txn::{CommitOutcome, Transaction};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -88,7 +90,8 @@ impl ReplicatedDb {
         };
         let snap = replay::base_snapshot(&cluster.primary);
         for _ in 0..cluster.cfg.replicas {
-            cluster.spawn_pipeline(&snap)?;
+            let link = cluster.cfg.link.clone();
+            cluster.spawn_pipeline(&snap, link)?;
         }
         // Policy last: commits block on acks only once replicas exist.
         cluster
@@ -106,20 +109,33 @@ impl ReplicatedDb {
     /// index.
     pub fn add_replica(&mut self) -> StorageResult<usize> {
         let snap = replay::base_snapshot(&self.primary);
-        self.spawn_pipeline(&snap)?;
+        let link = self.cfg.link.clone();
+        self.spawn_pipeline(&snap, link)?;
         Ok(self.replicas.len() - 1)
     }
 
-    /// Build one replica + shipper pipeline seeded from `snap`.
-    fn spawn_pipeline(&mut self, snap: &BaseSnapshot) -> StorageResult<()> {
+    /// [`ReplicatedDb::add_replica`] with a per-replica link instead of the
+    /// cluster-wide one — the way to wire a deliberately slow (lagging)
+    /// replica next to healthy ones, as the router quarantine tests and the
+    /// simulator's lagging-replica fault do. Returns the new replica's
+    /// index.
+    pub fn add_replica_with_link(&mut self, link: LinkConfig) -> StorageResult<usize> {
+        let snap = replay::base_snapshot(&self.primary);
+        self.spawn_pipeline(&snap, link)?;
+        Ok(self.replicas.len() - 1)
+    }
+
+    /// Build one replica + shipper pipeline seeded from `snap`, connected
+    /// over `link_cfg`.
+    fn spawn_pipeline(&mut self, snap: &BaseSnapshot, link_cfg: LinkConfig) -> StorageResult<()> {
         let cfg = &self.cfg;
-        let (frame_tx, frame_rx) = link::<Vec<u8>>(cfg.link.clone());
+        let (frame_tx, frame_rx) = link::<Vec<u8>>(link_cfg.clone());
         let (ack_tx, ack_rx) = link::<Lsn>(LinkConfig {
             // Acks never reorder meaningfully (cumulative max), so the
             // return path only carries the latency.
-            latency: cfg.link.latency,
+            latency: link_cfg.latency,
             reorder_period: 0,
-            runtime: cfg.link.runtime.clone(),
+            runtime: link_cfg.runtime.clone(),
         });
         let replica = Replica::spawn_from_snapshot(
             self.primary.options().clone(),
@@ -151,6 +167,30 @@ impl ReplicatedDb {
     /// The primary database.
     pub fn primary(&self) -> &Arc<Db> {
         &self.primary
+    }
+
+    /// Commit on the primary under the cluster's durability policy and
+    /// return the commit's [`CommitToken`] alongside the outcome. Feed the
+    /// token to a [`crate::router::Session`] and the router's session reads
+    /// are guaranteed to observe this commit (read-your-writes).
+    pub fn commit(&self, txn: Transaction) -> StorageResult<(CommitOutcome, CommitToken)> {
+        self.primary.commit_tokened(txn)
+    }
+
+    /// A [`ReadRouter`] serving bounded-staleness reads over this cluster's
+    /// replicas, with the primary as the freshness fallback. The router
+    /// holds lightweight reader handles — cluster lifecycle ([`promote`],
+    /// [`shutdown`]) is unaffected, and several routers (e.g. with
+    /// different policies) can coexist over one cluster.
+    ///
+    /// [`promote`]: ReplicatedDb::promote
+    /// [`shutdown`]: ReplicatedDb::shutdown
+    pub fn router(&self, cfg: RouterConfig) -> ReadRouter {
+        ReadRouter::new(
+            Arc::clone(&self.primary),
+            self.replicas.iter().map(|r| r.reader()).collect(),
+            cfg,
+        )
     }
 
     /// Replica `i`.

@@ -30,6 +30,13 @@
 //!   fresh replica to a cluster whose log prefix has been truncated away,
 //!   and a shipper stranded below the log's low-water mark re-seeds its
 //!   replica over the wire instead of reading recycled bytes.
+//! * [`router`] — [`router::ReadRouter`], the read-serving tier: routes
+//!   lock-free snapshot reads across the replicas (round-robin,
+//!   least-lagged, or freshness-weighted on applied-LSN watermarks),
+//!   enforces per-request staleness budgets with fallback to a fresher
+//!   replica or the primary, quarantines replicas that fall behind, and
+//!   gives sessions read-your-writes via [`aether_core::commit::CommitToken`]s
+//!   returned from [`cluster::ReplicatedDb::commit`].
 //!
 //! ## Quick start
 //!
@@ -70,19 +77,26 @@
 pub mod cluster;
 pub mod frame;
 pub mod replica;
+pub mod router;
 pub mod shipper;
 pub mod transport;
 
 pub use cluster::{ReplicatedDb, ReplicationConfig};
-pub use replica::{Replica, ReplicaConfig, ReplicaStatus};
+pub use replica::{AppliedWatch, Replica, ReplicaConfig, ReplicaReader, ReplicaStatus};
+pub use router::{
+    ReadRouter, RoutedRead, RouterConfig, RouterStats, RoutingPolicy, Session, SourceKind,
+};
 pub use shipper::{Shipper, ShipperConfig};
 pub use transport::{link, LinkConfig, LinkReceiver, LinkSender};
 
 /// Convenience prelude for replication programs.
 pub mod prelude {
     pub use crate::cluster::{ReplicatedDb, ReplicationConfig};
-    pub use crate::replica::{Replica, ReplicaConfig, ReplicaStatus};
+    pub use crate::replica::{AppliedWatch, Replica, ReplicaConfig, ReplicaReader, ReplicaStatus};
+    pub use crate::router::{
+        ReadRouter, RoutedRead, RouterConfig, RouterStats, RoutingPolicy, Session, SourceKind,
+    };
     pub use crate::shipper::{Shipper, ShipperConfig};
     pub use crate::transport::{LinkConfig, LinkReceiver, LinkSender};
-    pub use aether_core::commit::DurabilityPolicy;
+    pub use aether_core::commit::{CommitToken, DurabilityPolicy};
 }

@@ -89,6 +89,21 @@ struct ReplicaShared {
     /// `Some(t)` while replay lags the received bytes, recording the
     /// runtime-monotonic ns when the lag began; `None` while caught up.
     lag_since: Mutex<Option<u64>>,
+    /// Wakes [`AppliedWatch`] waiters whenever the replay frontier moves
+    /// (continuous redo or a snapshot rebase).
+    apply_mutex: Mutex<()>,
+    apply_cv: runtime::RtCondvar,
+}
+
+impl ReplicaShared {
+    /// Publish a new replay frontier and wake every applied-watermark
+    /// waiter. All frontier stores go through here so a waiter can never
+    /// miss an advance (store happens-before notify under the mutex).
+    fn publish_replay(&self, at: Lsn) {
+        self.replay.store(at.raw(), Ordering::Release);
+        let _g = self.apply_mutex.lock();
+        self.apply_cv.notify_all();
+    }
 }
 
 /// A running replica (apply thread + standby database).
@@ -163,6 +178,8 @@ impl Replica {
             corrupt_frames: AtomicU64::new(0),
             bootstraps: AtomicU64::new(bootstraps),
             lag_since: Mutex::new(None),
+            apply_mutex: Mutex::new(()),
+            apply_cv: runtime::RtCondvar::new(),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let thread = {
@@ -214,17 +231,30 @@ impl Replica {
     }
 
     /// Block until the replay frontier reaches `lsn` or `timeout` elapses;
-    /// true on success.
+    /// true on success. Notification-driven via [`Replica::applied_watch`]
+    /// — no spin or sleep polling.
     pub fn wait_replay(&self, lsn: Lsn, timeout: Duration) -> bool {
-        let deadline = runtime::monotonic_ns().saturating_add(timeout.as_nanos() as u64);
-        let mut backoff = aether_core::buffer::WaitBackoff::new();
-        while Lsn(self.shared.replay.load(Ordering::Acquire)) < lsn {
-            if runtime::monotonic_ns() >= deadline {
-                return false;
-            }
-            backoff.wait();
+        self.applied_watch().wait_for(lsn, timeout) >= lsn
+    }
+
+    /// A notification handle over this replica's applied watermark — the
+    /// replica-side analogue of [`aether_core::manager::DurableWatch`].
+    /// Waiting blocks on a condvar the apply thread signals per replayed
+    /// batch, instead of sleep-polling [`ReplicaStatus::replay_lsn`].
+    /// Cloneable and detached from the replica's lifetime.
+    pub fn applied_watch(&self) -> AppliedWatch {
+        AppliedWatch {
+            shared: Arc::clone(&self.shared),
         }
-        true
+    }
+
+    /// A cloneable serving handle: lock-free snapshot reads plus the
+    /// applied watermark, detached from the replica's lifetime (the
+    /// `ReadRouter` holds these, not the replicas themselves).
+    pub fn reader(&self) -> ReplicaReader {
+        ReplicaReader {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Stop the apply thread (idempotent); the standby stays readable.
@@ -264,6 +294,103 @@ impl Replica {
 impl Drop for Replica {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// A waitable view of one replica's applied (replay) watermark — see
+/// [`Replica::applied_watch`]. Every record below [`AppliedWatch::current`]
+/// is applied to the standby and visible to snapshot reads.
+#[derive(Clone)]
+pub struct AppliedWatch {
+    shared: Arc<ReplicaShared>,
+}
+
+impl std::fmt::Debug for AppliedWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppliedWatch")
+            .field("applied", &self.current())
+            .finish()
+    }
+}
+
+impl AppliedWatch {
+    /// Current applied watermark.
+    pub fn current(&self) -> Lsn {
+        Lsn(self.shared.replay.load(Ordering::Acquire))
+    }
+
+    /// Block until the applied watermark reaches `lsn` or `timeout`
+    /// elapses; returns the watermark observed at wake-up (`>= lsn` iff the
+    /// wait succeeded). The apply thread signals once per replayed batch,
+    /// so a waiter wakes with the freshest frontier, not a poll-quantum
+    /// later.
+    pub fn wait_for(&self, lsn: Lsn, timeout: Duration) -> Lsn {
+        let deadline = runtime::monotonic_ns().saturating_add(timeout.as_nanos() as u64);
+        let mut g = self.shared.apply_mutex.lock();
+        loop {
+            let at = Lsn(self.shared.replay.load(Ordering::Acquire));
+            if at >= lsn {
+                return at;
+            }
+            let now = runtime::monotonic_ns();
+            if now >= deadline {
+                return at;
+            }
+            let left = Duration::from_nanos(deadline - now);
+            let (g2, _) = self
+                .shared
+                .apply_cv
+                .wait_for(&self.shared.apply_mutex, g, left);
+            g = g2;
+        }
+    }
+}
+
+/// A cloneable serving handle over one replica's standby — see
+/// [`Replica::reader`]. This is the unit the `ReadRouter` load-balances:
+/// lock-free snapshot reads, the applied watermark (and a blocking wait on
+/// it), and the received watermark for lag accounting.
+#[derive(Clone)]
+pub struct ReplicaReader {
+    shared: Arc<ReplicaShared>,
+}
+
+impl std::fmt::Debug for ReplicaReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaReader")
+            .field("applied", &self.applied())
+            .finish()
+    }
+}
+
+impl ReplicaReader {
+    /// Lock-free snapshot read against the standby.
+    pub fn read(&self, table: u32, key: u64) -> StorageResult<Option<Vec<u8>>> {
+        let db = Arc::clone(&self.shared.state.read().db);
+        replay::snapshot_read(&db, table, key)
+    }
+
+    /// Applied (replay) watermark: the freshness this replica can serve.
+    pub fn applied(&self) -> Lsn {
+        Lsn(self.shared.replay.load(Ordering::Acquire))
+    }
+
+    /// Durably received (acked) watermark.
+    pub fn received(&self) -> Lsn {
+        Lsn(self.shared.received.load(Ordering::Acquire))
+    }
+
+    /// A watch over the applied watermark (shared with the replica).
+    pub fn applied_watch(&self) -> AppliedWatch {
+        AppliedWatch {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Block until the applied watermark reaches `lsn` or `timeout`
+    /// elapses; returns the watermark at wake-up.
+    pub fn wait_applied(&self, lsn: Lsn, timeout: Duration) -> Lsn {
+        self.applied_watch().wait_for(lsn, timeout)
     }
 }
 
@@ -415,7 +542,7 @@ fn install_snapshot(shared: &ReplicaShared, opts: &DbOptions, s: &SnapshotFrame)
     state.db = db;
     state.device = Arc::new(OffsetDevice::new(snap.start_lsn));
     drop(state);
-    shared.replay.store(snap.start_lsn.raw(), Ordering::Release);
+    shared.publish_replay(snap.start_lsn);
     shared.bootstraps.fetch_add(1, Ordering::Relaxed);
     Some(snap.start_lsn)
 }
@@ -440,7 +567,7 @@ fn replay_available(shared: &ReplicaShared, from: Lsn) -> Lsn {
         }
         at = rec.next_lsn();
     }
-    shared.replay.store(at.raw(), Ordering::Release);
+    shared.publish_replay(at);
     if at.raw() >= device.len() {
         *shared.lag_since.lock() = None;
     }

@@ -1,0 +1,823 @@
+//! The read-replica serving tier: a [`ReadRouter`] load-balancing
+//! bounded-staleness snapshot reads over N replicas.
+//!
+//! The paper's single serial log makes *writes* scale up, not out; reads
+//! are the traffic that scales out, across the continuous-redo standbys the
+//! shipping pipeline already keeps warm. The router turns those standbys
+//! into a serving tier with an explicit staleness contract:
+//!
+//! * **Load balancing** — every read picks a replica by the configured
+//!   [`RoutingPolicy`]: round-robin (spread), least-lagged (freshest
+//!   first), or freshness-weighted (spread biased toward fresher replicas).
+//!   Selection keys off the applied-LSN watermarks the replicas already
+//!   publish ([`ReplicaReader::applied`]); reads themselves are lock-free
+//!   snapshot reads.
+//! * **Bounded staleness** — [`ReadRouter::read_at_least`] guarantees the
+//!   returned snapshot's applied watermark covers the requested LSN. If the
+//!   chosen replica is behind, the read blocks on its [`AppliedWatch`] for
+//!   at most the configured budget, then falls back to a fresher replica,
+//!   and finally to the primary (which is never stale).
+//! * **Read-your-writes** — [`aether_storage::db::Db::commit_tokened`] (or
+//!   [`crate::cluster::ReplicatedDb::commit`]) returns a [`CommitToken`];
+//!   a [`Session`] folds tokens into a running maximum and
+//!   [`ReadRouter::read_session`] threads that watermark into every read.
+//!   Invariant 9 of DESIGN.md: a session read never observes state older
+//!   than the session's token.
+//! * **Quarantine** — a replica that falls further behind the primary's
+//!   durable frontier than the configured lag bound, or that misses a
+//!   read's staleness budget, stops receiving reads until it catches back
+//!   up (re-admission is automatic, by watermark, on the routing path).
+//!
+//! Every decision is counted through the telemetry registry
+//! (`router.routed`, `router.blocked`, `router.fallback_*`,
+//! `router.quarantines`, `router.readmissions`, per-policy
+//! `router.read_ns.*` latency histograms) and mirrored in plain atomics
+//! ([`ReadRouter::stats`]) so tests and the simulator can assert on routing
+//! behavior with telemetry disabled.
+//!
+//! All blocking goes through [`aether_core::runtime`] condvars and all
+//! tie-breaking randomness through a deterministic splitmix stream, so the
+//! router runs unmodified — and replays byte-identically — under
+//! [`aether_core::runtime::Runtime::sim`].
+
+use crate::replica::{AppliedWatch, ReplicaReader};
+use aether_core::commit::CommitToken;
+use aether_core::lsn::AtomicLsn;
+use aether_core::runtime;
+use aether_core::telemetry::{CounterId, GaugeId, HistId, Telemetry, Unit};
+use aether_core::Lsn;
+use aether_storage::db::Db;
+use aether_storage::error::StorageResult;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the router picks a replica for each read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Cycle through the admitted replicas in order: maximal spread,
+    /// freshness-blind (stale picks pay the blocking wait instead).
+    #[default]
+    RoundRobin,
+    /// Always pick the admitted replica with the highest applied watermark
+    /// (ties to the lowest index): minimal blocking, but concentrates load
+    /// on the freshest replica.
+    LeastLagged,
+    /// Spread load with a bias toward fresher replicas: each admitted
+    /// replica is weighted by how close its applied watermark is to the
+    /// freshest one. The draw comes from a deterministic splitmix stream,
+    /// so simulated runs replay identically.
+    FreshnessWeighted,
+}
+
+impl RoutingPolicy {
+    /// Stable label, used for the per-policy latency histogram name and in
+    /// bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round_robin",
+            RoutingPolicy::LeastLagged => "least_lagged",
+            RoutingPolicy::FreshnessWeighted => "freshness_weighted",
+        }
+    }
+
+    /// Parse a policy name; accepts the canonical labels plus short
+    /// aliases (`rr`, `least`, `weighted`).
+    pub fn parse(s: &str) -> Option<RoutingPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "rr" | "round_robin" | "round-robin" | "roundrobin" => Some(RoutingPolicy::RoundRobin),
+            "least" | "least_lagged" | "least-lagged" | "leastlagged" => {
+                Some(RoutingPolicy::LeastLagged)
+            }
+            "weighted" | "freshness" | "freshness_weighted" | "freshness-weighted" => {
+                Some(RoutingPolicy::FreshnessWeighted)
+            }
+            _ => None,
+        }
+    }
+
+    /// Policy from `AETHER_READ_POLICY` (default: round-robin).
+    pub fn from_env() -> RoutingPolicy {
+        std::env::var("AETHER_READ_POLICY")
+            .ok()
+            .and_then(|v| RoutingPolicy::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
+/// Router tuning.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Replica-selection policy.
+    pub policy: RoutingPolicy,
+    /// Per-request staleness budget: the longest a read blocks on a lagging
+    /// replica's applied watermark before falling back to a fresher replica
+    /// or the primary.
+    pub budget: Duration,
+    /// Quarantine threshold: a replica whose applied watermark trails the
+    /// primary's durable frontier by more than this many log bytes stops
+    /// receiving reads. (A replica that stopped acking entirely trips this
+    /// bound as soon as the primary's frontier moves past it.)
+    pub quarantine_lag: u64,
+    /// Re-admission threshold: a quarantined replica rejoins the rotation
+    /// once its applied watermark is within this many log bytes of the
+    /// primary's durable frontier. Must be below `quarantine_lag` or the
+    /// replica would flap.
+    pub readmit_lag: u64,
+    /// Modeled per-replica service time: when nonzero, each read occupies
+    /// its replica exclusively for this long (virtual time under
+    /// simulation). This is the in-process stand-in for a remote replica's
+    /// bounded serving capacity — it is what makes read throughput scale
+    /// with replica count measurable in `fig16_read_scaleout` — and is zero
+    /// (no model) by default.
+    pub service: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            policy: RoutingPolicy::default(),
+            budget: Duration::from_millis(50),
+            quarantine_lag: 1 << 20,
+            readmit_lag: 1 << 14,
+            service: Duration::ZERO,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Config from the environment: `AETHER_READ_POLICY` (see
+    /// [`RoutingPolicy::from_env`]) and `AETHER_READ_BUDGET_US` (staleness
+    /// budget, microseconds).
+    pub fn from_env() -> RouterConfig {
+        let mut cfg = RouterConfig {
+            policy: RoutingPolicy::from_env(),
+            ..RouterConfig::default()
+        };
+        if let Some(us) = std::env::var("AETHER_READ_BUDGET_US")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            cfg.budget = Duration::from_micros(us);
+        }
+        cfg
+    }
+}
+
+/// A client session accumulating commit tokens for read-your-writes.
+///
+/// [`Session::observe`] folds each commit's [`CommitToken`] into a running
+/// maximum (tokens are totally ordered by log position, so the max covers
+/// every observed commit); [`ReadRouter::read_session`] then uses the
+/// watermark as the read's freshness floor. Shareable across threads —
+/// wrap in an `Arc` for a multi-threaded session.
+#[derive(Debug, Default)]
+pub struct Session {
+    last: AtomicLsn,
+}
+
+impl Session {
+    /// A fresh session: no commits observed, any snapshot acceptable.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Fold a commit token into the session watermark.
+    pub fn observe(&self, token: CommitToken) {
+        self.last.fetch_max(token.lsn());
+    }
+
+    /// The freshness floor this session's reads must satisfy.
+    pub fn watermark(&self) -> Lsn {
+        self.last.load()
+    }
+}
+
+/// Where a routed read was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Served by replica `i` (router index).
+    Replica(usize),
+    /// Served by the primary (freshness fallback, or no admitted replica).
+    Primary,
+}
+
+/// One routed read: the value plus the staleness evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedRead {
+    /// The snapshot value (`None`: key absent at that snapshot).
+    pub value: Option<Vec<u8>>,
+    /// The serving source's applied watermark at read time — always `>=`
+    /// the requested floor (the staleness contract).
+    pub applied: Lsn,
+    /// Which node served the read.
+    pub source: SourceKind,
+}
+
+/// A point-in-time view of the router's decisions (plain atomics, valid
+/// with telemetry disabled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Reads served by a replica without blocking.
+    pub routed: u64,
+    /// Reads that blocked on an applied watermark and made the budget.
+    pub blocked: u64,
+    /// Reads that missed the chosen replica's budget and were served by a
+    /// fresher replica.
+    pub fallback_fresher: u64,
+    /// Reads served by the primary (budget misses with no fresh-enough
+    /// replica, or an empty admitted set).
+    pub fallback_primary: u64,
+    /// Quarantine transitions (lag bound exceeded or budget missed).
+    pub quarantines: u64,
+    /// Re-admissions (quarantined replica caught back up).
+    pub readmissions: u64,
+    /// Per-replica: currently quarantined?
+    pub quarantined: Vec<bool>,
+    /// Per-replica: reads served (including blocked and fresher-fallback
+    /// serves).
+    pub routed_per_replica: Vec<u64>,
+}
+
+/// One replica as the router sees it.
+struct Node {
+    reader: ReplicaReader,
+    watch: AppliedWatch,
+    quarantined: AtomicBool,
+    routed: AtomicU64,
+    /// Serializes reads through one node when the service-time model is
+    /// active (capacity of one request at a time, like a remote server's
+    /// worker); unused (never locked) when `service` is zero.
+    serving: Mutex<()>,
+}
+
+/// Telemetry ids for the router's decision counters.
+struct Metrics {
+    routed: CounterId,
+    blocked: CounterId,
+    fallback_fresher: CounterId,
+    fallback_primary: CounterId,
+    quarantines: CounterId,
+    readmissions: CounterId,
+    quarantined_now: GaugeId,
+    read_ns: HistId,
+}
+
+/// Load-balances bounded-staleness snapshot reads over a set of replicas,
+/// with the primary as the always-fresh fallback. See the module docs for
+/// the full contract.
+pub struct ReadRouter {
+    primary: Arc<Db>,
+    nodes: Vec<Node>,
+    cfg: RouterConfig,
+    /// Round-robin cursor.
+    rr: AtomicUsize,
+    /// Deterministic draw stream for the freshness-weighted policy.
+    choice_seq: AtomicU64,
+    /// Primary-side serving slot for the service-time model.
+    primary_serving: Mutex<()>,
+    tel: Arc<Telemetry>,
+    m: Metrics,
+    // Plain mirrors of the telemetry counters (telemetry records only when
+    // enabled; stats() must work regardless).
+    c_routed: AtomicU64,
+    c_blocked: AtomicU64,
+    c_fallback_fresher: AtomicU64,
+    c_fallback_primary: AtomicU64,
+    c_quarantines: AtomicU64,
+    c_readmissions: AtomicU64,
+}
+
+impl std::fmt::Debug for ReadRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadRouter")
+            .field("replicas", &self.nodes.len())
+            .field("policy", &self.cfg.policy)
+            .finish()
+    }
+}
+
+/// Splitmix64 step: the router's deterministic tie-break stream.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ReadRouter {
+    /// Build a router over `readers` with `primary` as the freshness
+    /// fallback. `ReplicatedDb::router` is the usual entry point; this
+    /// direct constructor serves hand-wired clusters (tests, simulation).
+    pub fn new(primary: Arc<Db>, readers: Vec<ReplicaReader>, cfg: RouterConfig) -> ReadRouter {
+        assert!(
+            cfg.readmit_lag <= cfg.quarantine_lag,
+            "readmit_lag must not exceed quarantine_lag (hysteresis, not flapping)"
+        );
+        let tel = Arc::clone(primary.log().telemetry());
+        let m = Metrics {
+            routed: tel.counter("router.routed", Unit::Count),
+            blocked: tel.counter("router.blocked", Unit::Count),
+            fallback_fresher: tel.counter("router.fallback_fresher", Unit::Count),
+            fallback_primary: tel.counter("router.fallback_primary", Unit::Count),
+            quarantines: tel.counter("router.quarantines", Unit::Count),
+            readmissions: tel.counter("router.readmissions", Unit::Count),
+            quarantined_now: tel.gauge("router.quarantined", Unit::Count),
+            // One histogram per policy: registration is idempotent by name,
+            // so routers sharing a registry but not a policy stay separate.
+            read_ns: tel.histogram(
+                match cfg.policy {
+                    RoutingPolicy::RoundRobin => "router.read_ns.round_robin",
+                    RoutingPolicy::LeastLagged => "router.read_ns.least_lagged",
+                    RoutingPolicy::FreshnessWeighted => "router.read_ns.freshness_weighted",
+                },
+                Unit::Nanos,
+            ),
+        };
+        ReadRouter {
+            primary,
+            nodes: readers
+                .into_iter()
+                .map(|reader| Node {
+                    watch: reader.applied_watch(),
+                    reader,
+                    quarantined: AtomicBool::new(false),
+                    routed: AtomicU64::new(0),
+                    serving: Mutex::new(()),
+                })
+                .collect(),
+            cfg,
+            rr: AtomicUsize::new(0),
+            choice_seq: AtomicU64::new(0),
+            primary_serving: Mutex::new(()),
+            tel,
+            m,
+            c_routed: AtomicU64::new(0),
+            c_blocked: AtomicU64::new(0),
+            c_fallback_fresher: AtomicU64::new(0),
+            c_fallback_primary: AtomicU64::new(0),
+            c_quarantines: AtomicU64::new(0),
+            c_readmissions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.cfg.policy
+    }
+
+    /// Number of replicas behind this router.
+    pub fn replica_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// An unconstrained snapshot read: any admitted replica, any staleness.
+    pub fn read(&self, table: u32, key: u64) -> StorageResult<RoutedRead> {
+        self.read_at_least(table, key, Lsn::ZERO)
+    }
+
+    /// A session read: freshness floor = the session's token watermark, so
+    /// the caller observes every commit it (or anyone whose token it
+    /// folded in) has made — read-your-writes.
+    pub fn read_session(
+        &self,
+        session: &Session,
+        table: u32,
+        key: u64,
+    ) -> StorageResult<RoutedRead> {
+        self.read_at_least(table, key, session.watermark())
+    }
+
+    /// The bounded-staleness read: the returned snapshot's applied
+    /// watermark is `>= min`, whatever it takes — serve the policy's pick
+    /// if fresh enough, block up to the staleness budget while it catches
+    /// up, fall back to a fresher replica, and finally to the primary.
+    pub fn read_at_least(&self, table: u32, key: u64, min: Lsn) -> StorageResult<RoutedRead> {
+        let t0 = self.tel.ts();
+        self.maintain();
+        let out = self.route(table, key, min);
+        if let (Some(t0), Ok(_)) = (t0, &out) {
+            let dt = runtime::monotonic_ns().saturating_sub(t0);
+            self.tel.record(self.m.read_ns, dt);
+        }
+        out
+    }
+
+    /// Routing decision counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            routed: self.c_routed.load(Ordering::Relaxed),
+            blocked: self.c_blocked.load(Ordering::Relaxed),
+            fallback_fresher: self.c_fallback_fresher.load(Ordering::Relaxed),
+            fallback_primary: self.c_fallback_primary.load(Ordering::Relaxed),
+            quarantines: self.c_quarantines.load(Ordering::Relaxed),
+            readmissions: self.c_readmissions.load(Ordering::Relaxed),
+            quarantined: self
+                .nodes
+                .iter()
+                .map(|n| n.quarantined.load(Ordering::Relaxed))
+                .collect(),
+            routed_per_replica: self
+                .nodes
+                .iter()
+                .map(|n| n.routed.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Quarantine bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Re-evaluate quarantine state against the primary's durable frontier.
+    /// Runs on every read (cheap: one atomic load per replica); transitions
+    /// use compare-exchange so concurrent readers count each one once.
+    fn maintain(&self) {
+        let durable = self.primary.log().durable_lsn();
+        let mut quarantined_now = 0i64;
+        for n in &self.nodes {
+            let lag = durable.raw().saturating_sub(n.reader.applied().raw());
+            if n.quarantined.load(Ordering::Acquire) {
+                if lag <= self.cfg.readmit_lag
+                    && n.quarantined
+                        .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    self.c_readmissions.fetch_add(1, Ordering::Relaxed);
+                    self.tel.inc(self.m.readmissions);
+                } else if lag > self.cfg.readmit_lag {
+                    quarantined_now += 1;
+                }
+            } else if lag > self.cfg.quarantine_lag {
+                self.quarantine(n);
+                quarantined_now += 1;
+            }
+        }
+        self.tel.gauge_set(self.m.quarantined_now, quarantined_now);
+    }
+
+    /// Quarantine one node (idempotent under races; each transition counts
+    /// once).
+    fn quarantine(&self, n: &Node) {
+        if n.quarantined
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.c_quarantines.fetch_add(1, Ordering::Relaxed);
+            self.tel.inc(self.m.quarantines);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    fn route(&self, table: u32, key: u64, min: Lsn) -> StorageResult<RoutedRead> {
+        // Admitted replicas only: a quarantined replica receives no reads
+        // until re-admission (invariant (c) of tests/prop_router.rs).
+        let candidates: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| !self.nodes[i].quarantined.load(Ordering::Acquire))
+            .collect();
+        let Some(&first) = candidates.first() else {
+            // Nothing admitted (all quarantined, or a replica-less
+            // cluster): the primary serves, by definition fresh.
+            return self.read_primary(table, key, min);
+        };
+
+        let pick = match self.cfg.policy {
+            RoutingPolicy::RoundRobin => {
+                candidates[self.rr.fetch_add(1, Ordering::Relaxed) % candidates.len()]
+            }
+            RoutingPolicy::LeastLagged => {
+                // First strict maximum: deterministic tie-break to the
+                // lowest index.
+                let mut best = first;
+                let mut best_applied = self.nodes[best].reader.applied();
+                for &i in &candidates[1..] {
+                    let a = self.nodes[i].reader.applied();
+                    if a > best_applied {
+                        best = i;
+                        best_applied = a;
+                    }
+                }
+                best
+            }
+            RoutingPolicy::FreshnessWeighted => {
+                // Weight ∝ 1 + closeness to the freshest candidate,
+                // normalized in 4 KiB lag units so big byte lags don't
+                // zero-out slightly-stale replicas.
+                let applied: Vec<u64> = candidates
+                    .iter()
+                    .map(|&i| self.nodes[i].reader.applied().raw())
+                    .collect();
+                let freshest = applied.iter().copied().max().unwrap_or(0);
+                let weights: Vec<u64> = applied
+                    .iter()
+                    .map(|&a| {
+                        let lag_units = (freshest - a) >> 12;
+                        // Freshest gets the max weight; every 4 KiB of lag
+                        // sheds one, floor 1 (everyone admitted stays
+                        // reachable).
+                        (candidates.len() as u64 * 4)
+                            .saturating_sub(lag_units)
+                            .max(1)
+                    })
+                    .collect();
+                let total: u64 = weights.iter().sum();
+                let draw = splitmix(self.choice_seq.fetch_add(1, Ordering::Relaxed)) % total;
+                let mut acc = 0u64;
+                let mut chosen = first;
+                for (ci, &i) in candidates.iter().enumerate() {
+                    acc += weights[ci];
+                    if draw < acc {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            }
+        };
+
+        // Staleness: serve immediately if fresh enough, otherwise block on
+        // the applied watch within the budget.
+        let node = &self.nodes[pick];
+        let mut applied = node.reader.applied();
+        if applied < min {
+            applied = node.watch.wait_for(min, self.cfg.budget);
+            if applied >= min {
+                self.c_blocked.fetch_add(1, Ordering::Relaxed);
+                self.tel.inc(self.m.blocked);
+            } else {
+                // Budget missed: this replica is failing its staleness
+                // contract — quarantine it and serve elsewhere.
+                self.quarantine(node);
+                let fresher = candidates
+                    .iter()
+                    .filter(|&&j| j != pick)
+                    .filter(|&&j| !self.nodes[j].quarantined.load(Ordering::Acquire))
+                    .map(|&j| (self.nodes[j].reader.applied(), j))
+                    .filter(|&(a, _)| a >= min)
+                    .max_by_key(|&(a, j)| (a, std::cmp::Reverse(j)));
+                if let Some((_, j)) = fresher {
+                    self.c_fallback_fresher.fetch_add(1, Ordering::Relaxed);
+                    self.tel.inc(self.m.fallback_fresher);
+                    return self.read_node(j, table, key, min);
+                }
+                return self.read_primary(table, key, min);
+            }
+        }
+        let _ = applied;
+        self.c_routed.fetch_add(1, Ordering::Relaxed);
+        self.tel.inc(self.m.routed);
+        self.read_node(pick, table, key, min)
+    }
+
+    /// Serve from replica `i` (freshness already established: its applied
+    /// watermark reached `min` before we got here, and watermarks are
+    /// monotone outside snapshot rebases, which only ever move forward).
+    fn read_node(&self, i: usize, table: u32, key: u64, min: Lsn) -> StorageResult<RoutedRead> {
+        let node = &self.nodes[i];
+        node.routed.fetch_add(1, Ordering::Relaxed);
+        let value = if self.cfg.service > Duration::ZERO {
+            let _slot = node.serving.lock();
+            runtime::precise_sleep(self.cfg.service);
+            node.reader.read(table, key)?
+        } else {
+            node.reader.read(table, key)?
+        };
+        Ok(RoutedRead {
+            value,
+            applied: node.reader.applied().max(min),
+            source: SourceKind::Replica(i),
+        })
+    }
+
+    /// Serve from the primary: its materialized state covers every issued
+    /// commit token, so any floor is satisfied by construction.
+    fn read_primary(&self, table: u32, key: u64, min: Lsn) -> StorageResult<RoutedRead> {
+        self.c_fallback_primary.fetch_add(1, Ordering::Relaxed);
+        self.tel.inc(self.m.fallback_primary);
+        let value = if self.cfg.service > Duration::ZERO {
+            let _slot = self.primary_serving.lock();
+            runtime::precise_sleep(self.cfg.service);
+            self.primary.snapshot_read(table, key)?
+        } else {
+            self.primary.snapshot_read(table, key)?
+        };
+        Ok(RoutedRead {
+            value,
+            applied: self.primary.log().released_lsn().max(min),
+            source: SourceKind::Primary,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ReplicatedDb, ReplicationConfig};
+    use crate::transport::LinkConfig;
+    use aether_core::commit::DurabilityPolicy;
+    use aether_storage::DbOptions;
+
+    fn record(key: u64, v: u64) -> Vec<u8> {
+        let mut r = vec![0u8; 16];
+        r[..8].copy_from_slice(&key.to_le_bytes());
+        r[8..16].copy_from_slice(&v.to_le_bytes());
+        r
+    }
+
+    fn counter_of(rec: &[u8]) -> u64 {
+        u64::from_le_bytes(rec[8..16].try_into().unwrap())
+    }
+
+    fn primary() -> Arc<Db> {
+        let db = Db::open(DbOptions::default());
+        db.create_table(16, 8);
+        for k in 0..8u64 {
+            db.load(0, k, &record(k, 0)).unwrap();
+        }
+        db.setup_complete();
+        db
+    }
+
+    #[test]
+    fn policy_parse_round_trips_labels_and_aliases() {
+        for p in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastLagged,
+            RoutingPolicy::FreshnessWeighted,
+        ] {
+            assert_eq!(RoutingPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(RoutingPolicy::parse("rr"), Some(RoutingPolicy::RoundRobin));
+        assert_eq!(
+            RoutingPolicy::parse("weighted"),
+            Some(RoutingPolicy::FreshnessWeighted)
+        );
+        assert_eq!(RoutingPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn round_robin_spreads_reads_across_replicas() {
+        let primary = primary();
+        let cluster = ReplicatedDb::attach(
+            Arc::clone(&primary),
+            ReplicationConfig {
+                replicas: 3,
+                policy: DurabilityPolicy::SemiSync(1),
+                ..ReplicationConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(cluster.wait_catchup(Duration::from_secs(10)));
+        let router = cluster.router(RouterConfig::default());
+        for _ in 0..9 {
+            let out = router.read(0, 3).unwrap();
+            assert!(matches!(out.source, SourceKind::Replica(_)));
+        }
+        let st = router.stats();
+        assert_eq!(st.routed, 9);
+        assert_eq!(
+            st.routed_per_replica,
+            vec![3, 3, 3],
+            "round robin must spread evenly: {st:?}"
+        );
+    }
+
+    #[test]
+    fn session_reads_observe_own_commits() {
+        let primary = primary();
+        let cluster = ReplicatedDb::attach(
+            Arc::clone(&primary),
+            ReplicationConfig {
+                replicas: 2,
+                policy: DurabilityPolicy::SemiSync(1),
+                ..ReplicationConfig::default()
+            },
+        )
+        .unwrap();
+        let router = cluster.router(RouterConfig {
+            budget: Duration::from_secs(10),
+            ..RouterConfig::default()
+        });
+        let session = Session::new();
+        for v in 1..=20u64 {
+            let mut txn = primary.begin();
+            primary.update(&mut txn, 0, 5, &record(5, v)).unwrap();
+            let (out, token) = cluster.commit(txn).unwrap();
+            assert!(out.is_durable_now());
+            session.observe(token);
+            let read = router.read_session(&session, 0, 5).unwrap();
+            assert!(read.applied >= session.watermark(), "staleness floor");
+            let got = counter_of(read.value.as_deref().expect("key exists"));
+            assert!(got >= v, "read-your-writes: wrote {v}, read {got}");
+        }
+        // SemiSync(1) acks at *received*; replay may still need the watch,
+        // so some reads legitimately blocked — but none may have been
+        // served below the floor (the asserts above) and none from a
+        // quarantined node.
+        let st = router.stats();
+        assert_eq!(
+            st.routed + st.blocked + st.fallback_fresher + st.fallback_primary,
+            20
+        );
+    }
+
+    #[test]
+    fn lagging_replica_is_quarantined_and_readmitted() {
+        let primary = primary();
+        let mut cluster = ReplicatedDb::attach(
+            Arc::clone(&primary),
+            ReplicationConfig {
+                replicas: 1,
+                policy: DurabilityPolicy::SemiSync(1),
+                ..ReplicationConfig::default()
+            },
+        )
+        .unwrap();
+        // Second replica behind a painfully slow link: it will trail the
+        // durable frontier far past the quarantine bound.
+        let lagger = cluster
+            .add_replica_with_link(LinkConfig::with_latency_us(200_000))
+            .unwrap();
+        // Round-robin: freshness-blind, so only quarantine keeps reads off
+        // the lagger — and after re-admission it must get picks again
+        // (least-lagged would tie-break away from it forever).
+        let router = cluster.router(RouterConfig {
+            policy: RoutingPolicy::RoundRobin,
+            quarantine_lag: 256,
+            readmit_lag: 64,
+            budget: Duration::from_millis(1),
+            ..RouterConfig::default()
+        });
+        for v in 1..=40u64 {
+            let mut txn = primary.begin();
+            primary.update(&mut txn, 0, 2, &record(2, v)).unwrap();
+            primary.commit(txn).unwrap();
+        }
+        // Reads route while the lagger trails: it must be quarantined and
+        // receive nothing.
+        for _ in 0..10 {
+            router.read(0, 2).unwrap();
+        }
+        let st = router.stats();
+        assert!(st.quarantines >= 1, "lagger must trip quarantine: {st:?}");
+        assert!(st.quarantined[lagger], "lagger still behind: {st:?}");
+        assert_eq!(
+            st.routed_per_replica[lagger], 0,
+            "no reads may land on a quarantined replica: {st:?}"
+        );
+        // Once it catches up, it is re-admitted and serves again.
+        assert!(cluster.wait_catchup(Duration::from_secs(30)));
+        for _ in 0..8 {
+            router.read(0, 2).unwrap();
+        }
+        let st = router.stats();
+        assert!(st.readmissions >= 1, "caught-up lagger re-admitted: {st:?}");
+        assert!(!st.quarantined[lagger], "{st:?}");
+        assert!(
+            st.routed_per_replica[lagger] > 0,
+            "re-admitted replica serves reads again: {st:?}"
+        );
+    }
+
+    #[test]
+    fn read_at_least_falls_back_to_primary_when_no_replica_can_satisfy() {
+        let primary = primary();
+        let mut cluster = ReplicatedDb::attach(
+            Arc::clone(&primary),
+            ReplicationConfig {
+                replicas: 0,
+                policy: DurabilityPolicy::Async,
+                ..ReplicationConfig::default()
+            },
+        )
+        .unwrap();
+        let slow = cluster
+            .add_replica_with_link(LinkConfig::with_latency_us(500_000))
+            .unwrap();
+        let router = cluster.router(RouterConfig {
+            budget: Duration::from_millis(2),
+            // Huge quarantine bound: the replica stays admitted, so the
+            // read exercises the budget-miss path, not the empty-set path.
+            quarantine_lag: u64::MAX,
+            readmit_lag: 1 << 20,
+            ..RouterConfig::default()
+        });
+        let mut txn = primary.begin();
+        primary.update(&mut txn, 0, 7, &record(7, 42)).unwrap();
+        let (_, token) = primary.commit_tokened(txn).unwrap();
+        let out = router.read_at_least(0, 7, token.lsn()).unwrap();
+        assert!(out.applied >= token.lsn());
+        assert_eq!(
+            out.source,
+            SourceKind::Primary,
+            "replica {slow} lags by 500ms"
+        );
+        assert_eq!(counter_of(&out.value.unwrap()), 42);
+        let st = router.stats();
+        assert_eq!(st.fallback_primary, 1);
+    }
+}

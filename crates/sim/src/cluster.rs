@@ -134,8 +134,11 @@ impl<'a> Scenario<'a> {
             ..DbOptions::default()
         };
         let primary = Db::open_with_device(opts, Arc::clone(&device) as Arc<dyn LogDevice>);
-        primary.create_table(40, plan.workers);
-        for k in 0..plan.workers {
+        // One row per worker plus a marker row (key = plan.workers) the
+        // router check commits to — worker counters stay untouched so the
+        // recovery-equality invariants keep their exact-value form.
+        primary.create_table(40, plan.workers + 1);
+        for k in 0..=plan.workers {
             primary.load(0, k, &record(k, 0)).unwrap();
         }
         primary.setup_complete();
@@ -286,7 +289,35 @@ impl<'a> Scenario<'a> {
                 self.check_quiesced(cluster, &submitted);
                 acked.iter().map(|a| a.load(Ordering::SeqCst)).sum()
             }
+            Fault::LaggingReplica => {
+                self.rt.note("fault:lagging-replica");
+                let mut cluster = cluster.expect("LaggingReplica requires replicas");
+                // The newcomer joins over a crawling link: tens of virtual
+                // milliseconds one way while the workers keep committing, so
+                // its applied watermark falls ever further behind.
+                let lagger = cluster
+                    .add_replica_with_link(LinkConfig {
+                        latency: Duration::from_millis(40 + plan.fault_entropy % 80),
+                        reorder_period: 0,
+                        runtime: self.rt.clone(),
+                    })
+                    .unwrap();
+                self.check_router(&cluster, Some(lagger));
+                stop.store(true, Ordering::SeqCst);
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let submitted: Vec<u64> =
+                    submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.check_quiesced(Some(cluster), &submitted);
+                acked.iter().map(|a| a.load(Ordering::SeqCst)).sum()
+            }
             Fault::None | Fault::SlowLink => {
+                // Replicated fault-free / slow-link runs also exercise the
+                // read router's session contract under load.
+                if let Some(c) = cluster.as_ref() {
+                    self.check_router(c, None);
+                }
                 stop.store(true, Ordering::SeqCst);
                 for w in workers {
                     w.join().unwrap();
@@ -307,6 +338,101 @@ impl<'a> Scenario<'a> {
     }
 
     // -- Invariant checks ---------------------------------------------------
+
+    /// Router contract under load (inv. 9): commit markers through the
+    /// cluster, fold the tokens into a session, and every session read must
+    /// come back with an applied watermark at or past the session's — on
+    /// whatever source the policy + staleness budget route it to. With a
+    /// lagging replica in the set, the lagger must end up quarantined and
+    /// receive no reads while it stays quarantined.
+    fn check_router(&mut self, cluster: &ReplicatedDb, lagger: Option<usize>) {
+        // The policy is part of the decoded scenario: entropy picks one, so
+        // the sweep covers all three.
+        let policy = [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastLagged,
+            RoutingPolicy::FreshnessWeighted,
+        ][(self.plan.fault_entropy % 3) as usize];
+        let router = cluster.router(RouterConfig {
+            policy,
+            budget: Duration::from_millis(5),
+            quarantine_lag: 512,
+            readmit_lag: 256,
+            service: Duration::ZERO,
+        });
+        let session = Session::new();
+        let mut marker = 0u64;
+        for _ in 0..8 {
+            marker += 1;
+            self.router_round(cluster, &router, &session, marker);
+        }
+        let Some(lag) = lagger else { return };
+        // The lagger trails the durable frontier by the whole slow-link
+        // pipeline; keep committing until quarantine trips (bounded, in
+        // virtual time, so a miss is a real bug, not a slow machine).
+        let mut rounds = 0;
+        while !router.stats().quarantined[lag] {
+            if rounds >= 200 {
+                self.violate(format!(
+                    "router quarantine: lagging replica {lag} never quarantined: {:?}",
+                    router.stats()
+                ));
+                return;
+            }
+            rounds += 1;
+            marker += 1;
+            self.router_round(cluster, &router, &session, marker);
+        }
+        // While quarantined, the lagger must receive no reads.
+        let before = router.stats().routed_per_replica[lag];
+        for _ in 0..8 {
+            marker += 1;
+            self.router_round(cluster, &router, &session, marker);
+        }
+        let st = router.stats();
+        if st.quarantined[lag] && st.routed_per_replica[lag] != before {
+            self.violate(format!(
+                "router quarantine: replica {lag} served {} reads while quarantined",
+                st.routed_per_replica[lag] - before
+            ));
+        }
+    }
+
+    /// One router-check round: commit a marker through the cluster, fold
+    /// the token into the session, session-read it back, and check the
+    /// staleness floor and read-your-writes on whatever source served it.
+    fn router_round(
+        &mut self,
+        cluster: &ReplicatedDb,
+        router: &ReadRouter,
+        session: &Session,
+        marker: u64,
+    ) {
+        let marker_key = self.plan.workers; // the extra row no worker owns
+        let mut txn = self.primary.begin();
+        self.primary
+            .update(&mut txn, 0, marker_key, &record(marker_key, marker))
+            .unwrap();
+        let (_, token) = cluster.commit(txn).unwrap();
+        session.observe(token);
+        let read = router.read_session(session, 0, marker_key).unwrap();
+        if read.applied < session.watermark() {
+            self.violate(format!(
+                "router staleness: session floor {:?}, served applied {:?} from {:?}",
+                session.watermark(),
+                read.applied,
+                read.source
+            ));
+        }
+        let got = read.value.as_deref().map(counter_of).unwrap_or(0);
+        if got < marker {
+            self.violate(format!(
+                "router read-your-writes: wrote marker {marker}, read {got} from {:?}",
+                read.source
+            ));
+        }
+        runtime::sleep(Duration::from_micros(300));
+    }
 
     /// Fault-free / slow-link / unstuck-truncation endgame: quiesce, then
     /// check replication equivalence, the dense stream, and clean-crash
@@ -499,5 +625,43 @@ impl<'a> Scenario<'a> {
     /// runtime (the recovered database's flush daemon must be a sim actor).
     fn sim_opts(&self) -> DbOptions {
         self.primary.options().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The lagging-replica fault end to end: the seed passes, the router
+    /// actually quarantined the lagger (visible in the telemetry snapshot),
+    /// and the run replays byte-identically — router decisions included.
+    #[test]
+    fn lagging_replica_fault_quarantines_and_replays_identically() {
+        let seed = (0..10_000u64)
+            .find(|&s| FaultPlan::decode(s).fault == Fault::LaggingReplica)
+            .expect("some seed decodes to LaggingReplica");
+        let r1 = run_seed(seed);
+        assert!(r1.ok(), "seed {seed} violations: {:?}", r1.violations);
+        let quarantines = r1
+            .telemetry
+            .lines()
+            .find_map(|l| l.strip_prefix("telemetry> counter router.quarantines="))
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("router.quarantines counter in telemetry");
+        assert!(
+            quarantines >= 1,
+            "lagger was never quarantined:\n{}",
+            r1.telemetry
+        );
+        let r2 = run_seed(seed);
+        assert_eq!(
+            r1.history, r2.history,
+            "seed {seed} must replay identically"
+        );
+        assert_eq!(
+            r1.telemetry, r2.telemetry,
+            "telemetry must replay identically"
+        );
     }
 }

@@ -59,6 +59,12 @@ pub enum Fault {
     /// A latency spike on the replication links: acks crawl, commits under
     /// SemiSync stall behind them. Virtual time makes this free to run.
     SlowLink,
+    /// One extra replica joins over a crawling link and trails the durable
+    /// frontier far behind the others. The read router must quarantine it
+    /// (no reads served from it) while still honoring every session read's
+    /// staleness floor from the healthy replicas or the primary. Requires
+    /// replicas.
+    LaggingReplica,
 }
 
 /// The fully decoded scenario for one seed.
@@ -102,12 +108,13 @@ impl FaultPlan {
         let link_latency = Duration::from_micros([0, 50, 200, 1_000][rng.below(4) as usize]);
         let reorder_period = rng.below(4) as usize;
         let acks_before_fault = 3 + rng.below(6);
-        let fault = match rng.below(5) {
+        let fault = match rng.below(6) {
             0 => Fault::None,
             1 if replicas > 0 => Fault::KillPrimary,
             2 => Fault::TornWrite,
             3 if segmented => Fault::TruncateStuck,
             4 if replicas > 0 => Fault::SlowLink,
+            5 if replicas > 0 => Fault::LaggingReplica,
             // Draws whose precondition (replicas, segmentation) failed run
             // the fault-free scenario; the shape axes still vary.
             _ => Fault::None,
@@ -153,7 +160,10 @@ mod tests {
             let p = FaultPlan::decode(seed);
             assert!((1..=3).contains(&p.workers));
             assert!(p.replicas <= 2);
-            if p.fault == Fault::KillPrimary || p.fault == Fault::SlowLink {
+            if p.fault == Fault::KillPrimary
+                || p.fault == Fault::SlowLink
+                || p.fault == Fault::LaggingReplica
+            {
                 assert!(p.replicas > 0, "seed {seed}: fault needs replicas");
             }
             if p.fault == Fault::TruncateStuck {
@@ -170,7 +180,7 @@ mod tests {
 
     #[test]
     fn fault_menu_is_reachable() {
-        let mut seen = [false; 5];
+        let mut seen = [false; 6];
         for seed in 0..4096 {
             seen[match FaultPlan::decode(seed).fault {
                 Fault::None => 0,
@@ -178,6 +188,7 @@ mod tests {
                 Fault::TornWrite => 2,
                 Fault::TruncateStuck => 3,
                 Fault::SlowLink => 4,
+                Fault::LaggingReplica => 5,
             }] = true;
         }
         assert!(

@@ -8,7 +8,7 @@ use crate::store::PageStore;
 use crate::table::Table;
 use crate::txn::{CommitOutcome, CommitProtocol, Transaction, TxnManager, TxnStatus, UndoEntry};
 use crate::wal::{CheckpointPayload, ClrPayload, UpdatePayload};
-use aether_core::commit::{CommitAction, CommitHandle};
+use aether_core::commit::{CommitAction, CommitHandle, CommitToken};
 use aether_core::device::LogDevice;
 use aether_core::telemetry::{CounterId, HistId, Unit};
 use aether_core::{
@@ -265,6 +265,16 @@ impl Db {
         id
     }
 
+    /// Lock-free snapshot read: the latest committed-or-in-flight cell
+    /// image, taken without a transaction, locks, or undo bookkeeping. On a
+    /// standby this is the replica serving path (`ReadRouter` in
+    /// `aether-repl`); on a primary it is the router's freshness-fallback —
+    /// the primary's state is by definition never stale.
+    pub fn snapshot_read(&self, table: u32, key: u64) -> StorageResult<Option<Vec<u8>>> {
+        let t = self.table(table)?;
+        Ok(t.rid_of(key).and_then(|rid| t.read(rid)))
+    }
+
     /// Look up a table by id.
     pub fn table(&self, id: u32) -> StorageResult<Arc<Table>> {
         self.tables
@@ -483,9 +493,27 @@ impl Db {
     /// when the commit is durable — immediately for blocking protocols.
     pub fn commit_with(
         &self,
-        mut txn: Transaction,
+        txn: Transaction,
         on_durable: Option<Box<dyn FnOnce() + Send>>,
     ) -> StorageResult<CommitOutcome> {
+        self.commit_inner(txn, on_durable).map(|(out, _)| out)
+    }
+
+    /// Commit and also return the session [`CommitToken`]: the commit
+    /// record's end LSN in the log's total order. Threading the token into
+    /// `aether-repl`'s `ReadRouter::read_at_least` yields read-your-writes
+    /// on replica reads — any snapshot whose applied watermark reaches the
+    /// token contains this commit. Read-only transactions return
+    /// [`CommitToken::ZERO`] (they left nothing to observe).
+    pub fn commit_tokened(&self, txn: Transaction) -> StorageResult<(CommitOutcome, CommitToken)> {
+        self.commit_inner(txn, None)
+    }
+
+    fn commit_inner(
+        &self,
+        mut txn: Transaction,
+        on_durable: Option<Box<dyn FnOnce() + Send>>,
+    ) -> StorageResult<(CommitOutcome, CommitToken)> {
         self.check_active(&txn)?;
         let t_commit = self.log.telemetry().ts();
 
@@ -497,7 +525,7 @@ impl Db {
             if let Some(f) = on_durable {
                 f();
             }
-            return Ok(CommitOutcome::Durable);
+            return Ok((CommitOutcome::Durable, CommitToken::ZERO));
         }
 
         let (_, end) =
@@ -535,6 +563,7 @@ impl Db {
             }
         };
 
+        let token = CommitToken::at(end);
         match self.opts.protocol {
             CommitProtocol::Baseline => {
                 // Flush first, *then* release locks: delay (B) of Figure 1.
@@ -545,11 +574,14 @@ impl Db {
                 if let Some(f) = on_durable {
                     f();
                 }
-                Ok(if replicated {
-                    CommitOutcome::Durable
-                } else {
-                    CommitOutcome::Unsafe
-                })
+                Ok((
+                    if replicated {
+                        CommitOutcome::Durable
+                    } else {
+                        CommitOutcome::Unsafe
+                    },
+                    token,
+                ))
             }
             CommitProtocol::Elr => {
                 // ELR: locks drop before the flush; only this transaction
@@ -561,11 +593,14 @@ impl Db {
                 if let Some(f) = on_durable {
                     f();
                 }
-                Ok(if replicated {
-                    CommitOutcome::Durable
-                } else {
-                    CommitOutcome::Unsafe
-                })
+                Ok((
+                    if replicated {
+                        CommitOutcome::Durable
+                    } else {
+                        CommitOutcome::Unsafe
+                    },
+                    token,
+                ))
             }
             CommitProtocol::AsyncCommit => {
                 self.locks.release_all(txn.id, &txn.held);
@@ -581,7 +616,7 @@ impl Db {
                         }
                     })),
                 );
-                Ok(CommitOutcome::Unsafe)
+                Ok((CommitOutcome::Unsafe, token))
             }
             CommitProtocol::Pipelined => {
                 self.locks.release_all(txn.id, &txn.held);
@@ -602,7 +637,7 @@ impl Db {
                         st.complete();
                     })),
                 );
-                Ok(CommitOutcome::Pipelined(handle))
+                Ok((CommitOutcome::Pipelined(handle), token))
             }
         }
     }

@@ -36,6 +36,7 @@ pub mod table;
 pub mod txn;
 pub mod wal;
 
+pub use aether_core::commit::CommitToken;
 pub use checkpointer::Checkpointer;
 pub use db::{CrashImage, Db, DbOptions};
 pub use error::{StorageError, StorageResult};

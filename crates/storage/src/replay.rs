@@ -278,8 +278,7 @@ pub fn apply_record(db: &Db, rec: &Record) -> StorageResult<bool> {
 /// reflects the replay frontier at call time (bounded staleness; the caller
 /// reads the bound off its replica's status).
 pub fn snapshot_read(db: &Db, table: u32, key: u64) -> StorageResult<Option<Vec<u8>>> {
-    let t = db.table(table)?;
-    Ok(t.rid_of(key).and_then(|rid| t.read(rid)))
+    db.snapshot_read(table, key)
 }
 
 /// Every occupied cell of a database: `(table, page, slot, cell bytes)`.

@@ -1,0 +1,157 @@
+//! End-to-end wire benchmark: pipelined vs serial commits at equal
+//! connection count.
+//!
+//! The tentpole claim of the server crate, measured from outside the
+//! process boundary: with N connections each keeping W commits in flight,
+//! the group-commit gate completes many of a connection's commits off one
+//! flush, so commit throughput beats the same N connections doing one op
+//! per round trip — and the p50/p99/p999 distribution shows where the
+//! batching window sits. A third, open-loop row reports
+//! latency-under-load at a fixed arrival rate (latency charged from the
+//! intended departure time, so coordinated omission cannot flatter a
+//! stalled server).
+//!
+//! Env: `AETHER_CONNS` (default 64), `AETHER_OPS` (per connection),
+//! `AETHER_WINDOW` (pipeline depth), `AETHER_KEYS`, `AETHER_OPEN_US`
+//! (open-loop arrival interval per connection, 0 disables),
+//! `AETHER_SERVER_ADDR` (serve real TCP instead of in-process pipes),
+//! `AETHER_SERVER_BATCH_US` (IO-loop batch window); `AETHER_JSON=<path>`
+//! appends machine-readable rows.
+
+use aether_bench::env_or;
+use aether_bench::json::JsonSink;
+use aether_core::runtime::Runtime;
+use aether_core::{BufferKind, DeviceKind, LogConfig, TelemetryConfig};
+use aether_server::load::run_load;
+use aether_server::{Client, Engine, LoadReport, LoadSpec, Mix, Pacing, Server, ServerConfig};
+use aether_storage::{CommitProtocol, Db, DbOptions};
+use rand::Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const VALUE_LEN: usize = 64;
+
+fn print_row(json: &mut JsonSink, mode: &str, conns: usize, window: usize, r: &LoadReport) {
+    println!(
+        "{mode}\t{conns}\t{window}\t{}\t{}\t{:.0}\t{:.0}\t{:.1}\t{:.1}\t{:.1}",
+        r.ops,
+        r.errors,
+        r.ops_per_s(),
+        r.commits_per_s(),
+        r.latency.p50_ns as f64 / 1e3,
+        r.latency.p99_ns as f64 / 1e3,
+        r.latency.p999_ns as f64 / 1e3,
+    );
+    json.row(&[
+        ("bench", "server".into()),
+        ("mode", mode.into()),
+        ("conns", conns.into()),
+        ("window", window.into()),
+        ("ops", r.ops.into()),
+        ("errors", r.errors.into()),
+        ("ops_per_s", r.ops_per_s().into()),
+        ("commits_per_s", r.commits_per_s().into()),
+        ("p50_us", (r.latency.p50_ns as f64 / 1e3).into()),
+        ("p99_us", (r.latency.p99_ns as f64 / 1e3).into()),
+        ("p999_us", (r.latency.p999_ns as f64 / 1e3).into()),
+    ]);
+}
+
+fn main() {
+    let conns = env_or("AETHER_CONNS", 64usize).max(1);
+    let ops = env_or("AETHER_OPS", 150usize).max(1);
+    let window = env_or("AETHER_WINDOW", 16usize).max(2);
+    let keys = env_or("AETHER_KEYS", 8192u64).max(64);
+    let open_us = env_or("AETHER_OPEN_US", 200u64);
+    // A device with real sync latency (default: the paper's slow-disk
+    // series): the flush is the resource pipelining amortizes, so a free
+    // (Ram) flush would understate the effect and measure only scheduler
+    // noise.
+    let dev_us = env_or("AETHER_DEV_US", 10_000u64);
+
+    let db = Db::open(DbOptions {
+        protocol: CommitProtocol::Pipelined,
+        buffer: BufferKind::Hybrid,
+        device: DeviceKind::CustomUs(dev_us),
+        log_config: LogConfig::default()
+            .with_buffer_size(1 << 22)
+            .with_telemetry(TelemetryConfig::from_env()),
+        ..DbOptions::default()
+    });
+    let table = db.create_table(VALUE_LEN, keys);
+    for k in 0..keys {
+        db.load(table, k, &[0u8; VALUE_LEN]).unwrap();
+    }
+    db.setup_complete();
+
+    let cfg = ServerConfig::from_env();
+    let tcp = cfg.addr.is_some();
+    let server = Server::start(Engine::primary(Arc::clone(&db)), cfg).expect("server start");
+    let rt = Runtime::real();
+
+    let spec = |pacing: Pacing, seed: u64| LoadSpec {
+        conns,
+        ops_per_conn: ops,
+        pacing,
+        // All-update: every op is a commit through the group-commit gate,
+        // which is the thing pipelining is supposed to amortize.
+        mix: Mix {
+            read: 0,
+            update: 100,
+            scan: 0,
+        },
+        table,
+        value_len: VALUE_LEN,
+        scan_len: 0,
+        keys,
+        key_of: Arc::new(move |rng| rng.gen_range(0..keys)),
+        seed,
+    };
+    let connect = |_i: usize| -> std::io::Result<Client> {
+        match server.local_addr() {
+            Some(addr) => Client::connect_tcp(addr),
+            None => Ok(Client::new(Box::new(server.connect_chan()))),
+        }
+    };
+
+    println!(
+        "# Wire commit throughput: {conns} conns x {ops} ops, transport={}, \
+         pipelined window {window} vs serial",
+        if tcp { "tcp" } else { "chan" }
+    );
+    println!("mode\tconns\twindow\tops\terrors\tops_per_s\tcommits_per_s\tp50_us\tp99_us\tp999_us");
+    let mut json = JsonSink::from_env();
+
+    let serial =
+        run_load(&rt, &spec(Pacing::Closed { window: 1 }, 0xA57E), connect).expect("serial load");
+    print_row(&mut json, "serial", conns, 1, &serial);
+
+    let pipelined =
+        run_load(&rt, &spec(Pacing::Closed { window }, 0xB57E), connect).expect("pipelined load");
+    print_row(&mut json, "pipelined", conns, window, &pipelined);
+
+    if open_us > 0 {
+        let open = run_load(
+            &rt,
+            &spec(
+                Pacing::Open {
+                    interval: Duration::from_micros(open_us),
+                },
+                0xC57E,
+            ),
+            connect,
+        )
+        .expect("open load");
+        print_row(&mut json, "open", conns, 0, &open);
+    }
+
+    let speedup = if serial.commits_per_s() > 0.0 {
+        pipelined.commits_per_s() / serial.commits_per_s()
+    } else {
+        0.0
+    };
+    println!("# pipelined/serial commit speedup: {speedup:.2}x");
+
+    server.shutdown();
+    db.log().flush_all();
+}

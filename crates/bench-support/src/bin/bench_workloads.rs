@@ -1,0 +1,107 @@
+//! The workload zoo over the wire: YCSB A/B/C, hot-key storm, ELR scans.
+//!
+//! One row per workload, each run against a fresh Db behind a fresh
+//! server: throughput split by op kind plus the p50/p99/p999
+//! latency-under-load distribution over every completed op. The scan
+//! workload runs under ELR (scans observe early-released writes instead
+//! of queueing behind a committing writer's flush); everything else runs
+//! the pipelined commit protocol.
+//!
+//! Env: `AETHER_CONNS` (default 16), `AETHER_OPS` (per connection),
+//! `AETHER_WINDOW` (pipeline depth), `AETHER_KEYS`,
+//! `AETHER_SERVER_BATCH_US`; `AETHER_JSON=<path>` appends rows.
+
+use aether_bench::json::JsonSink;
+use aether_bench::{env_or, workloads};
+use aether_core::runtime::Runtime;
+use aether_core::{BufferKind, DeviceKind, LogConfig, TelemetryConfig};
+use aether_server::load::run_load;
+use aether_server::{Client, Engine, Pacing, Server, ServerConfig};
+use aether_storage::{CommitProtocol, Db, DbOptions};
+use std::sync::Arc;
+
+const VALUE_LEN: usize = 64;
+
+fn main() {
+    let conns = env_or("AETHER_CONNS", 16usize).max(1);
+    let ops = env_or("AETHER_OPS", 200usize).max(1);
+    let window = env_or("AETHER_WINDOW", 8usize).max(1);
+    let keys = env_or("AETHER_KEYS", 8192u64).max(256);
+    let rt = Runtime::real();
+    let mut json = JsonSink::from_env();
+
+    println!("# Workload zoo: {conns} conns x {ops} ops, window {window}, {keys} keys");
+    println!(
+        "workload\tconns\tops_per_s\treads_per_s\tcommits_per_s\tscans\terrors\t\
+         p50_us\tp99_us\tp999_us"
+    );
+
+    for w in workloads::all(keys) {
+        // Scans lean on early lock release; the KV mixes on pipelining.
+        let protocol = if w.mix.scan > 0 {
+            CommitProtocol::Elr
+        } else {
+            CommitProtocol::Pipelined
+        };
+        let db = Db::open(DbOptions {
+            protocol,
+            buffer: BufferKind::Hybrid,
+            device: DeviceKind::Ram,
+            log_config: LogConfig::default()
+                .with_buffer_size(1 << 22)
+                .with_telemetry(TelemetryConfig::from_env()),
+            ..DbOptions::default()
+        });
+        let table = db.create_table(VALUE_LEN, keys);
+        for k in 0..keys {
+            db.load(table, k, &[0u8; VALUE_LEN]).unwrap();
+        }
+        db.setup_complete();
+        let server = Server::start(Engine::primary(Arc::clone(&db)), ServerConfig::from_env())
+            .expect("server start");
+
+        let spec = w.spec(
+            conns,
+            ops,
+            Pacing::Closed { window },
+            table,
+            VALUE_LEN,
+            0xF00D ^ keys,
+        );
+        let report = run_load(&rt, &spec, |_i| {
+            Ok(Client::new(Box::new(server.connect_chan())))
+        })
+        .expect("load run");
+
+        println!(
+            "{}\t{conns}\t{:.0}\t{:.0}\t{:.0}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}",
+            w.name,
+            report.ops_per_s(),
+            report.reads_per_s(),
+            report.commits_per_s(),
+            report.scans,
+            report.errors,
+            report.latency.p50_ns as f64 / 1e3,
+            report.latency.p99_ns as f64 / 1e3,
+            report.latency.p999_ns as f64 / 1e3,
+        );
+        json.row(&[
+            ("bench", "workloads".into()),
+            ("workload", w.name.into()),
+            ("conns", conns.into()),
+            ("window", window.into()),
+            ("ops", report.ops.into()),
+            ("ops_per_s", report.ops_per_s().into()),
+            ("reads_per_s", report.reads_per_s().into()),
+            ("commits_per_s", report.commits_per_s().into()),
+            ("scans", report.scans.into()),
+            ("errors", report.errors.into()),
+            ("p50_us", (report.latency.p50_ns as f64 / 1e3).into()),
+            ("p99_us", (report.latency.p99_ns as f64 / 1e3).into()),
+            ("p999_us", (report.latency.p999_ns as f64 / 1e3).into()),
+        ]);
+
+        server.shutdown();
+        db.log().flush_all();
+    }
+}

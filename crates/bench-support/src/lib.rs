@@ -13,6 +13,8 @@
 //!   breakdown and durable-completion counting.
 //! * [`measure`] — OS context-switch counters and breakdown assembly.
 //! * [`micro`] — the log-insert microbenchmark (Figures 8, 11, 12).
+//! * [`workloads`] — the wire workload zoo (YCSB A/B/C, hot-key storm,
+//!   ELR scans) lowered onto `aether-server`'s load generator.
 //! * [`json`] — JSON-lines emission for machine-readable bench artifacts
 //!   (`AETHER_JSON=<path>`; used by CI to track a perf trajectory).
 //!
@@ -29,6 +31,7 @@ pub mod tatp;
 pub mod tpcb;
 pub mod tpcc;
 pub mod tpcc_exec;
+pub mod workloads;
 pub mod zipf;
 
 /// Read an environment-variable override used by the experiment binaries

@@ -1,0 +1,191 @@
+//! The workload zoo: named op mixes driven over the wire.
+//!
+//! Where [`tpcb`](crate::tpcb) / [`tatp`](crate::tatp) call into the
+//! storage layer directly, these workloads describe traffic for
+//! `aether-server`'s load generator — YCSB-style key-value mixes over
+//! zipfian keys, a hot-key contention storm, and an analytical-scan mix
+//! that leans on ELR (scans never wait behind a committing writer's
+//! flush). Each entry is a [`Workload`] that lowers to an
+//! [`aether_server::LoadSpec`] via [`Workload::spec`].
+//!
+//! Mixes follow the standard YCSB core-workload ratios: A = 50/50
+//! read/update, B = 95/5, C = read-only, all at zipf skew 0.99 (the YCSB
+//! default; see [`crate::zipf`] for the exact sampler — no approximation
+//! cutoff at `s = 1`).
+
+use crate::zipf::Zipf;
+use aether_server::{LoadSpec, Mix, Pacing};
+use std::sync::Arc;
+
+/// A named wire workload: an op mix plus a key distribution.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short machine-readable name (JSON rows, CI gates).
+    pub name: &'static str,
+    /// What it stresses, for table headers.
+    pub blurb: &'static str,
+    /// Relative op frequencies.
+    pub mix: Mix,
+    /// Zipfian skew over the key space (0 = uniform).
+    pub skew: f64,
+    /// Key-space size.
+    pub keys: u64,
+    /// Keys touched per scan op.
+    pub scan_len: u32,
+}
+
+/// YCSB-A: update-heavy, 50% reads / 50% updates, zipf 0.99.
+pub fn ycsb_a(keys: u64) -> Workload {
+    Workload {
+        name: "ycsb_a",
+        blurb: "50/50 read-update, zipf 0.99",
+        mix: Mix {
+            read: 50,
+            update: 50,
+            scan: 0,
+        },
+        skew: 0.99,
+        keys,
+        scan_len: 0,
+    }
+}
+
+/// YCSB-B: read-mostly, 95% reads / 5% updates, zipf 0.99.
+pub fn ycsb_b(keys: u64) -> Workload {
+    Workload {
+        name: "ycsb_b",
+        blurb: "95/5 read-update, zipf 0.99",
+        mix: Mix {
+            read: 95,
+            update: 5,
+            scan: 0,
+        },
+        skew: 0.99,
+        keys,
+        scan_len: 0,
+    }
+}
+
+/// YCSB-C: read-only, zipf 0.99.
+pub fn ycsb_c(keys: u64) -> Workload {
+    Workload {
+        name: "ycsb_c",
+        blurb: "read-only, zipf 0.99",
+        mix: Mix {
+            read: 100,
+            update: 0,
+            scan: 0,
+        },
+        skew: 0.99,
+        keys,
+        scan_len: 0,
+    }
+}
+
+/// Hot-key storm: all updates, extreme skew — nearly every commit fights
+/// over a handful of rows, so the lock manager and the commit protocol's
+/// lock-release point (ELR / pipelined vs baseline) dominate.
+pub fn hotkey_storm(keys: u64) -> Workload {
+    Workload {
+        name: "hotkey_storm",
+        blurb: "all-update contention storm, zipf 2.0",
+        mix: Mix {
+            read: 0,
+            update: 100,
+            scan: 0,
+        },
+        skew: 2.0,
+        keys,
+        scan_len: 0,
+    }
+}
+
+/// Analytical scans against a trickle of updates: long reads that, under
+/// ELR, observe early-released writes instead of queueing behind the
+/// writer's flush.
+pub fn scan_elr(keys: u64) -> Workload {
+    Workload {
+        name: "scan_elr",
+        blurb: "analytical scans + 10% updates (ELR)",
+        mix: Mix {
+            read: 0,
+            update: 10,
+            scan: 90,
+        },
+        skew: 0.0,
+        keys,
+        scan_len: 128,
+    }
+}
+
+/// Every workload in the zoo, in presentation order.
+pub fn all(keys: u64) -> Vec<Workload> {
+    vec![
+        ycsb_a(keys),
+        ycsb_b(keys),
+        ycsb_c(keys),
+        hotkey_storm(keys),
+        scan_elr(keys),
+    ]
+}
+
+impl Workload {
+    /// Lower to a load-generator spec. The zipf sampler is built once here
+    /// and shared (it is read-only after construction).
+    pub fn spec(
+        &self,
+        conns: usize,
+        ops_per_conn: usize,
+        pacing: Pacing,
+        table: u32,
+        value_len: usize,
+        seed: u64,
+    ) -> LoadSpec {
+        let zipf = Zipf::new(self.keys, self.skew);
+        LoadSpec {
+            conns,
+            ops_per_conn,
+            pacing,
+            mix: self.mix,
+            table,
+            value_len,
+            scan_len: self.scan_len,
+            keys: self.keys,
+            key_of: Arc::new(move |rng| zipf.sample(rng)),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zoo_mixes_are_sane() {
+        for w in all(1024) {
+            let total = w.mix.read + w.mix.update + w.mix.scan;
+            assert!(total > 0, "{}: empty mix", w.name);
+            assert!(w.keys > 0);
+            if w.mix.scan > 0 {
+                assert!(w.scan_len > 0, "{}: scans without a span", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_key_distribution_matches_skew() {
+        let w = hotkey_storm(1024);
+        let spec = w.spec(1, 1, Pacing::Closed { window: 1 }, 0, 16, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hot = 0;
+        for _ in 0..1000 {
+            if (spec.key_of)(&mut rng) < 8 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 700, "storm should hammer the hot set: {hot}/1000");
+    }
+}

@@ -155,6 +155,16 @@ impl<T> RtReceiver<T> {
         }
     }
 
+    /// Take every queued message at once without blocking. Connection
+    /// teardown uses this to flush a closing socket's request queue in one
+    /// deterministic step — the alternative (`try_recv` until `None`) races
+    /// with in-flight `send`s, so a message enqueued between the last pop
+    /// and the receiver's drop would be silently stranded mid-shutdown.
+    pub fn drain(&self) -> Vec<T> {
+        let mut g = self.sh.inner.lock();
+        g.q.drain(..).collect()
+    }
+
     /// Whether every sender has been dropped (pending messages may remain).
     pub fn is_disconnected(&self) -> bool {
         self.sh.inner.lock().senders == 0
@@ -189,6 +199,18 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), None, "disconnect drains to None");
         assert!(rx.is_disconnected());
+    }
+
+    #[test]
+    fn drain_takes_everything_queued() {
+        let (tx, rx) = rt_channel::<u32>();
+        for i in 0..4 {
+            assert!(tx.send(i));
+        }
+        assert_eq!(rx.drain(), vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_recv(), None);
+        assert!(tx.send(9), "channel still usable after drain");
+        assert_eq!(rx.drain(), vec![9]);
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Per-connection state: the ordered response queue and the executor actor.
+//!
+//! Each connection is split across two threads. The shared IO loop
+//! ([`crate::server`]) parses frames off the socket and hands decoded
+//! requests to the connection's *executor* — a dedicated actor that runs
+//! the requests strictly in arrival order against the engine. The split
+//! exists because statement execution can block on row locks: an executor
+//! stalled behind a lock stalls only its own connection, never the IO loop
+//! or other connections.
+//!
+//! Pipelining without reordering: the IO loop reserves one [`RespQueue`]
+//! slot per request *at parse time*, so slot order is request order. Fast
+//! statements fulfill their slot synchronously; commits fulfill theirs from
+//! the durability callback, which the group-commit gate fires off the
+//! single flush that hardens the whole in-flight batch. The IO loop only
+//! ever writes the queue's *completed prefix*, so responses leave the
+//! socket in request order (invariant 10) and a commit is never acked
+//! before it is durable.
+
+use crate::protocol::{ErrCode, Request, Response};
+use aether_core::commit::CommitToken;
+use aether_core::lsn::Lsn;
+use aether_core::record::crc32;
+use aether_core::runtime::{self, RtReceiver};
+use aether_core::telemetry::{CounterId, HistId, Telemetry};
+use aether_repl::router::ReadRouter;
+use aether_repl::SourceKind;
+use aether_storage::{Db, StorageError, Transaction};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the server executes against: the primary database, plus an
+/// optional read router when the server fronts a replicated cluster.
+#[derive(Clone)]
+pub struct Engine {
+    /// The primary.
+    pub db: Arc<Db>,
+    /// Router for snapshot reads (None: serve reads from the primary).
+    pub router: Option<Arc<ReadRouter>>,
+}
+
+impl Engine {
+    /// An engine serving everything from the primary.
+    pub fn primary(db: Arc<Db>) -> Engine {
+        Engine { db, router: None }
+    }
+
+    /// An engine routing reads through `router`.
+    pub fn routed(db: Arc<Db>, router: Arc<ReadRouter>) -> Engine {
+        Engine {
+            db,
+            router: Some(router),
+        }
+    }
+}
+
+/// A message from the IO loop to a connection's executor.
+pub(crate) enum ExecMsg {
+    /// Execute one decoded request; its response slot is already reserved.
+    Req {
+        /// Response slot sequence (reservation order = request order).
+        seq: u64,
+        /// The request.
+        req: Request,
+    },
+    /// The socket is gone: discard queued work, abort open transactions.
+    Close,
+}
+
+struct Slot {
+    req_id: u64,
+    t0: Option<u64>,
+    resp: Option<Response>,
+}
+
+struct RespInner {
+    slots: VecDeque<Slot>,
+    /// Sequence of `slots[0]`.
+    front: u64,
+    /// Next sequence to hand out.
+    next: u64,
+}
+
+/// The connection's ordered response queue (see module docs).
+pub(crate) struct RespQueue {
+    inner: Mutex<RespInner>,
+    tel: Arc<Telemetry>,
+    req_ns: HistId,
+}
+
+impl RespQueue {
+    pub(crate) fn new(tel: Arc<Telemetry>, req_ns: HistId) -> RespQueue {
+        RespQueue {
+            inner: Mutex::new(RespInner {
+                slots: VecDeque::new(),
+                front: 0,
+                next: 0,
+            }),
+            tel,
+            req_ns,
+        }
+    }
+
+    /// Reserve the next slot for `req_id`; returns its sequence.
+    pub(crate) fn reserve(&self, req_id: u64) -> u64 {
+        let mut g = self.inner.lock();
+        let seq = g.next;
+        g.next += 1;
+        g.slots.push_back(Slot {
+            req_id,
+            t0: self.tel.ts(),
+            resp: None,
+        });
+        seq
+    }
+
+    /// Fill slot `seq`. Idempotence is not needed — every slot is fulfilled
+    /// exactly once — but a slot already popped (connection died) is
+    /// silently ignored: late durability callbacks outlive sockets.
+    pub(crate) fn fulfill(&self, seq: u64, resp: Response) {
+        let mut g = self.inner.lock();
+        if seq < g.front {
+            return;
+        }
+        let idx = (seq - g.front) as usize;
+        if let Some(slot) = g.slots.get_mut(idx) {
+            if let Some(t0) = slot.t0.take() {
+                let dt = runtime::monotonic_ns().saturating_sub(t0);
+                self.tel.record(self.req_ns, dt);
+            }
+            slot.resp = Some(resp);
+        }
+    }
+
+    /// Pop the completed prefix: every slot from the front whose response
+    /// has arrived. Returns `(req_id, response)` pairs in request order.
+    pub(crate) fn pop_ready(&self) -> Vec<(u64, Response)> {
+        let mut g = self.inner.lock();
+        let mut out = Vec::new();
+        while matches!(g.slots.front(), Some(s) if s.resp.is_some()) {
+            let s = g.slots.pop_front().expect("front checked");
+            g.front += 1;
+            out.push((s.req_id, s.resp.expect("resp checked")));
+        }
+        out
+    }
+}
+
+fn err_of(e: &StorageError) -> Response {
+    Response::Err {
+        code: ErrCode::of(e) as u16,
+        msg: e.to_string(),
+    }
+}
+
+/// The executor actor body: runs requests in order until the IO loop says
+/// `Close` (or drops the channel), then aborts whatever is still open,
+/// counting the teardown aborts into `close_aborts`.
+pub(crate) fn exec_loop(
+    engine: Engine,
+    rx: RtReceiver<ExecMsg>,
+    resp: Arc<RespQueue>,
+    watermark: Arc<AtomicU64>,
+    tel: Arc<Telemetry>,
+    close_aborts: CounterId,
+) {
+    // Open interactive transactions, keyed by wire txn id. BTreeMap so the
+    // teardown abort sweep is ordered — identical across sim replays.
+    let mut open: BTreeMap<u64, Transaction> = BTreeMap::new();
+    while let Some(ExecMsg::Req { seq, req }) = rx.recv() {
+        exec_one(&engine, &resp, &watermark, &mut open, seq, req);
+    }
+    // Teardown: flush the request queue in one deterministic step (a frame
+    // parsed between our last `recv` and the IO loop's `Close` would
+    // otherwise strand a transaction in `open` forever), then roll back.
+    for msg in rx.drain() {
+        if let ExecMsg::Req { seq, req } = msg {
+            // A queued Begin would open a transaction just to abort it;
+            // executing the tail preserves "drain, then abort the rest".
+            exec_one(&engine, &resp, &watermark, &mut open, seq, req);
+        }
+    }
+    let aborted = open.len() as u64;
+    for (_, txn) in std::mem::take(&mut open) {
+        let _ = engine.db.abort(txn);
+    }
+    tel.add(close_aborts, aborted);
+}
+
+fn exec_one(
+    engine: &Engine,
+    resp: &Arc<RespQueue>,
+    watermark: &Arc<AtomicU64>,
+    open: &mut BTreeMap<u64, Transaction>,
+    seq: u64,
+    req: Request,
+) {
+    let db = &engine.db;
+    match req {
+        Request::Begin => {
+            let t = db.begin();
+            let id = t.id;
+            open.insert(id, t);
+            resp.fulfill(seq, Response::Begun { txn: id });
+        }
+        Request::Ping => resp.fulfill(seq, Response::Pong),
+        Request::Read {
+            table,
+            key,
+            at_least,
+        } => {
+            // Read-your-writes: the floor is the request's explicit token
+            // folded with everything this connection has committed.
+            let floor = Lsn(at_least.max(watermark.load(Ordering::Acquire)));
+            let r = match &engine.router {
+                Some(router) => router
+                    .read_at_least(table, key, floor)
+                    .map(|r| (r.value, r.applied, !matches!(r.source, SourceKind::Primary))),
+                None => db
+                    .snapshot_read(table, key)
+                    .map(|v| (v, db.log().durable_lsn(), false)),
+            };
+            match r {
+                Ok((value, applied, from_replica)) => resp.fulfill(
+                    seq,
+                    Response::Value {
+                        present: value.is_some(),
+                        applied: applied.raw(),
+                        from_replica,
+                        value: value.unwrap_or_default(),
+                    },
+                ),
+                Err(e) => resp.fulfill(seq, err_of(&e)),
+            }
+        }
+        Request::Scan {
+            table,
+            start,
+            count,
+        } => {
+            // Analytical scan, pinned to the primary: under ELR the rows it
+            // visits include early-released (pre-durability) writes — the
+            // scan never blocks behind a committing writer's flush.
+            let mut found = 0u32;
+            let mut checksum = 0u64;
+            let mut failed = None;
+            for key in start..start.saturating_add(u64::from(count)) {
+                match db.snapshot_read(table, key) {
+                    Ok(Some(v)) => {
+                        found += 1;
+                        let mut seed = [0u8; 8];
+                        seed.copy_from_slice(&key.to_le_bytes());
+                        checksum ^= (u64::from(crc32(&v)) << 16) ^ u64::from(crc32(&seed));
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failed {
+                Some(e) => resp.fulfill(seq, err_of(&e)),
+                None => resp.fulfill(seq, Response::ScanDone { found, checksum }),
+            }
+        }
+        Request::Update {
+            txn: 0,
+            table,
+            key,
+            value,
+        } => {
+            // Auto-commit: one statement, one transaction, acked at
+            // durability. This is the stream that feeds group commit —
+            // every pipelined connection keeps several of these in flight,
+            // and one flush completes them all.
+            let mut t = db.begin();
+            match db.update(&mut t, table, key, &value) {
+                Ok(()) => finish_commit(engine, resp, watermark, seq, t),
+                Err(e) => {
+                    let r = err_of(&e);
+                    let _ = db.abort(t);
+                    resp.fulfill(seq, r);
+                }
+            }
+        }
+        Request::Update {
+            txn,
+            table,
+            key,
+            value,
+        } => match open.get_mut(&txn) {
+            Some(t) => match db.update(t, table, key, &value) {
+                Ok(()) => resp.fulfill(seq, Response::UpdateOk),
+                Err(e) => {
+                    // Statement failure rolls the whole transaction back
+                    // (deadlock victims and lock timeouts must release
+                    // everything they hold; simpler errors follow suit so
+                    // the wire semantics stay uniform).
+                    let r = err_of(&e);
+                    if let Some(t) = open.remove(&txn) {
+                        let _ = db.abort(t);
+                    }
+                    resp.fulfill(seq, r);
+                }
+            },
+            None => resp.fulfill(seq, no_such_txn(txn)),
+        },
+        Request::Commit { txn } => match open.remove(&txn) {
+            Some(t) => finish_commit(engine, resp, watermark, seq, t),
+            None => resp.fulfill(seq, no_such_txn(txn)),
+        },
+        Request::Abort { txn } => match open.remove(&txn) {
+            Some(t) => match db.abort(t) {
+                Ok(()) => resp.fulfill(seq, Response::Aborted),
+                Err(e) => resp.fulfill(seq, err_of(&e)),
+            },
+            None => resp.fulfill(seq, no_such_txn(txn)),
+        },
+    }
+}
+
+/// Commit `t`, fulfilling `seq` from the durability callback. The callback
+/// is the *only* place the ack is produced, for every protocol: blocking
+/// protocols run it inline (already durable), pipelined ones run it from
+/// the flush daemon when the gate opens. Folding the token into the
+/// connection watermark before fulfilling keeps read-your-writes airtight
+/// even though the executor has already moved on to the next request.
+fn finish_commit(
+    engine: &Engine,
+    resp: &Arc<RespQueue>,
+    watermark: &Arc<AtomicU64>,
+    seq: u64,
+    t: Transaction,
+) {
+    let on_durable = {
+        let resp = Arc::clone(resp);
+        let watermark = Arc::clone(watermark);
+        Box::new(move |token: CommitToken| {
+            watermark.fetch_max(token.lsn().raw(), Ordering::AcqRel);
+            resp.fulfill(
+                seq,
+                Response::Committed {
+                    token: token.lsn().raw(),
+                },
+            );
+        })
+    };
+    let r = engine.db.commit_tokened_with(t, on_durable);
+    if let Err(e) = r {
+        // The callback never ran (commit rejected up front).
+        resp.fulfill(seq, err_of(&e));
+    }
+}
+
+fn no_such_txn(txn: u64) -> Response {
+    Response::Err {
+        code: ErrCode::NoSuchTxn as u16,
+        msg: format!("no open transaction {txn}"),
+    }
+}

@@ -1,0 +1,42 @@
+//! # aether-server — the wire front-end
+//!
+//! Everything below this crate runs in-process; this crate puts Aether on
+//! a socket. The pieces, bottom-up:
+//!
+//! * [`protocol`] — length-prefixed, CRC32-framed request/response
+//!   messages (begin / read / update / commit / abort, plus scan and
+//!   ping), following the framing idiom of `aether-repl::frame`. A corrupt
+//!   frame kills the connection; it never kills the server or strands a
+//!   lock.
+//! * [`stream`] — the transport seam: nonblocking TCP for real serving,
+//!   an `rt_channel`-backed in-process pipe for tests and deterministic
+//!   sim runs.
+//! * [`server`] — one IO thread polling every connection plus one
+//!   executor actor per connection, with a strictly-ordered response
+//!   queue. Commit responses are produced by durability callbacks, so a
+//!   pipelined connection's many in-flight commits are all completed by
+//!   the single group-commit flush that hardens them — the paper's
+//!   consolidation argument, observed from the wire.
+//! * [`client`], [`load`] — a pipelining client and closed/open-loop load
+//!   generation with p50/p99/p999 reporting.
+//!
+//! Session tokens: every `Committed` response carries the commit's
+//! [`CommitToken`](aether_core::commit::CommitToken) LSN. The server also
+//! folds each connection's tokens into a watermark server-side, so a
+//! connection always reads its own writes even through the `ReadRouter`;
+//! clients can additionally thread tokens through `Read.at_least` to
+//! extend the guarantee across connections.
+
+pub mod client;
+mod conn;
+pub mod load;
+pub mod protocol;
+pub mod server;
+pub mod stream;
+
+pub use client::Client;
+pub use conn::Engine;
+pub use load::{LatencySummary, LoadReport, LoadSpec, Mix, Pacing};
+pub use protocol::{ErrCode, Request, Response};
+pub use server::{Server, ServerConfig};
+pub use stream::{chan_pair, ByteStream, ChanByteStream, TcpByteStream};

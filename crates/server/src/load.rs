@@ -1,0 +1,326 @@
+//! Closed- and open-loop load generation against a wire server.
+//!
+//! Closed loop: each connection keeps a fixed window of requests in flight
+//! (window 1 = the classic 1-op-per-round-trip client; window W > 1 =
+//! pipelining, which is what lets the group-commit gate complete many of a
+//! connection's commits off one flush). Open loop: requests depart on a
+//! fixed arrival schedule regardless of completions, and latency is
+//! measured from the *intended* arrival time, so a stalled server charges
+//! its queueing delay honestly (no coordinated omission).
+//!
+//! Latencies are recorded per completed op in nanoseconds and summarized
+//! as p50/p99/p999 — the latency-under-load numbers the figure bins emit.
+
+use crate::client::Client;
+use crate::protocol::{Request, Response};
+use aether_core::runtime::{monotonic_ns, Runtime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a connection paces its requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Keep `window` requests in flight; issue the next op the moment a
+    /// response frees a slot.
+    Closed {
+        /// In-flight window (1 = serial round trips).
+        window: usize,
+    },
+    /// Issue one op every `interval`, regardless of completions.
+    Open {
+        /// Arrival interval.
+        interval: Duration,
+    },
+}
+
+/// Relative op frequencies (need not sum to anything in particular).
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Snapshot reads.
+    pub read: u32,
+    /// Auto-commit updates (each one is a commit through the gate).
+    pub update: u32,
+    /// Analytical scans of `scan_len` keys.
+    pub scan: u32,
+}
+
+/// One load run's shape.
+pub struct LoadSpec {
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Ops issued per connection.
+    pub ops_per_conn: usize,
+    /// Pacing discipline.
+    pub pacing: Pacing,
+    /// Op mix.
+    pub mix: Mix,
+    /// Table to hit.
+    pub table: u32,
+    /// Record size of that table (updates must match it).
+    pub value_len: usize,
+    /// Keys per scan op.
+    pub scan_len: u32,
+    /// Key-space size (keys are `0..keys`).
+    pub keys: u64,
+    /// Key distribution: maps a uniform u64 draw to a key. Workload zoos
+    /// plug zipf samplers in here.
+    pub key_of: Arc<dyn Fn(&mut StdRng) -> u64 + Send + Sync>,
+    /// RNG seed (per-connection streams derive from it).
+    pub seed: u64,
+}
+
+/// Latency summary in nanoseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Completed-op count the percentiles are over.
+    pub count: u64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+/// Aggregate result of a load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Ops completed (responses received, including errors).
+    pub ops: u64,
+    /// Reads completed.
+    pub reads: u64,
+    /// Commits acked (auto-commit updates).
+    pub commits: u64,
+    /// Scans completed.
+    pub scans: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Wall-clock (or virtual, under sim) duration in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Latency distribution over every completed op.
+    pub latency: LatencySummary,
+}
+
+impl LoadReport {
+    fn per_s(&self, n: u64) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        n as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// Total throughput, ops/s.
+    pub fn ops_per_s(&self) -> f64 {
+        self.per_s(self.ops)
+    }
+
+    /// Read throughput, reads/s.
+    pub fn reads_per_s(&self) -> f64 {
+        self.per_s(self.reads)
+    }
+
+    /// Commit throughput, commits/s.
+    pub fn commits_per_s(&self) -> f64 {
+        self.per_s(self.commits)
+    }
+}
+
+/// Summarize a set of per-op latencies.
+pub fn summarize(mut lat: Vec<u64>) -> LatencySummary {
+    if lat.is_empty() {
+        return LatencySummary::default();
+    }
+    lat.sort_unstable();
+    let q = |p: f64| {
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx.min(lat.len() - 1)]
+    };
+    LatencySummary {
+        count: lat.len() as u64,
+        p50_ns: q(0.50),
+        p99_ns: q(0.99),
+        p999_ns: q(0.999),
+        max_ns: *lat.last().expect("non-empty"),
+    }
+}
+
+struct WorkerResult {
+    reads: u64,
+    commits: u64,
+    scans: u64,
+    errors: u64,
+    lat: Vec<u64>,
+}
+
+/// Run `spec` against a server, one worker thread per connection, all
+/// spawned through `rt` (so a sim run is deterministic). `connect` opens
+/// connection `i`.
+pub fn run_load<C>(rt: &Runtime, spec: &LoadSpec, connect: C) -> io::Result<LoadReport>
+where
+    C: Fn(usize) -> io::Result<Client>,
+{
+    let t_start = monotonic_ns();
+    let mut handles = Vec::with_capacity(spec.conns);
+    for i in 0..spec.conns {
+        let client = connect(i)?;
+        let ops = spec.ops_per_conn;
+        let pacing = spec.pacing;
+        let mix = spec.mix;
+        let table = spec.table;
+        let value_len = spec.value_len;
+        let scan_len = spec.scan_len;
+        let keys = spec.keys;
+        let key_of = Arc::clone(&spec.key_of);
+        let seed = spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        handles.push(rt.spawn(&format!("load-{i}"), move || {
+            worker(
+                client, ops, pacing, mix, table, value_len, scan_len, keys, key_of, seed,
+            )
+        }));
+    }
+    let mut report = LoadReport::default();
+    let mut lat = Vec::new();
+    for h in handles {
+        let w = h
+            .join()
+            .map_err(|_| io::Error::other("load worker panicked"))??;
+        report.reads += w.reads;
+        report.commits += w.commits;
+        report.scans += w.scans;
+        report.errors += w.errors;
+        lat.extend(w.lat);
+    }
+    report.ops = lat.len() as u64;
+    report.elapsed_ns = monotonic_ns().saturating_sub(t_start);
+    report.latency = summarize(lat);
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    mut client: Client,
+    ops: usize,
+    pacing: Pacing,
+    mix: Mix,
+    table: u32,
+    value_len: usize,
+    scan_len: u32,
+    keys: u64,
+    key_of: Arc<dyn Fn(&mut StdRng) -> u64 + Send + Sync>,
+    seed: u64,
+) -> io::Result<WorkerResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut res = WorkerResult {
+        reads: 0,
+        commits: 0,
+        scans: 0,
+        errors: 0,
+        lat: Vec::with_capacity(ops),
+    };
+    // Read-your-writes floor: the largest commit token this connection has
+    // been acked with so far.
+    let mut token = 0u64;
+    let mut in_flight: HashMap<u64, u64> = HashMap::new(); // req_id -> t0
+    let total_w = (mix.read + mix.update + mix.scan).max(1);
+
+    let next_op = |rng: &mut StdRng, token: u64| -> Request {
+        let r = rng.gen_range(0..total_w);
+        if r < mix.read {
+            Request::Read {
+                table,
+                key: key_of(rng),
+                at_least: token,
+            }
+        } else if r < mix.read + mix.update {
+            let mut value = vec![0u8; value_len];
+            for b in value.iter_mut() {
+                *b = rng.gen();
+            }
+            Request::Update {
+                txn: 0,
+                table,
+                key: key_of(rng),
+                value,
+            }
+        } else {
+            let span = u64::from(scan_len).min(keys.max(1));
+            let start = rng.gen_range(0..keys.saturating_sub(span).max(1));
+            Request::Scan {
+                table,
+                start,
+                count: scan_len,
+            }
+        }
+    };
+
+    let absorb = |resp: Response, res: &mut WorkerResult, token: &mut u64| {
+        match resp {
+            Response::Value { .. } => res.reads += 1,
+            Response::Committed { token: t } => {
+                res.commits += 1;
+                *token = (*token).max(t);
+            }
+            Response::ScanDone { .. } => res.scans += 1,
+            Response::Err { .. } => res.errors += 1,
+            _ => {}
+        };
+    };
+
+    match pacing {
+        Pacing::Closed { window } => {
+            let window = window.max(1);
+            let mut issued = 0usize;
+            while issued < ops || !in_flight.is_empty() {
+                while issued < ops && in_flight.len() < window {
+                    let req = next_op(&mut rng, token);
+                    let t0 = monotonic_ns();
+                    let id = client.send(&req)?;
+                    in_flight.insert(id, t0);
+                    issued += 1;
+                }
+                let (id, resp) = client.recv()?;
+                if let Some(t0) = in_flight.remove(&id) {
+                    res.lat.push(monotonic_ns().saturating_sub(t0));
+                }
+                absorb(resp, &mut res, &mut token);
+            }
+        }
+        Pacing::Open { interval } => {
+            let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
+            let mut next_t = monotonic_ns();
+            for _ in 0..ops {
+                let now = monotonic_ns();
+                if next_t > now {
+                    aether_core::runtime::sleep(Duration::from_nanos(next_t - now));
+                }
+                let req = next_op(&mut rng, token);
+                let id = client.send(&req)?;
+                // Latency from the intended departure time: queueing the
+                // schedule slipped is the server's fault, and it counts.
+                in_flight.insert(id, next_t);
+                next_t = next_t.saturating_add(interval_ns);
+                while let Some((id, resp)) = client.try_recv()? {
+                    if let Some(t0) = in_flight.remove(&id) {
+                        res.lat.push(monotonic_ns().saturating_sub(t0));
+                    }
+                    absorb(resp, &mut res, &mut token);
+                }
+            }
+            while !in_flight.is_empty() {
+                let (id, resp) = client.recv()?;
+                if let Some(t0) = in_flight.remove(&id) {
+                    res.lat.push(monotonic_ns().saturating_sub(t0));
+                }
+                absorb(resp, &mut res, &mut token);
+            }
+        }
+    }
+    client.close();
+    Ok(res)
+}

@@ -1,0 +1,657 @@
+//! The Aether wire protocol: length-prefixed, CRC32-framed request/response
+//! messages, following the framing idiom of `aether-repl::frame`.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! [magic u32][req_id u64][opcode u8][len u32][crc u32]  then `len` body bytes
+//! ```
+//!
+//! The CRC32 covers the header (with the CRC field zeroed) and the body, so
+//! a bit flip anywhere — magic, id, opcode, length, payload — is detected.
+//! Unlike the replication stream, the serving protocol cannot resynchronize
+//! after a bad frame (the length prefix it would need to skip is itself
+//! untrusted), so a corrupt frame is *fatal to the connection*: the server
+//! drops the socket and aborts the connection's in-flight transactions.
+//!
+//! `req_id` is chosen by the client (monotonic per connection) and echoed in
+//! the matching response; responses to one connection are delivered strictly
+//! in request order (invariant 10 in DESIGN.md), so a pipelining client can
+//! also match responses positionally.
+
+use aether_core::record::{crc32_finish, crc32_update, CRC32_INIT};
+
+/// Frame header size on the wire.
+pub const WIRE_HEADER: usize = 21;
+
+/// Magic tag opening a request frame.
+pub const REQUEST_MAGIC: u32 = 0xAE7E_0C11;
+
+/// Magic tag opening a response frame.
+pub const RESPONSE_MAGIC: u32 = 0xAE7E_0C22;
+
+/// Upper bound on a frame body. A length prefix larger than this is treated
+/// as corruption immediately — the receiver must not buffer attacker-chosen
+/// lengths before the CRC can vouch for them.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open an interactive transaction; the response carries its id.
+    Begin,
+    /// Snapshot read at a freshness floor (`at_least` = a commit token's
+    /// LSN; 0 = any snapshot). Routed through the `ReadRouter` when the
+    /// server fronts a replicated cluster, after folding in the
+    /// connection's own watermark (read-your-writes).
+    Read {
+        /// Table id.
+        table: u32,
+        /// Key.
+        key: u64,
+        /// Freshness floor (raw LSN of a commit token; 0 = none).
+        at_least: u64,
+    },
+    /// Analytical scan: snapshot-read `count` keys from `start`, aggregated
+    /// server-side (row count + checksum) so the response stays bounded.
+    Scan {
+        /// Table id.
+        table: u32,
+        /// First key.
+        start: u64,
+        /// Number of keys to visit.
+        count: u32,
+    },
+    /// Overwrite `key`. `txn` 0 means auto-commit: the server wraps the
+    /// write in its own transaction and responds `Committed` at durability,
+    /// which is what feeds the group-commit gate a stream of small commits.
+    Update {
+        /// Transaction id from `Begin`, or 0 for auto-commit.
+        txn: u64,
+        /// Table id.
+        table: u32,
+        /// Key.
+        key: u64,
+        /// New record bytes.
+        value: Vec<u8>,
+    },
+    /// Commit an interactive transaction. Acked strictly at durability.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Roll back an interactive transaction.
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Liveness probe / pipeline barrier.
+    Ping,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Transaction opened.
+    Begun {
+        /// Server-assigned transaction id.
+        txn: u64,
+    },
+    /// Read result.
+    Value {
+        /// Whether the key was present at the snapshot.
+        present: bool,
+        /// The serving snapshot's applied watermark (raw LSN).
+        applied: u64,
+        /// True if a replica served the read (router path).
+        from_replica: bool,
+        /// Record bytes (empty when absent).
+        value: Vec<u8>,
+    },
+    /// Scan aggregate.
+    ScanDone {
+        /// Rows found present.
+        found: u32,
+        /// XOR-fold of a CRC32 per present row (order-independent).
+        checksum: u64,
+    },
+    /// In-transaction update applied (not yet durable — that is `Commit`'s
+    /// business).
+    UpdateOk,
+    /// Commit durable. Carries the session token for read-your-writes.
+    Committed {
+        /// The commit token's raw LSN (fold into later `Read.at_least`).
+        token: u64,
+    },
+    /// Transaction rolled back.
+    Aborted,
+    /// Pong.
+    Pong,
+    /// Request failed. The connection survives; the transaction named by a
+    /// failed statement has been rolled back by the server.
+    Err {
+        /// An [`ErrCode`] as u16.
+        code: u16,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+/// Error codes carried by [`Response::Err`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrCode {
+    /// Referenced transaction id is not open on this connection.
+    NoSuchTxn = 1,
+    /// Key not found.
+    NotFound = 2,
+    /// Deadlock victim (transaction rolled back).
+    Deadlock = 3,
+    /// Lock wait timeout (transaction rolled back).
+    LockTimeout = 4,
+    /// Any other storage error.
+    Storage = 5,
+    /// Request malformed at the semantic level (e.g. bad table).
+    BadRequest = 6,
+    /// Server is shutting down.
+    Shutdown = 7,
+}
+
+impl ErrCode {
+    /// Map a storage error to a wire code.
+    pub fn of(e: &aether_storage::StorageError) -> ErrCode {
+        use aether_storage::StorageError as E;
+        match e {
+            E::Deadlock { .. } => ErrCode::Deadlock,
+            E::LockTimeout { .. } => ErrCode::LockTimeout,
+            E::KeyNotFound { .. } => ErrCode::NotFound,
+            E::TxnNotActive(_) => ErrCode::NoSuchTxn,
+            _ => ErrCode::Storage,
+        }
+    }
+}
+
+// Request opcodes.
+const OP_BEGIN: u8 = 0x01;
+const OP_READ: u8 = 0x02;
+const OP_SCAN: u8 = 0x03;
+const OP_UPDATE: u8 = 0x04;
+const OP_COMMIT: u8 = 0x05;
+const OP_ABORT: u8 = 0x06;
+const OP_PING: u8 = 0x07;
+
+// Response opcodes.
+const OP_BEGUN: u8 = 0x81;
+const OP_VALUE: u8 = 0x82;
+const OP_SCAN_DONE: u8 = 0x83;
+const OP_UPDATE_OK: u8 = 0x84;
+const OP_COMMITTED: u8 = 0x85;
+const OP_ABORTED: u8 = 0x86;
+const OP_PONG: u8 = 0x87;
+const OP_ERR: u8 = 0xFF;
+
+fn frame(magic: u32, req_id: u64, opcode: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WIRE_HEADER + body.len());
+    out.extend_from_slice(&magic.to_le_bytes());
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.push(opcode);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // crc placeholder
+    out.extend_from_slice(body);
+    let crc = crc32_finish(crc32_update(CRC32_INIT, &out));
+    out[17..21].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Header fields of a validated frame.
+struct Header {
+    req_id: u64,
+    opcode: u8,
+    len: usize,
+}
+
+/// Parse and CRC-check one complete frame at the front of `buf`.
+/// `buf` must hold exactly `WIRE_HEADER + len` bytes when called from
+/// `decode`; the streaming extractor checks length before slicing.
+fn check(magic: u32, buf: &[u8]) -> Option<Header> {
+    if buf.len() < WIRE_HEADER {
+        return None;
+    }
+    if u32::from_le_bytes(buf[0..4].try_into().ok()?) != magic {
+        return None;
+    }
+    let req_id = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+    let opcode = buf[12];
+    let len = u32::from_le_bytes(buf[13..17].try_into().ok()?) as usize;
+    if len > MAX_BODY || buf.len() != WIRE_HEADER + len {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(buf[17..21].try_into().ok()?);
+    let mut crc = crc32_update(CRC32_INIT, &buf[..17]);
+    crc = crc32_update(crc, &[0u8; 4]);
+    crc = crc32_update(crc, &buf[WIRE_HEADER..]);
+    if crc32_finish(crc) != stored_crc {
+        return None;
+    }
+    Some(Header {
+        req_id,
+        opcode,
+        len,
+    })
+}
+
+impl Request {
+    /// Serialize with the given request id.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        let mut b = Vec::new();
+        let op = match self {
+            Request::Begin => OP_BEGIN,
+            Request::Read {
+                table,
+                key,
+                at_least,
+            } => {
+                b.extend_from_slice(&table.to_le_bytes());
+                b.extend_from_slice(&key.to_le_bytes());
+                b.extend_from_slice(&at_least.to_le_bytes());
+                OP_READ
+            }
+            Request::Scan {
+                table,
+                start,
+                count,
+            } => {
+                b.extend_from_slice(&table.to_le_bytes());
+                b.extend_from_slice(&start.to_le_bytes());
+                b.extend_from_slice(&count.to_le_bytes());
+                OP_SCAN
+            }
+            Request::Update {
+                txn,
+                table,
+                key,
+                value,
+            } => {
+                b.extend_from_slice(&txn.to_le_bytes());
+                b.extend_from_slice(&table.to_le_bytes());
+                b.extend_from_slice(&key.to_le_bytes());
+                b.extend_from_slice(value);
+                OP_UPDATE
+            }
+            Request::Commit { txn } => {
+                b.extend_from_slice(&txn.to_le_bytes());
+                OP_COMMIT
+            }
+            Request::Abort { txn } => {
+                b.extend_from_slice(&txn.to_le_bytes());
+                OP_ABORT
+            }
+            Request::Ping => OP_PING,
+        };
+        frame(REQUEST_MAGIC, req_id, op, &b)
+    }
+
+    /// Decode a complete request frame; `None` for anything malformed.
+    pub fn decode(buf: &[u8]) -> Option<(u64, Request)> {
+        let h = check(REQUEST_MAGIC, buf)?;
+        let b = &buf[WIRE_HEADER..];
+        let req = match h.opcode {
+            OP_BEGIN => {
+                if h.len != 0 {
+                    return None;
+                }
+                Request::Begin
+            }
+            OP_READ => {
+                if h.len != 20 {
+                    return None;
+                }
+                Request::Read {
+                    table: u32::from_le_bytes(b[0..4].try_into().ok()?),
+                    key: u64::from_le_bytes(b[4..12].try_into().ok()?),
+                    at_least: u64::from_le_bytes(b[12..20].try_into().ok()?),
+                }
+            }
+            OP_SCAN => {
+                if h.len != 16 {
+                    return None;
+                }
+                Request::Scan {
+                    table: u32::from_le_bytes(b[0..4].try_into().ok()?),
+                    start: u64::from_le_bytes(b[4..12].try_into().ok()?),
+                    count: u32::from_le_bytes(b[12..16].try_into().ok()?),
+                }
+            }
+            OP_UPDATE => {
+                if h.len < 20 {
+                    return None;
+                }
+                Request::Update {
+                    txn: u64::from_le_bytes(b[0..8].try_into().ok()?),
+                    table: u32::from_le_bytes(b[8..12].try_into().ok()?),
+                    key: u64::from_le_bytes(b[12..20].try_into().ok()?),
+                    value: b[20..].to_vec(),
+                }
+            }
+            OP_COMMIT => {
+                if h.len != 8 {
+                    return None;
+                }
+                Request::Commit {
+                    txn: u64::from_le_bytes(b[0..8].try_into().ok()?),
+                }
+            }
+            OP_ABORT => {
+                if h.len != 8 {
+                    return None;
+                }
+                Request::Abort {
+                    txn: u64::from_le_bytes(b[0..8].try_into().ok()?),
+                }
+            }
+            OP_PING => {
+                if h.len != 0 {
+                    return None;
+                }
+                Request::Ping
+            }
+            _ => return None,
+        };
+        Some((h.req_id, req))
+    }
+}
+
+impl Response {
+    /// Serialize with the request id being answered.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        let mut b = Vec::new();
+        let op = match self {
+            Response::Begun { txn } => {
+                b.extend_from_slice(&txn.to_le_bytes());
+                OP_BEGUN
+            }
+            Response::Value {
+                present,
+                applied,
+                from_replica,
+                value,
+            } => {
+                b.push(u8::from(*present) | (u8::from(*from_replica) << 1));
+                b.extend_from_slice(&applied.to_le_bytes());
+                b.extend_from_slice(value);
+                OP_VALUE
+            }
+            Response::ScanDone { found, checksum } => {
+                b.extend_from_slice(&found.to_le_bytes());
+                b.extend_from_slice(&checksum.to_le_bytes());
+                OP_SCAN_DONE
+            }
+            Response::UpdateOk => OP_UPDATE_OK,
+            Response::Committed { token } => {
+                b.extend_from_slice(&token.to_le_bytes());
+                OP_COMMITTED
+            }
+            Response::Aborted => OP_ABORTED,
+            Response::Pong => OP_PONG,
+            Response::Err { code, msg } => {
+                b.extend_from_slice(&code.to_le_bytes());
+                b.extend_from_slice(msg.as_bytes());
+                OP_ERR
+            }
+        };
+        frame(RESPONSE_MAGIC, req_id, op, &b)
+    }
+
+    /// Decode a complete response frame; `None` for anything malformed.
+    pub fn decode(buf: &[u8]) -> Option<(u64, Response)> {
+        let h = check(RESPONSE_MAGIC, buf)?;
+        let b = &buf[WIRE_HEADER..];
+        let resp = match h.opcode {
+            OP_BEGUN => {
+                if h.len != 8 {
+                    return None;
+                }
+                Response::Begun {
+                    txn: u64::from_le_bytes(b[0..8].try_into().ok()?),
+                }
+            }
+            OP_VALUE => {
+                if h.len < 9 || b[0] & !0x03 != 0 {
+                    return None;
+                }
+                Response::Value {
+                    present: b[0] & 0x01 != 0,
+                    from_replica: b[0] & 0x02 != 0,
+                    applied: u64::from_le_bytes(b[1..9].try_into().ok()?),
+                    value: b[9..].to_vec(),
+                }
+            }
+            OP_SCAN_DONE => {
+                if h.len != 12 {
+                    return None;
+                }
+                Response::ScanDone {
+                    found: u32::from_le_bytes(b[0..4].try_into().ok()?),
+                    checksum: u64::from_le_bytes(b[4..12].try_into().ok()?),
+                }
+            }
+            OP_UPDATE_OK => {
+                if h.len != 0 {
+                    return None;
+                }
+                Response::UpdateOk
+            }
+            OP_COMMITTED => {
+                if h.len != 8 {
+                    return None;
+                }
+                Response::Committed {
+                    token: u64::from_le_bytes(b[0..8].try_into().ok()?),
+                }
+            }
+            OP_ABORTED => {
+                if h.len != 0 {
+                    return None;
+                }
+                Response::Aborted
+            }
+            OP_PONG => {
+                if h.len != 0 {
+                    return None;
+                }
+                Response::Pong
+            }
+            OP_ERR => {
+                if h.len < 2 {
+                    return None;
+                }
+                Response::Err {
+                    code: u16::from_le_bytes(b[0..2].try_into().ok()?),
+                    msg: String::from_utf8(b[2..].to_vec()).ok()?,
+                }
+            }
+            _ => return None,
+        };
+        Some((h.req_id, resp))
+    }
+}
+
+/// Outcome of trying to pull one frame out of a byte stream's buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Extracted<T> {
+    /// A complete, CRC-valid frame was removed from the buffer.
+    Msg {
+        /// The frame's request id.
+        req_id: u64,
+        /// The decoded message.
+        msg: T,
+    },
+    /// The buffer holds a prefix of a valid-looking frame; read more bytes.
+    NeedMore,
+    /// The buffer front is not a valid frame. The stream cannot be
+    /// resynchronized — the connection must be dropped.
+    Corrupt,
+}
+
+fn extract<T>(
+    magic: u32,
+    buf: &mut Vec<u8>,
+    decode: impl Fn(&[u8]) -> Option<(u64, T)>,
+) -> Extracted<T> {
+    if buf.len() < WIRE_HEADER {
+        return Extracted::NeedMore;
+    }
+    if u32::from_le_bytes(buf[0..4].try_into().unwrap()) != magic {
+        return Extracted::Corrupt;
+    }
+    let len = u32::from_le_bytes(buf[13..17].try_into().unwrap()) as usize;
+    if len > MAX_BODY {
+        return Extracted::Corrupt;
+    }
+    let total = WIRE_HEADER + len;
+    if buf.len() < total {
+        return Extracted::NeedMore;
+    }
+    match decode(&buf[..total]) {
+        Some((req_id, msg)) => {
+            buf.drain(..total);
+            Extracted::Msg { req_id, msg }
+        }
+        None => Extracted::Corrupt,
+    }
+}
+
+/// Pull one request frame off the front of `buf` (a connection's read
+/// accumulator), leaving any following bytes in place.
+pub fn extract_request(buf: &mut Vec<u8>) -> Extracted<Request> {
+    extract(REQUEST_MAGIC, buf, Request::decode)
+}
+
+/// Pull one response frame off the front of `buf`.
+pub fn extract_response(buf: &mut Vec<u8>) -> Extracted<Response> {
+    extract(RESPONSE_MAGIC, buf, Response::decode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Begin,
+            Request::Read {
+                table: 3,
+                key: 77,
+                at_least: 9000,
+            },
+            Request::Scan {
+                table: 1,
+                start: 10,
+                count: 500,
+            },
+            Request::Update {
+                txn: 0,
+                table: 2,
+                key: 5,
+                value: vec![1, 2, 3, 4],
+            },
+            Request::Commit { txn: 42 },
+            Request::Abort { txn: 43 },
+            Request::Ping,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Begun { txn: 9 },
+            Response::Value {
+                present: true,
+                applied: 4096,
+                from_replica: true,
+                value: vec![7; 32],
+            },
+            Response::ScanDone {
+                found: 12,
+                checksum: 0xDEAD_BEEF,
+            },
+            Response::UpdateOk,
+            Response::Committed { token: 512 },
+            Response::Aborted,
+            Response::Pong,
+            Response::Err {
+                code: ErrCode::Deadlock as u16,
+                msg: "victim".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for (i, r) in all_requests().into_iter().enumerate() {
+            let enc = r.encode(i as u64);
+            assert_eq!(Request::decode(&enc), Some((i as u64, r)));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for (i, r) in all_responses().into_iter().enumerate() {
+            let enc = r.encode(1000 + i as u64);
+            assert_eq!(Response::decode(&enc), Some((1000 + i as u64, r)));
+        }
+    }
+
+    #[test]
+    fn corruption_detected_anywhere() {
+        let enc = Request::Update {
+            txn: 1,
+            table: 0,
+            key: 9,
+            value: vec![0xAB; 40],
+        }
+        .encode(7);
+        for at in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[at] ^= 0x20;
+            assert!(Request::decode(&bad).is_none(), "flip at {at} undetected");
+        }
+        assert!(Request::decode(&enc[..enc.len() - 1]).is_none());
+        assert!(Request::decode(&enc[..5]).is_none());
+    }
+
+    #[test]
+    fn extract_streams_split_frames() {
+        let a = Request::Begin.encode(1);
+        let b = Request::Ping.encode(2);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&a);
+        buf.extend_from_slice(&b[..10]);
+        match extract_request(&mut buf) {
+            Extracted::Msg { req_id, msg } => {
+                assert_eq!((req_id, msg), (1, Request::Begin));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(extract_request(&mut buf), Extracted::NeedMore);
+        buf.extend_from_slice(&b[10..]);
+        match extract_request(&mut buf) {
+            Extracted::Msg { req_id, msg } => {
+                assert_eq!((req_id, msg), (2, Request::Ping));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn extract_flags_corruption() {
+        let mut buf = Request::Ping.encode(3);
+        buf[2] ^= 0x01; // bad magic
+        assert_eq!(extract_request(&mut buf), Extracted::Corrupt);
+
+        // Oversized length prefix is corrupt even before the body arrives.
+        let mut huge = Request::Ping.encode(4);
+        huge[13..17].copy_from_slice(&(MAX_BODY as u32 + 1).to_le_bytes());
+        assert_eq!(extract_request(&mut huge), Extracted::Corrupt);
+    }
+}

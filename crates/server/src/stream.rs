@@ -1,0 +1,261 @@
+//! Transport abstraction under the connection loop.
+//!
+//! The loop itself is transport-agnostic: it polls [`ByteStream`]s for
+//! readable bytes and writes framed responses back. Two implementations:
+//!
+//! * [`TcpByteStream`] — a nonblocking `std::net::TcpStream`, the real
+//!   serving path.
+//! * [`ChanByteStream`] — a pair of [`rt_channel`]s carrying byte chunks,
+//!   so a whole server + client fleet runs in-process and, under
+//!   [`Runtime::sim`](aether_core::runtime::Runtime::sim), deterministically:
+//!   chunk delivery order is scheduler order, which is seed order.
+
+use aether_core::runtime::{rt_channel, RtReceiver, RtSender};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// What a non-blocking read observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// `n` bytes were appended to the buffer.
+    Bytes(usize),
+    /// Nothing available right now.
+    WouldBlock,
+    /// Peer closed the stream (no more bytes will ever arrive).
+    Closed,
+}
+
+/// A bidirectional, message-boundary-free byte pipe, non-blocking on read.
+pub trait ByteStream: Send {
+    /// Append whatever bytes are available onto `buf` without blocking.
+    fn read_some(&mut self, buf: &mut Vec<u8>) -> io::Result<ReadOutcome>;
+
+    /// Write all of `bytes` (may briefly spin-wait on backpressure).
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Block up to `timeout` for readable bytes, appending them to `buf`.
+    /// Client-side only — the server loop never blocks per-stream. The
+    /// default implementation polls; transports with a real blocking
+    /// primitive override it so waiting clients park instead of spinning
+    /// (with dozens of connections the spin CPU otherwise starves the
+    /// server itself).
+    fn read_wait(&mut self, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<ReadOutcome> {
+        match self.read_some(buf)? {
+            ReadOutcome::WouldBlock => {
+                aether_core::runtime::sleep(timeout.min(Duration::from_micros(50)));
+                self.read_some(buf)
+            }
+            r => Ok(r),
+        }
+    }
+
+    /// Close the stream: the peer observes `Closed` after draining.
+    fn close(&mut self);
+}
+
+/// [`ByteStream`] over a nonblocking TCP socket.
+pub struct TcpByteStream {
+    sock: TcpStream,
+    scratch: Box<[u8; 64 * 1024]>,
+}
+
+impl TcpByteStream {
+    /// Wrap `sock`, switching it to nonblocking mode and disabling Nagle
+    /// (frames are small and latency-sensitive; batching is the group-commit
+    /// gate's job, not the kernel's).
+    pub fn new(sock: TcpStream) -> io::Result<TcpByteStream> {
+        sock.set_nonblocking(true)?;
+        sock.set_nodelay(true)?;
+        Ok(TcpByteStream {
+            sock,
+            scratch: Box::new([0u8; 64 * 1024]),
+        })
+    }
+}
+
+impl ByteStream for TcpByteStream {
+    fn read_some(&mut self, buf: &mut Vec<u8>) -> io::Result<ReadOutcome> {
+        match self.sock.read(&mut self.scratch[..]) {
+            Ok(0) => Ok(ReadOutcome::Closed),
+            Ok(n) => {
+                buf.extend_from_slice(&self.scratch[..n]);
+                Ok(ReadOutcome::Bytes(n))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(ReadOutcome::WouldBlock),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(ReadOutcome::WouldBlock),
+            Err(e)
+                if e.kind() == io::ErrorKind::ConnectionReset
+                    || e.kind() == io::ErrorKind::BrokenPipe =>
+            {
+                Ok(ReadOutcome::Closed)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_all(&mut self, mut bytes: &[u8]) -> io::Result<()> {
+        while !bytes.is_empty() {
+            match self.sock.write(bytes) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => bytes = &bytes[n..],
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Socket send buffer full: the peer is slower than us.
+                    // Back off through the runtime seam so the wait is
+                    // schedulable under sim (TCP is never used under sim,
+                    // but the discipline costs nothing).
+                    aether_core::runtime::sleep(Duration::from_micros(50));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn read_wait(&mut self, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<ReadOutcome> {
+        // Flip to a blocking read with a timeout, then restore nonblocking
+        // mode: two extra fcntls per wait, but the waiting thread parks in
+        // the kernel instead of burning a poll loop.
+        if let Ok(r @ (ReadOutcome::Bytes(_) | ReadOutcome::Closed)) = self.read_some(buf) {
+            return Ok(r);
+        }
+        self.sock.set_nonblocking(false)?;
+        self.sock
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let got = self.sock.read(&mut self.scratch[..]);
+        self.sock.set_nonblocking(true)?;
+        match got {
+            Ok(0) => Ok(ReadOutcome::Closed),
+            Ok(n) => {
+                buf.extend_from_slice(&self.scratch[..n]);
+                Ok(ReadOutcome::Bytes(n))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(ReadOutcome::WouldBlock)
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::ConnectionReset
+                    || e.kind() == io::ErrorKind::BrokenPipe =>
+            {
+                Ok(ReadOutcome::Closed)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn close(&mut self) {
+        let _ = self.sock.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// [`ByteStream`] over a pair of runtime-aware channels carrying byte
+/// chunks. Each `write_all` becomes one chunk; the reader re-buffers, so
+/// frame boundaries are *not* preserved — exactly like TCP.
+pub struct ChanByteStream {
+    tx: Option<RtSender<Vec<u8>>>,
+    rx: Option<RtReceiver<Vec<u8>>>,
+}
+
+/// A connected pair of in-process byte streams (client end, server end).
+pub fn chan_pair() -> (ChanByteStream, ChanByteStream) {
+    let (atx, arx) = rt_channel::<Vec<u8>>();
+    let (btx, brx) = rt_channel::<Vec<u8>>();
+    (
+        ChanByteStream {
+            tx: Some(atx),
+            rx: Some(brx),
+        },
+        ChanByteStream {
+            tx: Some(btx),
+            rx: Some(arx),
+        },
+    )
+}
+
+impl ByteStream for ChanByteStream {
+    fn read_some(&mut self, buf: &mut Vec<u8>) -> io::Result<ReadOutcome> {
+        let rx = match &self.rx {
+            Some(rx) => rx,
+            None => return Ok(ReadOutcome::Closed),
+        };
+        let mut n = 0;
+        while let Some(chunk) = rx.try_recv() {
+            n += chunk.len();
+            buf.extend_from_slice(&chunk);
+        }
+        if n > 0 {
+            Ok(ReadOutcome::Bytes(n))
+        } else if rx.is_disconnected() {
+            Ok(ReadOutcome::Closed)
+        } else {
+            Ok(ReadOutcome::WouldBlock)
+        }
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match &self.tx {
+            Some(tx) if tx.send(bytes.to_vec()) => Ok(()),
+            _ => Err(io::ErrorKind::BrokenPipe.into()),
+        }
+    }
+
+    fn read_wait(&mut self, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<ReadOutcome> {
+        // `recv_timeout` parks on the channel condvar (virtual time under
+        // sim) — no polling.
+        let rx = match &self.rx {
+            Some(rx) => rx,
+            None => return Ok(ReadOutcome::Closed),
+        };
+        match rx.recv_timeout(timeout) {
+            Some(chunk) => {
+                let mut n = chunk.len();
+                buf.extend_from_slice(&chunk);
+                while let Some(more) = rx.try_recv() {
+                    n += more.len();
+                    buf.extend_from_slice(&more);
+                }
+                Ok(ReadOutcome::Bytes(n))
+            }
+            None if rx.is_disconnected() => Ok(ReadOutcome::Closed),
+            None => Ok(ReadOutcome::WouldBlock),
+        }
+    }
+
+    fn close(&mut self) {
+        // Dropping the sender lets the peer drain buffered chunks and then
+        // observe `Closed`; dropping the receiver makes the peer's writes
+        // fail fast.
+        self.tx = None;
+        self.rx = None;
+    }
+}
+
+impl Drop for ChanByteStream {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chan_pair_roundtrips_and_closes() {
+        let (mut a, mut b) = chan_pair();
+        a.write_all(&[1, 2, 3]).unwrap();
+        a.write_all(&[4]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(b.read_some(&mut buf).unwrap(), ReadOutcome::Bytes(4));
+        assert_eq!(buf, vec![1, 2, 3, 4]);
+        assert_eq!(b.read_some(&mut buf).unwrap(), ReadOutcome::WouldBlock);
+        a.close();
+        assert_eq!(b.read_some(&mut buf).unwrap(), ReadOutcome::Closed);
+        assert!(b.write_all(&[9]).is_err());
+    }
+}

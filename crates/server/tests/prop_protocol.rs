@@ -1,0 +1,316 @@
+//! Protocol torture (ISSUE 9 satellite): proptest round-trips for every
+//! request/response frame with arbitrary payloads, and a corrupt-frame
+//! suite — truncations and bit flips at every offset — asserting the
+//! decoder rejects damage and the *server* survives it: the connection is
+//! dropped cleanly, no panic, no partial transaction left holding locks.
+
+use aether_server::protocol::{extract_request, Extracted, Request, Response, MAX_BODY};
+use aether_server::stream::ReadOutcome;
+use aether_server::{ByteStream, Client, Engine, Server, ServerConfig};
+use aether_storage::{CommitProtocol, Db, DbOptions};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_request(sel: u8, a: u64, b: u64, c: u64, payload: &[u8]) -> Request {
+    match sel % 7 {
+        0 => Request::Begin,
+        1 => Request::Read {
+            table: a as u32,
+            key: b,
+            at_least: c,
+        },
+        2 => Request::Scan {
+            table: a as u32,
+            start: b,
+            count: c as u32,
+        },
+        3 => Request::Update {
+            txn: a,
+            table: b as u32,
+            key: c,
+            value: payload.to_vec(),
+        },
+        4 => Request::Commit { txn: a },
+        5 => Request::Abort { txn: a },
+        _ => Request::Ping,
+    }
+}
+
+fn arb_response(sel: u8, a: u64, b: u64, payload: &[u8]) -> Response {
+    match sel % 8 {
+        0 => Response::Begun { txn: a },
+        1 => Response::Value {
+            present: a & 1 == 1,
+            applied: b,
+            from_replica: a & 2 == 2,
+            value: payload.to_vec(),
+        },
+        2 => Response::ScanDone {
+            found: a as u32,
+            checksum: b,
+        },
+        3 => Response::UpdateOk,
+        4 => Response::Committed { token: a },
+        5 => Response::Aborted,
+        6 => Response::Pong,
+        _ => Response::Err {
+            code: a as u16,
+            msg: String::from_utf8_lossy(payload).into_owned(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity for every request kind, any payload.
+    #[test]
+    fn request_encode_decode_identity(
+        sel in 0u8..7,
+        req_id in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let req = arb_request(sel, a, b, c, &payload);
+        let enc = req.encode(req_id);
+        prop_assert_eq!(Request::decode(&enc), Some((req_id, req)));
+    }
+
+    /// encode → decode is the identity for every response kind.
+    #[test]
+    fn response_encode_decode_identity(
+        sel in 0u8..8,
+        req_id in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let resp = arb_response(sel, a, b, &payload);
+        let enc = resp.encode(req_id);
+        prop_assert_eq!(Response::decode(&enc), Some((req_id, resp)));
+    }
+
+    /// A single bit flip anywhere in the frame is always detected, and any
+    /// truncation is never accepted as a complete frame.
+    #[test]
+    fn bit_flips_and_truncations_never_decode(
+        sel in 0u8..7,
+        a in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        flip_at_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let req = arb_request(sel, a, a ^ 0xFF, a >> 3, &payload);
+        let enc = req.encode(7);
+
+        let at = ((enc.len() as f64 - 1.0) * flip_at_frac) as usize;
+        let mut bad = enc.clone();
+        bad[at] ^= 1 << flip_bit;
+        prop_assert!(bad == enc || Request::decode(&bad).is_none(),
+            "flip at {} bit {} went undetected", at, flip_bit);
+
+        let cut = ((enc.len() as f64 - 1.0) * cut_frac) as usize;
+        prop_assert_eq!(Request::decode(&enc[..cut]), None);
+    }
+
+    /// The streaming extractor classifies any byte-aligned split of a valid
+    /// stream as NeedMore/Msg, never Corrupt, and reassembles it exactly.
+    #[test]
+    fn extractor_reassembles_any_split(
+        reqs in proptest::collection::vec(
+            (0u8..7, any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 1..8),
+        split in 1usize..64,
+    ) {
+        let msgs: Vec<Request> = reqs.iter()
+            .map(|(sel, a, p)| arb_request(*sel, *a, a ^ 1, a >> 1, p))
+            .collect();
+        let mut wire = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            wire.extend_from_slice(&m.encode(i as u64));
+        }
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(split) {
+            buf.extend_from_slice(chunk);
+            loop {
+                match extract_request(&mut buf) {
+                    Extracted::Msg { req_id, msg } => {
+                        prop_assert_eq!(req_id, got.len() as u64);
+                        got.push(msg);
+                    }
+                    Extracted::NeedMore => break,
+                    Extracted::Corrupt => prop_assert!(false, "valid stream flagged corrupt"),
+                }
+            }
+        }
+        prop_assert!(buf.is_empty());
+        prop_assert_eq!(got, msgs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server-level corruption handling
+// ---------------------------------------------------------------------------
+
+fn boot() -> (Arc<Db>, u32, Server) {
+    let db = Db::open(DbOptions {
+        protocol: CommitProtocol::Pipelined,
+        ..DbOptions::default()
+    });
+    let table = db.create_table(16, 32);
+    for k in 0..32u64 {
+        db.load(table, k, &[3u8; 16]).unwrap();
+    }
+    db.setup_complete();
+    let server = Server::start(Engine::primary(Arc::clone(&db)), ServerConfig::default()).unwrap();
+    (db, table, server)
+}
+
+/// Poll a stream until the server closes it, collecting any bytes it sent
+/// first. Panics if the connection stays open past a generous deadline.
+fn wait_for_close(stream: &mut dyn ByteStream) -> Vec<u8> {
+    let mut scratch = Vec::new();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match stream.read_some(&mut scratch) {
+            Ok(ReadOutcome::Closed) | Err(_) => return scratch,
+            Ok(ReadOutcome::Bytes(_)) => {}
+            Ok(ReadOutcome::WouldBlock) => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never dropped the connection"
+        );
+    }
+}
+
+/// Wait (bounded) until the server has released every lock and finished
+/// every transaction, then assert so.
+fn assert_no_leaks(db: &Arc<Db>) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        db.log().flush_all();
+        if db.locks().granted_count() == 0 && db.txn_manager().active_count() == 0 {
+            return;
+        }
+        if std::time::Instant::now() > deadline {
+            panic!(
+                "leaked state: {} locks granted, {} txns active",
+                db.locks().granted_count(),
+                db.txn_manager().active_count()
+            );
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+/// A connection that has an open transaction holding row locks, then sends
+/// a bit-flipped frame: the server must drop that connection and roll the
+/// transaction back — no panic, no lock left behind — while a second
+/// connection keeps working and can lock the same row.
+#[test]
+fn corrupt_frame_drops_connection_and_releases_locks() {
+    let (db, table, server) = boot();
+    let mut victim = Client::new(Box::new(server.connect_chan()));
+
+    let txn = match victim.call(&Request::Begin).unwrap() {
+        Response::Begun { txn } => txn,
+        other => panic!("unexpected {other:?}"),
+    };
+    // X lock on row 5, held (transaction stays open).
+    assert_eq!(
+        victim
+            .call(&Request::Update {
+                txn,
+                table,
+                key: 5,
+                value: vec![1u8; 16],
+            })
+            .unwrap(),
+        Response::UpdateOk
+    );
+    assert!(db.locks().granted_count() > 0, "locks held mid-transaction");
+
+    // Now corrupt the stream: the victim's commit frame with one bit
+    // flipped in the body region (the CRC must catch it), pushed raw past
+    // the Client's framing layer.
+    let mut raw_stream = victim.into_stream();
+    let mut bad = Request::Commit { txn }.encode(100);
+    let n = bad.len();
+    bad[n - 3] ^= 0x08;
+    raw_stream.write_all(&bad).unwrap();
+
+    // The server drops the connection without answering.
+    let scratch = wait_for_close(raw_stream.as_mut());
+    assert!(scratch.is_empty(), "no response precedes the drop");
+
+    // The victim's transaction is rolled back: no locks leak, and another
+    // connection can take the same row lock immediately.
+    assert_no_leaks(&db);
+    let mut other = Client::new(Box::new(server.connect_chan()));
+    match other
+        .call(&Request::Update {
+            txn: 0,
+            table,
+            key: 5,
+            value: vec![2u8; 16],
+        })
+        .unwrap()
+    {
+        Response::Committed { token } => assert!(token > 0),
+        other => panic!("unexpected {other:?}"),
+    }
+    other.close();
+    server.shutdown();
+    assert_no_leaks(&db);
+}
+
+/// Truncated frame at connection close: a prefix of a valid frame followed
+/// by socket close must not wedge or leak — the half-frame is simply
+/// incomplete input, and teardown aborts the open transaction.
+#[test]
+fn truncated_frame_then_close_leaks_nothing() {
+    let (db, table, server) = boot();
+    let mut client = Client::new(Box::new(server.connect_chan()));
+    let txn = match client.call(&Request::Begin).unwrap() {
+        Response::Begun { txn } => txn,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(
+        client
+            .call(&Request::Update {
+                txn,
+                table,
+                key: 9,
+                value: vec![4u8; 16],
+            })
+            .unwrap(),
+        Response::UpdateOk
+    );
+    let mut stream = client.into_stream();
+    let enc = Request::Commit { txn }.encode(55);
+    stream.write_all(&enc[..enc.len() / 2]).unwrap();
+    stream.close();
+    assert_no_leaks(&db);
+    server.shutdown();
+    assert_no_leaks(&db);
+}
+
+/// An oversized length prefix (> MAX_BODY) is corruption on arrival — the
+/// server must drop the connection without buffering the claimed body.
+#[test]
+fn oversized_length_prefix_is_fatal() {
+    let (db, _table, server) = boot();
+    let mut stream = server.connect_chan();
+    let mut bad = Request::Ping.encode(0);
+    bad[13..17].copy_from_slice(&(MAX_BODY as u32 + 1).to_le_bytes());
+    stream.write_all(&bad).unwrap();
+    wait_for_close(&mut stream);
+    server.shutdown();
+    assert_no_leaks(&db);
+}

@@ -12,13 +12,17 @@
 //!   (default 200).
 //! * `AETHER_SIM_BASE` — first seed when no positional BASE_SEED is given
 //!   (default 1).
+//! * `AETHER_SIM_SCENARIO` — `cluster` (default, the fault-injected
+//!   replication scenario) or `server`: the wire tier under the seeded
+//!   scheduler ([`aether_sim::run_server_seed`]) — connection loop,
+//!   pipelined clients, read-your-writes checks.
 //! * `AETHER_SIM_OUT` — file to write failing seeds to (one per line);
 //!   always written when set, even if empty, so CI can upload it as an
 //!   artifact unconditionally.
 //!
 //! Exit code 0 iff every seed satisfied every invariant.
 
-use aether_sim::run_seed;
+use aether_sim::{run_seed, run_server_seed};
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -29,7 +33,51 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// A scenario-agnostic view of one seed's outcome, so the sweep loop and
+/// failure bookkeeping don't care which tier ran.
+struct Outcome {
+    acked: u64,
+    history: (u64, u64),
+    violations: Vec<String>,
+    telemetry: String,
+}
+
+impl Outcome {
+    fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn run_scenario(server: bool, seed: u64) -> Outcome {
+    if server {
+        let r = run_server_seed(seed);
+        Outcome {
+            acked: r.acked,
+            history: r.history,
+            violations: r.violations,
+            telemetry: String::new(),
+        }
+    } else {
+        let r = run_seed(seed);
+        Outcome {
+            acked: r.acked,
+            history: r.history,
+            violations: r.violations,
+            telemetry: r.telemetry,
+        }
+    }
+}
+
 fn main() {
+    let server = match std::env::var("AETHER_SIM_SCENARIO").as_deref() {
+        Ok("server") => true,
+        Ok("cluster") | Err(_) => false,
+        Ok(other) => {
+            eprintln!("AETHER_SIM_SCENARIO must be cluster|server, got {other:?}");
+            std::process::exit(2);
+        }
+    };
+
     // Single-seed replay mode: the "reproduce this failure" entry point.
     if let Ok(v) = std::env::var("AETHER_SIM_SEED") {
         let seed: u64 = v.parse().unwrap_or_else(|_| {
@@ -37,8 +85,12 @@ fn main() {
             std::process::exit(2);
         });
         println!("seed     : {seed}");
-        println!("plan     : {:?}", aether_sim::FaultPlan::decode(seed));
-        let report = run_seed(seed);
+        if server {
+            println!("scenario : server");
+        } else {
+            println!("plan     : {:?}", aether_sim::FaultPlan::decode(seed));
+        }
+        let report = run_scenario(server, seed);
         println!("acked    : {}", report.acked);
         println!(
             "history  : {:016x} over {} events",
@@ -75,7 +127,7 @@ fn main() {
     let mut acked_total = 0u64;
     for i in 0..count {
         let seed = base + i;
-        match catch_unwind(AssertUnwindSafe(|| run_seed(seed))) {
+        match catch_unwind(AssertUnwindSafe(|| run_scenario(server, seed))) {
             Ok(report) if report.ok() => acked_total += report.acked,
             Ok(report) => {
                 eprintln!("seed {seed}: FAIL ({})", report.violations.join("; "));

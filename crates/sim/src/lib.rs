@@ -21,6 +21,11 @@
 //!   `history` field is the reproducibility witness: the same seed must
 //!   reproduce it bit-for-bit.
 //!
+//! [`server_scenario::run_server_seed`] does the same for the wire tier:
+//! an `aether-server` connection loop plus a fleet of pipelining clients,
+//! all over in-process channel transports under the seeded scheduler, so
+//! the server's batching/ordering invariants replay byte-identically too.
+//!
 //! The `sim_sweep` binary runs a batch of seeds (default 200) and prints
 //! the failing ones; `AETHER_SIM_SEED=<n> sim_sweep` reruns a single seed —
 //! byte-identically, every time.
@@ -30,7 +35,9 @@
 pub mod cluster;
 pub mod fault;
 pub mod plan;
+pub mod server_scenario;
 
 pub use cluster::{run_seed, SimReport};
 pub use fault::FaultDevice;
 pub use plan::{Fault, FaultPlan, SeedRng};
+pub use server_scenario::{run_server_seed, ServerSimReport};

@@ -17,6 +17,10 @@ use aether_core::{
 use parking_lot::RwLock;
 use std::sync::Arc;
 
+/// Durability callback handed to [`Db::commit_tokened_with`]: invoked with
+/// the commit's [`CommitToken`] exactly when the commit is durable.
+pub type DurableCallback = Box<dyn FnOnce(CommitToken) + Send>;
+
 /// Database construction options.
 #[derive(Debug, Clone)]
 pub struct DbOptions {
@@ -496,7 +500,11 @@ impl Db {
         txn: Transaction,
         on_durable: Option<Box<dyn FnOnce() + Send>>,
     ) -> StorageResult<CommitOutcome> {
-        self.commit_inner(txn, on_durable).map(|(out, _)| out)
+        self.commit_inner(
+            txn,
+            on_durable.map(|f| -> DurableCallback { Box::new(|_| f()) }),
+        )
+        .map(|(out, _)| out)
     }
 
     /// Commit and also return the session [`CommitToken`]: the commit
@@ -509,10 +517,24 @@ impl Db {
         self.commit_inner(txn, None)
     }
 
+    /// Commit with both a session token *and* a durability callback. The
+    /// callback receives the commit's [`CommitToken`] when the commit is
+    /// durable — inline for blocking protocols, from the flush daemon for
+    /// the async ones — so a wire server can ack the client (and fold the
+    /// token into the connection's read-your-writes watermark) strictly at
+    /// durability, never before.
+    pub fn commit_tokened_with(
+        &self,
+        txn: Transaction,
+        on_durable: DurableCallback,
+    ) -> StorageResult<(CommitOutcome, CommitToken)> {
+        self.commit_inner(txn, Some(on_durable))
+    }
+
     fn commit_inner(
         &self,
         mut txn: Transaction,
-        on_durable: Option<Box<dyn FnOnce() + Send>>,
+        on_durable: Option<DurableCallback>,
     ) -> StorageResult<(CommitOutcome, CommitToken)> {
         self.check_active(&txn)?;
         let t_commit = self.log.telemetry().ts();
@@ -523,7 +545,7 @@ impl Db {
             self.locks.release_all(txn.id, &txn.held);
             self.txns.finish(txn.id);
             if let Some(f) = on_durable {
-                f();
+                f(CommitToken::ZERO);
             }
             return Ok((CommitOutcome::Durable, CommitToken::ZERO));
         }
@@ -572,7 +594,7 @@ impl Db {
                 self.locks.release_all(txn.id, &txn.held);
                 self.txns.finish(txn.id);
                 if let Some(f) = on_durable {
-                    f();
+                    f(token);
                 }
                 Ok((
                     if replicated {
@@ -591,7 +613,7 @@ impl Db {
                 record_latency();
                 self.txns.finish(txn.id);
                 if let Some(f) = on_durable {
-                    f();
+                    f(token);
                 }
                 Ok((
                     if replicated {
@@ -612,7 +634,7 @@ impl Db {
                         record_latency();
                         txns.finish(id);
                         if let Some(f) = on_durable {
-                            f();
+                            f(token);
                         }
                     })),
                 );
@@ -632,7 +654,7 @@ impl Db {
                         // handle: a waiter on the handle must observe every
                         // side effect of the commit's completion.
                         if let Some(f) = on_durable {
-                            f();
+                            f(token);
                         }
                         st.complete();
                     })),

@@ -21,6 +21,7 @@
 pub use aether_bench as bench;
 pub use aether_core as log;
 pub use aether_repl as repl;
+pub use aether_server as server;
 pub use aether_sim as sim;
 pub use aether_storage as storage;
 

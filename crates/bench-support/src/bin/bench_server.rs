@@ -15,11 +15,16 @@
 //! `AETHER_WINDOW` (pipeline depth), `AETHER_KEYS`, `AETHER_OPEN_US`
 //! (open-loop arrival interval per connection, 0 disables),
 //! `AETHER_SERVER_ADDR` (serve real TCP instead of in-process pipes),
-//! `AETHER_SERVER_BATCH_US` (IO-loop batch window); `AETHER_JSON=<path>`
-//! appends machine-readable rows.
+//! `AETHER_SERVER_BATCH_US` (IO-loop batch window);
+//! `AETHER_LOG_SOFT_BYTES` / `AETHER_LOG_HARD_BYTES` (disk-pressure
+//! watermarks, 0 = off — arming either switches the log onto a
+//! segmented device sized by `AETHER_SEG_KB`, default 64, because only
+//! segments can be recycled to relieve the pressure);
+//! `AETHER_JSON=<path>` appends machine-readable rows.
 
 use aether_bench::env_or;
 use aether_bench::json::JsonSink;
+use aether_core::partition::{MemSegmentFactory, SegmentedDevice};
 use aether_core::runtime::Runtime;
 use aether_core::{BufferKind, DeviceKind, LogConfig, TelemetryConfig};
 use aether_server::load::run_load;
@@ -68,16 +73,37 @@ fn main() {
     // (Ram) flush would understate the effect and measure only scheduler
     // noise.
     let dev_us = env_or("AETHER_DEV_US", 10_000u64);
+    // Disk-pressure watermarks (0 = disabled): soft kicks an emergency
+    // checkpoint cycle; hard sheds Begin/auto-commit with `LogFull`.
+    let soft_bytes = env_or("AETHER_LOG_SOFT_BYTES", 0u64);
+    let hard_bytes = env_or("AETHER_LOG_HARD_BYTES", 0u64);
+    let seg_kb = env_or("AETHER_SEG_KB", 64u64).max(4);
 
-    let db = Db::open(DbOptions {
+    let opts = DbOptions {
         protocol: CommitProtocol::Pipelined,
         buffer: BufferKind::Hybrid,
         device: DeviceKind::CustomUs(dev_us),
         log_config: LogConfig::default()
             .with_buffer_size(1 << 22)
             .with_telemetry(TelemetryConfig::from_env()),
+        log_soft_bytes: (soft_bytes > 0).then_some(soft_bytes),
+        log_hard_bytes: (hard_bytes > 0).then_some(hard_bytes),
         ..DbOptions::default()
-    });
+    };
+    // Watermarks are only meaningful when the emergency checkpoint can
+    // actually reclaim log space: a plain device never recycles, so its
+    // retained footprint is monotone and the hard watermark would become
+    // a permanent outage instead of a degradation. Segments make the
+    // pressure relievable.
+    let db = if soft_bytes > 0 || hard_bytes > 0 {
+        let segments = Arc::new(
+            SegmentedDevice::new(Box::new(MemSegmentFactory), seg_kb * 1024)
+                .expect("segmented device"),
+        );
+        Db::open_with_device(opts, segments as _)
+    } else {
+        Db::open(opts)
+    };
     let table = db.create_table(VALUE_LEN, keys);
     for k in 0..keys {
         db.load(table, k, &[0u8; VALUE_LEN]).unwrap();
@@ -153,5 +179,5 @@ fn main() {
     println!("# pipelined/serial commit speedup: {speedup:.2}x");
 
     server.shutdown();
-    db.log().flush_all();
+    let _ = db.log().flush_all();
 }

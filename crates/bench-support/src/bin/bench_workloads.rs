@@ -102,6 +102,6 @@ fn main() {
         ]);
 
         server.shutdown();
-        db.log().flush_all();
+        let _ = db.log().flush_all();
     }
 }

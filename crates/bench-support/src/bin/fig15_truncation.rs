@@ -95,7 +95,7 @@ fn main() {
                     checkpoints += 1;
                 }
             }
-            db.log().flush_all();
+            let _ = db.log().flush_all();
             let elapsed = t.elapsed().as_secs_f64();
             let tps = total as f64 / elapsed;
             let log_end = db.log().durable_lsn().raw();

@@ -46,7 +46,7 @@ fn main() {
         },
         &body,
     );
-    db.log().flush_all();
+    let _ = db.log().flush_all();
     println!("== TPC-B log profile ==");
     println!(
         "{}",
@@ -84,7 +84,7 @@ fn main() {
         },
         &body,
     );
-    db.log().flush_all();
+    let _ = db.log().flush_all();
     println!("== TATP (standard mix) log profile ==");
     println!(
         "{}",

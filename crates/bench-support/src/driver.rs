@@ -117,11 +117,11 @@ pub fn run_closed_loop(db: &Arc<Db>, cfg: &DriverConfig, body: &TxnBody) -> Driv
     let wall = start.elapsed();
 
     // Drain: make every submitted commit durable and wait for callbacks.
-    db.log().flush_all();
+    let _ = db.log().flush_all();
     let target = submitted.load(Ordering::Relaxed);
     let deadline = Instant::now() + Duration::from_secs(10);
     while committed.load(Ordering::Relaxed) < target && Instant::now() < deadline {
-        db.log().flush_all();
+        let _ = db.log().flush_all();
         std::thread::sleep(Duration::from_micros(200));
     }
 

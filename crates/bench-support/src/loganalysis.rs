@@ -132,7 +132,7 @@ mod tests {
         for i in 0..30u64 {
             let (_, _end) = log.insert_ext(RecordKind::Commit, i, aether_core::Lsn::ZERO, &[]);
         }
-        log.flush_all();
+        log.flush_all().unwrap();
         let p = LogProfile::scan(std::sync::Arc::clone(log.device())).unwrap();
         assert_eq!(p.records, 180);
         assert_eq!(p.by_kind["update"], 150);
@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn empty_log_profile() {
         let log = LogManager::builder().device(DeviceKind::Ram).build();
-        log.flush_all();
+        log.flush_all().unwrap();
         let p = LogProfile::scan(std::sync::Arc::clone(log.device())).unwrap();
         assert_eq!(p.records, 0);
         assert_eq!(p.mean_size(), 0.0);

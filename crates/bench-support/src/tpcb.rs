@@ -293,7 +293,7 @@ mod tests {
         // Leave one transaction in flight at the crash.
         let mut loser = db.begin();
         tpcb.account_update(&db, &mut loser, &mut rng).unwrap();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         let image = db.crash();
         std::mem::forget(loser);
         let db2 = Db::recover(

@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                 });
             },
         );
-        db.log().flush_all();
+        let _ = db.log().flush_all();
     }
     g.finish();
 }

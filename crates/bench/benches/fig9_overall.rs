@@ -44,7 +44,7 @@ fn bench(c: &mut Criterion) {
                 let _ = db.commit(txn).unwrap();
             });
         });
-        db.log().flush_all();
+        let _ = db.log().flush_all();
     }
     g.finish();
 }

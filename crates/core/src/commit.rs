@@ -21,6 +21,7 @@ use std::time::Duration;
 #[derive(Debug, Default)]
 pub struct CommitState {
     done: Mutex<bool>,
+    failed: std::sync::atomic::AtomicBool,
     cv: RtCondvar,
 }
 
@@ -31,6 +32,13 @@ impl CommitState {
         let mut g = self.done.lock();
         *g = true;
         self.cv.notify_all();
+    }
+
+    /// Mark failed (log poisoned before the commit became durable) and wake
+    /// waiters: the commit's handle reports failure instead of hanging.
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+        self.complete();
     }
 }
 
@@ -45,17 +53,26 @@ impl CommitHandle {
         (CommitHandle(Arc::clone(&st)), st)
     }
 
-    /// Block until the commit is durable.
-    pub fn wait(&self) {
+    /// Block until the commit resolves. Returns `true` when it became
+    /// durable, `false` when the log was poisoned first and the commit was
+    /// released with an error (it never became durable).
+    #[must_use = "a false return means the commit failed (log poisoned)"]
+    pub fn wait(&self) -> bool {
         let mut g = self.0.done.lock();
         while !*g {
             g = self.0.cv.wait(&self.0.done, g);
         }
+        !self.0.failed.load(Ordering::SeqCst)
     }
 
-    /// Non-blocking durability check.
+    /// Non-blocking resolution check (durable *or* failed).
     pub fn is_done(&self) -> bool {
         *self.0.done.lock()
+    }
+
+    /// Whether the commit was released by a poisoned log.
+    pub fn is_failed(&self) -> bool {
+        self.0.failed.load(Ordering::SeqCst)
     }
 }
 
@@ -86,13 +103,16 @@ impl CommitToken {
     }
 }
 
-/// What to do when a pending commit becomes durable.
+/// What to do when a pending commit resolves.
 pub enum CommitAction {
     /// Wake a [`CommitHandle`].
     Notify(Arc<CommitState>),
     /// Run an arbitrary callback (used by the benchmark drivers to count
-    /// completed transactions and by agent threads to reattach).
-    Callback(Box<dyn FnOnce() + Send>),
+    /// completed transactions and by agent threads to reattach). The
+    /// argument is `true` when the commit became durable, `false` when the
+    /// log was poisoned first — callbacks observe the failure instead of
+    /// silently never running.
+    Callback(Box<dyn FnOnce(bool) + Send>),
     /// Just count it (the pipeline always counts completions).
     Count,
 }
@@ -137,6 +157,7 @@ pub struct CommitPipeline {
     heap: Mutex<BinaryHeap<Pending>>,
     submitted: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
     telemetry: OnceLock<Arc<Telemetry>>,
 }
 
@@ -179,6 +200,12 @@ impl CommitPipeline {
         self.completed.load(Ordering::Relaxed)
     }
 
+    /// Number of commits failed by [`CommitPipeline::fail_pending`] (the
+    /// log was poisoned while they awaited durability).
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
     /// Commits currently awaiting durability.
     pub fn pending(&self) -> usize {
         self.heap.lock().len()
@@ -219,11 +246,38 @@ impl CommitPipeline {
             self.completed.fetch_add(1, Ordering::Relaxed);
             match p.action {
                 CommitAction::Notify(st) => st.complete(),
-                CommitAction::Callback(f) => f(),
+                CommitAction::Callback(f) => f(true),
                 CommitAction::Count => {}
             }
         }
         n
+    }
+
+    /// Fail every pending commit: the flush daemon poisoned the log, so no
+    /// further LSN will ever become durable. Handles wake with failure,
+    /// callbacks run with `false` — committers get an `Err`, not a hang.
+    /// Returns how many were failed.
+    pub fn fail_pending(&self) -> usize {
+        let drained: Vec<Pending> = {
+            let mut heap = self.heap.lock();
+            std::mem::take(&mut *heap).into_vec()
+        };
+        let n = drained.len();
+        for p in drained {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            Self::fail_action(p.action);
+        }
+        n
+    }
+
+    /// Resolve one action as failed without enqueuing it (used when a
+    /// commit is submitted against an already-poisoned log).
+    pub fn fail_action(action: CommitAction) {
+        match action {
+            CommitAction::Notify(st) => st.fail(),
+            CommitAction::Callback(f) => f(false),
+            CommitAction::Count => {}
+        }
     }
 }
 
@@ -349,6 +403,23 @@ impl CommitGate {
         self.replicas.read().len()
     }
 
+    /// Remove a replica's ack handle (identity comparison). A quarantined
+    /// or replaced replica must be unregistered, or its stalled watermark
+    /// clamps log truncation and holds the replication floor down forever.
+    /// Waiters are re-notified — removing a laggard can only *raise* the
+    /// floor. Returns whether the handle was registered.
+    pub fn unregister_replica(&self, ack: &Arc<ReplicaAck>) -> bool {
+        let mut replicas = self.replicas.write();
+        let before = replicas.len();
+        replicas.retain(|r| !Arc::ptr_eq(r, ack));
+        let removed = replicas.len() != before;
+        drop(replicas);
+        if removed {
+            self.notify();
+        }
+        removed
+    }
+
     /// The *slowest* replica's acknowledged LSN — the log-truncation clamp.
     /// Bytes above this may still be needed by a shipper replaying the
     /// stream to a lagging replica, so `LogManager::truncate_to` never
@@ -467,7 +538,7 @@ mod tests {
             let log = Arc::clone(&log);
             p.submit(
                 Lsn(lsn),
-                CommitAction::Callback(Box::new(move || log.lock().push(lsn))),
+                CommitAction::Callback(Box::new(move |_| log.lock().push(lsn))),
             );
         }
         assert_eq!(p.pending(), 4);
@@ -494,8 +565,9 @@ mod tests {
             crate::runtime::sleep(std::time::Duration::from_millis(10));
             p2.complete_upto(Lsn(10));
         });
-        h.wait();
+        assert!(h.wait(), "completed, not failed");
         assert!(h.is_done());
+        assert!(!h.is_failed());
         t.join().unwrap();
     }
 
@@ -638,7 +710,7 @@ mod tests {
                         let ran = Arc::clone(&ran);
                         p.submit(
                             Lsn(t * 1000 + i),
-                            CommitAction::Callback(Box::new(move || {
+                            CommitAction::Callback(Box::new(move |_| {
                                 ran.fetch_add(1, Ordering::Relaxed);
                             })),
                         );

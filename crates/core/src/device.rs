@@ -90,8 +90,11 @@ pub trait LogDevice: Send + Sync {
     /// Devices without reclamation ignore the call. Callers must guarantee
     /// that no reader — recovery, replica shipping — still needs a byte
     /// below `upto` (see `LogManager::truncate_to`, which enforces this).
-    fn truncate_before(&self, _upto: Lsn) -> usize {
-        0
+    /// Fallible: recycling may itself need I/O (renaming/unlinking segment
+    /// files, rewriting a manifest) that can hit ENOSPC — the
+    /// disk-full-on-truncate double fault the sim injects.
+    fn truncate_before(&self, _upto: Lsn) -> Result<usize> {
+        Ok(0)
     }
 
     /// Point-in-time copy of the *retained* durable contents together with

@@ -15,8 +15,9 @@
 
 use crate::buffer::BufferCore;
 use crate::commit::{CommitGate, CommitPipeline};
-use crate::config::GroupCommitPolicy;
+use crate::config::{FlushRetryPolicy, GroupCommitPolicy};
 use crate::device::LogDevice;
+use crate::error::{AetherError, Result};
 use crate::lsn::Lsn;
 use crate::runtime::{self, RtCondvar, Runtime};
 use crate::telemetry::Stage;
@@ -36,6 +37,10 @@ struct FlushInner {
     /// (the "T time" trigger).
     oldest: Option<u64>,
     shutdown: bool,
+    /// Set when the daemon hit a permanent device failure (or exhausted its
+    /// retry budget): the terminal poisoned-log state. Waiters fail fast
+    /// with [`AetherError::Poisoned`] instead of hanging.
+    poisoned: Option<String>,
 }
 
 /// Shared state between the daemon thread and its clients.
@@ -54,9 +59,14 @@ impl FlushShared {
     /// switches) per call. Fully concurrent: any number of committers may
     /// wait simultaneously and are woken together by the daemon (group
     /// commit).
-    pub fn flush_until(&self, core: &BufferCore, lsn: Lsn) {
+    ///
+    /// Fails fast with [`AetherError::Poisoned`] when the daemon halted on
+    /// a device failure, and with [`AetherError::Shutdown`] when the log
+    /// shut down before `lsn` became durable — waiters get an `Err`, never
+    /// a hang.
+    pub fn flush_until(&self, core: &BufferCore, lsn: Lsn) -> Result<()> {
         if core.durable_lsn() >= lsn {
-            return;
+            return Ok(());
         }
         let mut g = self.inner.lock();
         if g.requested < lsn {
@@ -66,9 +76,25 @@ impl FlushShared {
             g.oldest = Some(runtime::monotonic_ns());
         }
         self.daemon_cv.notify_one();
-        while core.durable_lsn() < lsn && !g.shutdown {
+        loop {
+            if core.durable_lsn() >= lsn {
+                return Ok(());
+            }
+            if let Some(reason) = &g.poisoned {
+                return Err(AetherError::Poisoned {
+                    reason: reason.clone(),
+                });
+            }
+            if g.shutdown {
+                return Err(AetherError::Shutdown);
+            }
             g = self.waiter_cv.wait(&self.inner, g);
         }
+    }
+
+    /// The poison reason, if the daemon has halted on a device failure.
+    pub fn poisoned(&self) -> Option<String> {
+        self.inner.lock().poisoned.clone()
     }
 
     /// Register a commit for group-commit accounting and nudge the daemon
@@ -101,6 +127,7 @@ impl FlushShared {
                 pending_commits: 0,
                 oldest: None,
                 shutdown: false,
+                poisoned: None,
             }),
             daemon_cv: RtCondvar::new(),
             waiter_cv: RtCondvar::new(),
@@ -139,7 +166,8 @@ impl std::fmt::Debug for FlushDaemon {
 impl FlushDaemon {
     /// Spawn the daemon over `core`/`device` under `rt`, completing commits
     /// through `pipeline` once they clear `gate` (local durability +
-    /// replica acks).
+    /// replica acks). Device errors are retried per `retry`; exhaustion or
+    /// a permanent error poisons the log.
     pub fn spawn(
         rt: &Runtime,
         core: Arc<BufferCore>,
@@ -147,12 +175,13 @@ impl FlushDaemon {
         pipeline: Arc<CommitPipeline>,
         gate: Arc<CommitGate>,
         policy: GroupCommitPolicy,
+        retry: FlushRetryPolicy,
     ) -> FlushDaemon {
         let shared = FlushShared::new();
         let sh = Arc::clone(&shared);
         let co = Arc::clone(&core);
         let thread = rt.spawn("aether-flushd", move || {
-            daemon_loop(sh, co, device, pipeline, gate, policy)
+            daemon_loop(sh, co, device, pipeline, gate, policy, retry)
         });
         FlushDaemon {
             shared,
@@ -167,8 +196,8 @@ impl FlushDaemon {
     }
 
     /// Blocking durability wait; see [`FlushShared::flush_until`].
-    pub fn flush_until(&self, lsn: Lsn) {
-        self.shared.flush_until(&self.core, lsn);
+    pub fn flush_until(&self, lsn: Lsn) -> Result<()> {
+        self.shared.flush_until(&self.core, lsn)
     }
 
     /// Non-blocking commit registration; see [`FlushShared::note_commit`].
@@ -206,6 +235,46 @@ impl Drop for FlushDaemon {
     }
 }
 
+/// Run `op`, retrying transient failures with exponential backoff per
+/// `retry`. Returns the last error when the budget is exhausted or the
+/// failure is permanent.
+fn with_retry<T>(retry: &FlushRetryPolicy, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut backoff = retry.initial_backoff;
+    let mut attempt = 1u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < retry.max_attempts => {
+                runtime::sleep(backoff);
+                backoff = (backoff * 2).min(retry.max_backoff);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Enter the terminal poisoned-log state: record the reason, release every
+/// blocked flusher with an error, fail all pending pipelined commits, and
+/// poison the commit gate so replication waiters unblock too.
+fn poison_log(
+    shared: &FlushShared,
+    pipeline: &CommitPipeline,
+    gate: &CommitGate,
+    error: &AetherError,
+) {
+    {
+        let mut g = shared.inner.lock();
+        if g.poisoned.is_none() {
+            g.poisoned = Some(error.to_string());
+        }
+        shared.waiter_cv.notify_all();
+    }
+    pipeline.fail_pending();
+    gate.poison();
+}
+
+#[allow(clippy::too_many_arguments)]
 fn daemon_loop(
     shared: Arc<FlushShared>,
     core: Arc<BufferCore>,
@@ -213,6 +282,7 @@ fn daemon_loop(
     pipeline: Arc<CommitPipeline>,
     gate: Arc<CommitGate>,
     policy: GroupCommitPolicy,
+    retry: FlushRetryPolicy,
 ) {
     let poll = policy
         .max_wait
@@ -282,19 +352,35 @@ fn daemon_loop(
                 // SAFETY: [at, target) is published (≤ released) and this
                 // daemon is the only reclaimer — durable does not advance
                 // until after the write below completes.
-                let (head, tail) = unsafe { core.released_slices(at, target.since(at)) };
-                let write = if tail.is_empty() {
-                    device.write_vectored(&[head])
-                } else {
-                    device.write_vectored(&[head, tail])
-                };
-                if write.is_err() {
-                    // Device failure: halt flushing; waiters unblock at
-                    // shutdown. (A production system would escalate.)
+                //
+                // Retry note: a failed write may have left a prefix on the
+                // device (torn append). Re-running the same vectored write
+                // would duplicate that prefix, so each retry re-derives the
+                // remaining window from the device's own length — the
+                // stream offset equals the LSN, making the write idempotent.
+                let write = with_retry(&retry, || {
+                    let done = device.len().max(at.raw());
+                    if done >= target.raw() {
+                        return Ok(()); // a previous attempt landed everything
+                    }
+                    let from = Lsn(done);
+                    let (head, tail) = unsafe { core.released_slices(from, target.since(from)) };
+                    if tail.is_empty() {
+                        device.write_vectored(&[head])
+                    } else {
+                        device.write_vectored(&[head, tail])
+                    }
+                });
+                if let Err(e) = write {
+                    // Permanent device failure (or retry budget exhausted):
+                    // the terminal poisoned-log state. Pending committers
+                    // and blocked flushers get an `Err`, not a hang.
+                    poison_log(&shared, &pipeline, &gate, &e);
                     return;
                 }
             }
-            if device.sync().is_err() {
+            if let Err(e) = with_retry(&retry, || device.sync()) {
+                poison_log(&shared, &pipeline, &gate, &e);
                 return;
             }
             shared.flushes.fetch_add(1, Ordering::Relaxed);
@@ -359,6 +445,7 @@ mod tests {
             Arc::clone(&pipeline),
             Arc::new(CommitGate::new()),
             GroupCommitPolicy::default(),
+            FlushRetryPolicy::default(),
         );
         let buf = BaselineBuffer::new(Arc::clone(&core));
         (core, device, pipeline, daemon, buf)
@@ -369,7 +456,7 @@ mod tests {
         let (core, device, _p, daemon, buf) = setup(0);
         let lsn = buf.insert(RecordKind::Filler, 1, Lsn::ZERO, &[7; 100]);
         let end = core.released_lsn();
-        daemon.flush_until(end);
+        daemon.flush_until(end).unwrap();
         assert!(core.durable_lsn() >= end);
         assert_eq!(device.len(), end.raw());
         assert!(lsn < end);
@@ -392,7 +479,7 @@ mod tests {
         }
         daemon.kick();
         for h in handles {
-            h.wait();
+            assert!(h.wait());
         }
         assert_eq!(pipeline.completed(), 10);
         // Group commit: far fewer syncs than commits.
@@ -417,6 +504,7 @@ mod tests {
             pipeline,
             Arc::new(CommitGate::new()),
             policy.clone(),
+            FlushRetryPolicy::default(),
         );
         let buf = BaselineBuffer::new(Arc::clone(&core));
         buf.insert(RecordKind::Filler, 1, Lsn::ZERO, &[0; 64]);
@@ -450,7 +538,7 @@ mod tests {
         for _ in 0..200 {
             buf.insert(RecordKind::Filler, 0, Lsn::ZERO, &payload);
         }
-        daemon.flush_until(core.released_lsn());
+        daemon.flush_until(core.released_lsn()).unwrap();
         assert_eq!(device.len(), core.released_lsn().raw());
         assert_eq!(
             core.stats.snapshot().scratch_bytes,
@@ -475,6 +563,135 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 200);
+    }
+
+    /// A device whose `sync` fails the first `fail_syncs` times with a
+    /// transient error, and whose failure kind flips to permanent (EIO)
+    /// when `permanent` is set.
+    struct FlakyDevice {
+        inner: SimDevice,
+        fail_syncs: AtomicU64,
+        permanent: bool,
+    }
+
+    impl FlakyDevice {
+        fn new(fail_syncs: u64, permanent: bool) -> FlakyDevice {
+            FlakyDevice {
+                inner: SimDevice::new(Duration::ZERO),
+                fail_syncs: AtomicU64::new(fail_syncs),
+                permanent,
+            }
+        }
+    }
+
+    impl LogDevice for FlakyDevice {
+        fn append(&self, data: &[u8]) -> Result<()> {
+            self.inner.append(data)
+        }
+        fn write_vectored(&self, bufs: &[&[u8]]) -> Result<()> {
+            self.inner.write_vectored(bufs)
+        }
+        fn sync(&self) -> Result<()> {
+            let left = self.fail_syncs.load(Ordering::SeqCst);
+            if left > 0 || self.permanent {
+                self.fail_syncs
+                    .store(left.saturating_sub(1), Ordering::SeqCst);
+                let e = if self.permanent {
+                    std::io::Error::from_raw_os_error(5) // EIO: permanent
+                } else {
+                    std::io::Error::new(std::io::ErrorKind::Interrupted, "flaky sync")
+                };
+                return Err(e.into());
+            }
+            self.inner.sync()
+        }
+        fn read_at(&self, offset: u64, dst: &mut [u8]) -> Result<usize> {
+            self.inner.read_at(offset, dst)
+        }
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+    }
+
+    fn flaky_setup(
+        device: Arc<FlakyDevice>,
+    ) -> (
+        Arc<BufferCore>,
+        Arc<CommitPipeline>,
+        FlushDaemon,
+        BaselineBuffer,
+    ) {
+        let cfg = LogConfig::default().with_buffer_size(1 << 16);
+        let core = BufferCore::new(&cfg);
+        let pipeline = Arc::new(CommitPipeline::new());
+        let retry = FlushRetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+        };
+        let daemon = FlushDaemon::spawn(
+            &Runtime::default(),
+            Arc::clone(&core),
+            device as Arc<dyn LogDevice>,
+            Arc::clone(&pipeline),
+            Arc::new(CommitGate::new()),
+            GroupCommitPolicy::default(),
+            retry,
+        );
+        let buf = BaselineBuffer::new(Arc::clone(&core));
+        (core, pipeline, daemon, buf)
+    }
+
+    #[test]
+    fn transient_sync_errors_are_retried_and_committers_unblock_ok() {
+        let device = Arc::new(FlakyDevice::new(3, false));
+        let (core, pipeline, daemon, buf) = flaky_setup(Arc::clone(&device));
+        buf.insert(RecordKind::Commit, 1, Lsn::ZERO, &[]);
+        let end = core.released_lsn();
+        let (h, st) = CommitHandle::new();
+        pipeline.submit(end, CommitAction::Notify(st));
+        daemon.kick();
+        assert!(daemon.flush_until(end).is_ok(), "retries must absorb blips");
+        assert!(h.wait(), "committer unblocks with Ok after retried flush");
+        assert!(daemon.shared().poisoned().is_none());
+        assert_eq!(pipeline.failed(), 0);
+    }
+
+    #[test]
+    fn permanent_sync_error_poisons_and_fails_pending_committers() {
+        let device = Arc::new(FlakyDevice::new(0, true));
+        let (core, pipeline, daemon, buf) = flaky_setup(Arc::clone(&device));
+        buf.insert(RecordKind::Commit, 1, Lsn::ZERO, &[]);
+        let end = core.released_lsn();
+        let (h, st) = CommitHandle::new();
+        pipeline.submit(end, CommitAction::Notify(st));
+        daemon.kick();
+        let err = daemon.flush_until(end);
+        assert!(
+            matches!(err, Err(AetherError::Poisoned { .. })),
+            "waiter must get Err, not a hang: {err:?}"
+        );
+        assert!(!h.wait(), "pending committer fails, never completes");
+        assert!(daemon.shared().poisoned().is_some());
+        assert_eq!(pipeline.failed(), 1);
+        // Subsequent waits fail fast too.
+        assert!(matches!(
+            daemon.flush_until(end.advance(1)),
+            Err(AetherError::Poisoned { .. })
+        ));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_poisons() {
+        // More transient failures than the 5-attempt budget.
+        let device = Arc::new(FlakyDevice::new(50, false));
+        let (core, _pipeline, daemon, buf) = flaky_setup(Arc::clone(&device));
+        buf.insert(RecordKind::Filler, 1, Lsn::ZERO, &[0; 32]);
+        let end = core.released_lsn();
+        assert!(matches!(
+            daemon.flush_until(end),
+            Err(AetherError::Poisoned { .. })
+        ));
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use buffer::{BufferKind, EncodePayload, LogBuffer, LogSlot, SlotWriter};
 pub use commit::{CommitGate, CommitToken, DurabilityPolicy, ReplicaAck};
 pub use config::LogConfig;
 pub use device::DeviceKind;
-pub use error::{LogError, Result};
+pub use error::{AetherError, LogError, Result};
 pub use lsn::Lsn;
 pub use manager::{DurableWatch, LogManager, TruncationOutcome, TruncationStats, TruncationWatch};
 pub use record::{RecordHeader, RecordKind};

@@ -109,6 +109,7 @@ impl LogManagerBuilder {
                 Arc::clone(&pipeline),
                 Arc::clone(&gate),
                 self.config.group_commit.clone(),
+                self.config.flush_retry.clone(),
             ))
         };
         let flush_shared = daemon.as_ref().map(|d| Arc::clone(d.shared()));
@@ -354,7 +355,12 @@ impl LogManager {
     /// Block until everything at or below `lsn` is durable (baseline commit:
     /// this is delay (A)+(C) of Figure 1 — the I/O wait plus the context
     /// switch pair).
-    pub fn flush_until(&self, lsn: Lsn) {
+    ///
+    /// Fails with [`crate::AetherError::Poisoned`] when the flush daemon has
+    /// halted on a permanent device failure, and with
+    /// [`crate::AetherError::Shutdown`] when the log shut down first —
+    /// callers get an `Err`, never a hang.
+    pub fn flush_until(&self, lsn: Lsn) -> Result<()> {
         match &self.flush_shared {
             Some(shared) => shared.flush_until(&self.core, lsn),
             None => {
@@ -364,20 +370,39 @@ impl LogManager {
                 while self.core.durable_lsn() < lsn {
                     backoff.wait();
                 }
+                Ok(())
             }
         }
     }
 
-    /// Flush everything released so far and wait for it.
-    pub fn flush_all(&self) {
+    /// Flush everything released so far and wait for it; fallible like
+    /// [`LogManager::flush_until`].
+    pub fn flush_all(&self) -> Result<()> {
         let target = self.core.released_lsn();
-        self.flush_until(target);
+        self.flush_until(target)
+    }
+
+    /// True when the log is poisoned: the flush daemon halted on a permanent
+    /// device failure (or exhausted its retry budget) and no further bytes
+    /// will ever become durable.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison_reason().is_some()
+    }
+
+    /// The poison reason, if the log is poisoned.
+    pub fn poison_reason(&self) -> Option<String> {
+        self.flush_shared.as_ref().and_then(|s| s.poisoned())
     }
 
     /// Register `action` to run once `lsn` is committable — durable locally
     /// *and* sufficiently replicated per the gate policy (flush pipelining:
     /// the caller does **not** block). Returns immediately.
     pub fn commit_async(&self, lsn: Lsn, action: CommitAction) {
+        if self.is_poisoned() {
+            // Fail fast: the daemon is gone, nothing will ever complete this.
+            CommitPipeline::fail_action(action);
+            return;
+        }
         if self.commit_lsn() >= lsn {
             // Already committable: run inline.
             self.pipeline.submit(lsn, action);
@@ -494,19 +519,21 @@ impl LogManager {
 
     /// Block until `lsn` is fully committable: durable locally (group-commit
     /// flush machinery) and replicated per the gate policy. With no policy
-    /// installed this is exactly [`LogManager::flush_until`]. Returns
-    /// whether the replication requirement was met — false only when the
-    /// gate was poisoned (replication declared dead) before enough acks
-    /// arrived, in which case the commit is locally durable but its
-    /// replicated fate is indeterminate.
+    /// installed this is exactly [`LogManager::flush_until`].
+    ///
+    /// `Err` means local durability failed (log poisoned or shut down) —
+    /// the commit is *not* durable. `Ok(false)` means the bytes are durable
+    /// locally but the replication gate was poisoned before enough acks
+    /// arrived: the commit's replicated fate is indeterminate. `Ok(true)` is
+    /// a fully-committed transaction.
     #[must_use = "a false return means the commit did not replicate"]
-    pub fn wait_committed(&self, lsn: Lsn) -> bool {
-        self.flush_until(lsn);
+    pub fn wait_committed(&self, lsn: Lsn) -> Result<bool> {
+        self.flush_until(lsn)?;
         if self.gate.policy().map(|p| p.required_acks()).unwrap_or(0) > 0 {
             let core = Arc::clone(&self.core);
-            self.gate.wait_effective(lsn, move || core.durable_lsn())
+            Ok(self.gate.wait_effective(lsn, move || core.durable_lsn()))
         } else {
-            true
+            Ok(true)
         }
     }
 
@@ -553,6 +580,7 @@ impl LogManager {
                 applied: self.low_water(),
                 segments_recycled: 0,
                 held_back_by_replica: true,
+                device_error: false,
             };
         }
         self.apply_truncation(lsn, target)
@@ -570,7 +598,13 @@ impl LogManager {
     }
 
     fn apply_truncation(&self, requested: Lsn, target: Lsn) -> TruncationOutcome {
-        let recycled = self.device.truncate_before(target);
+        // A failed truncation is not fatal to the log — the bytes are merely
+        // still retained. Report it so the caller (checkpointer, disk-pressure
+        // supervisor) can alarm and retry; the low-water mark is unchanged.
+        let (recycled, device_error) = match self.device.truncate_before(target) {
+            Ok(n) => (n, false),
+            Err(_) => (0, true),
+        };
         let lw = self.device.low_water();
         self.truncation.low_water.fetch_max(lw);
         self.truncation
@@ -588,6 +622,7 @@ impl LogManager {
             applied: lw,
             segments_recycled: recycled,
             held_back_by_replica: false,
+            device_error,
         }
     }
 
@@ -705,6 +740,10 @@ pub struct TruncationOutcome {
     /// True when a lagging replica ack prevented any truncation (safe
     /// entry point only; `force_truncate_to` never reports this).
     pub held_back_by_replica: bool,
+    /// True when the device refused to drop the prefix (e.g. an I/O error
+    /// while sealing/recycling segments). The low-water mark is unchanged;
+    /// the bytes are still retained and the caller should retry or alarm.
+    pub device_error: bool,
 }
 
 /// Counters over the log's truncation history.
@@ -778,7 +817,7 @@ mod tests {
                 .build();
             assert_eq!(log.buffer_kind(), kind);
             let lsn = log.insert(RecordKind::Filler, 1, b"abc");
-            log.flush_all();
+            log.flush_all().unwrap();
             assert!(log.durable_lsn() > lsn);
         }
     }
@@ -789,7 +828,7 @@ mod tests {
         log.insert(RecordKind::Filler, 1, &[0; 120]);
         assert_eq!(log.flush_count(), 0);
         assert_eq!(log.durable_lsn(), log.released_lsn());
-        log.flush_all(); // no-op, must not hang
+        log.flush_all().unwrap(); // no-op, must not hang
     }
 
     #[test]
@@ -799,7 +838,7 @@ mod tests {
             .build();
         let prev = log.insert(RecordKind::Update, 42, &[1; 64]);
         let h = log.commit(42, prev);
-        h.wait();
+        assert!(h.wait());
         assert!(log.durable_lsn() >= log.released_lsn());
         assert_eq!(log.pipeline().completed(), 1);
     }
@@ -813,12 +852,12 @@ mod tests {
             let c = Arc::clone(&counter);
             log.commit_async(
                 end,
-                CommitAction::Callback(Box::new(move || {
+                CommitAction::Callback(Box::new(move |_| {
                     c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 })),
             );
         }
-        log.flush_all();
+        log.flush_all().unwrap();
         // Durable-watch notification instead of a sleep-poll: once the log
         // is durable, callbacks complete momentarily (daemon reattach).
         log.durable_watch().wait_for(log.released_lsn());
@@ -839,7 +878,7 @@ mod tests {
         for (i, p) in payloads.iter().enumerate() {
             log.insert(RecordKind::Update, i as u64, p);
         }
-        log.flush_all();
+        log.flush_all().unwrap();
         let mut reader = log.reader();
         let mut n = 0;
         while let Some(rec) = reader.next_record().unwrap() {
@@ -860,7 +899,7 @@ mod tests {
         for i in 0..200u64 {
             log.insert(RecordKind::Update, i, &[7u8; 100]);
         }
-        log.flush_all();
+        log.flush_all().unwrap();
         assert_eq!(log.low_water(), Lsn::ZERO);
         let full = log.retained_bytes();
         let watch = log.truncation_watch();
@@ -906,7 +945,7 @@ mod tests {
             let (_, e) = log.insert_ext(RecordKind::Update, i, Lsn::ZERO, &[7u8; 100]);
             end = e;
         }
-        log.flush_all();
+        log.flush_all().unwrap();
         let ack = log.commit_gate().register_replica();
         ack.advance(Lsn(end.raw() / 4));
         let out = log.truncate_to(end);
@@ -930,7 +969,7 @@ mod tests {
         // a zero low-water mark, so recovery semantics never change.
         let log = LogManager::builder().device(DeviceKind::Ram).build();
         log.insert(RecordKind::Filler, 0, &[1; 64]);
-        log.flush_all();
+        log.flush_all().unwrap();
         let out = log.truncate_to(log.durable_lsn());
         assert_eq!(out.applied, Lsn::ZERO);
         assert_eq!(out.segments_recycled, 0);
@@ -964,7 +1003,7 @@ mod tests {
                 });
             }
         });
-        log.flush_all();
+        log.flush_all().unwrap();
         let stats = log.stats();
         assert_eq!(stats.inserts, 8 * 500);
         assert_eq!(log.durable_lsn(), Lsn(stats.bytes));

@@ -114,7 +114,7 @@ impl SegmentedDevice {
     /// entirely below it. The mark advances even when no whole segment can
     /// be dropped yet — the *next* truncation, or a recovery scan, picks up
     /// from it. Returns how many segments were recycled.
-    pub fn truncate_before(&self, upto: Lsn) -> usize {
+    pub fn truncate_before(&self, upto: Lsn) -> Result<usize> {
         let mut segments = self.segments.lock();
         // Clamp to the stream length: the mark must stay a valid scan start.
         let upto = upto.raw().min(self.len.load(Ordering::Acquire));
@@ -132,7 +132,7 @@ impl SegmentedDevice {
         if dropped > 0 {
             self.recycled.fetch_add(dropped as u64, Ordering::Relaxed);
         }
-        dropped
+        Ok(dropped)
     }
 
     fn seg_of(&self, offset: u64) -> u64 {
@@ -231,7 +231,7 @@ impl LogDevice for SegmentedDevice {
         self.truncation_point()
     }
 
-    fn truncate_before(&self, upto: Lsn) -> usize {
+    fn truncate_before(&self, upto: Lsn) -> Result<usize> {
         SegmentedDevice::truncate_before(self, upto)
     }
 
@@ -300,7 +300,7 @@ mod tests {
         d.append(&vec![7u8; 12_000]).unwrap();
         assert_eq!(d.live_segments(), 3);
         // Truncate below 9000: segments 0 and 1 (ends 4096, 8192) qualify.
-        assert_eq!(d.truncate_before(Lsn(9000)), 2);
+        assert_eq!(d.truncate_before(Lsn(9000)).unwrap(), 2);
         assert_eq!(d.live_segments(), 1);
         assert_eq!(d.recycled_segments(), 2);
         // The low-water mark is the requested (record-boundary) LSN, not
@@ -313,7 +313,7 @@ mod tests {
         // Reads above the mark still work.
         assert_eq!(d.read_at(9000, &mut out).unwrap(), 10);
         // The open segment never recycles, however far the mark advances.
-        assert_eq!(d.truncate_before(Lsn::MAX), 0);
+        assert_eq!(d.truncate_before(Lsn::MAX).unwrap(), 0);
         assert_eq!(d.live_segments(), 1);
     }
 
@@ -322,7 +322,7 @@ mod tests {
         let d = dev(4096);
         let data: Vec<u8> = (0..12_000).map(|i| (i % 113) as u8).collect();
         d.append(&data).unwrap();
-        d.truncate_before(Lsn(5000));
+        d.truncate_before(Lsn(5000)).unwrap();
         assert!(
             d.snapshot().is_none(),
             "full snapshot gone after truncation"
@@ -334,7 +334,7 @@ mod tests {
         // scan start.
         let d2 = dev(4096);
         d2.append(&vec![3u8; 3000]).unwrap();
-        assert_eq!(d2.truncate_before(Lsn(1000)), 0);
+        assert_eq!(d2.truncate_before(Lsn(1000)).unwrap(), 0);
         assert_eq!(d2.low_water(), Lsn(1000));
         let (start, bytes) = d2.snapshot_from().unwrap();
         assert_eq!((start, bytes.len()), (Lsn(1000), 2000));
@@ -351,13 +351,13 @@ mod tests {
         for i in 0..2000u64 {
             log.insert(RecordKind::Update, i, &[i as u8; 100]);
         }
-        log.flush_all();
+        log.flush_all().unwrap();
         assert!(seg.live_segments() > 2, "stream must span segments");
         let records = log.reader().read_all().unwrap();
         assert_eq!(records.len(), 2000);
         // Recycle old segments; the tail is still readable.
         let keep_from = seg.live_segments() as u64 / 2 * (1 << 16);
-        seg.truncate_before(Lsn(keep_from));
+        seg.truncate_before(Lsn(keep_from)).unwrap();
         assert!(seg.recycled_segments() > 0);
     }
 
@@ -366,7 +366,7 @@ mod tests {
         let d = dev(4096);
         d.append(&vec![1u8; 5000]).unwrap();
         assert!(d.snapshot().is_some());
-        d.truncate_before(Lsn(4096));
+        d.truncate_before(Lsn(4096)).unwrap();
         assert!(d.snapshot().is_none());
     }
 }

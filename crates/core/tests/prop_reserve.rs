@@ -49,7 +49,7 @@ proptest! {
             let p = payload(i, len);
             log_a.insert_chained(RecordKind::Update, i as u64, Lsn(i as u64), &p);
         }
-        log_a.flush_all();
+        log_a.flush_all().unwrap();
 
         // B: reservation path, payload streamed in `split`-byte chunks.
         let dev_b = Arc::new(SimDevice::new(Duration::ZERO));
@@ -63,7 +63,7 @@ proptest! {
             prop_assert_eq!(slot.writer().remaining(), 0);
             slot.release();
         }
-        log_b.flush_all();
+        log_b.flush_all().unwrap();
 
         // Byte-identical device streams.
         let bytes_a = dev_a.contents();
@@ -102,7 +102,7 @@ proptest! {
         let dev_a = Arc::new(SimDevice::new(Duration::ZERO));
         let log_a = build_log(BufferKind::Hybrid, Arc::clone(&dev_a));
         log_a.insert(RecordKind::Filler, 1, &flat);
-        log_a.flush_all();
+        log_a.flush_all().unwrap();
 
         let dev_b = Arc::new(SimDevice::new(Duration::ZERO));
         let log_b = build_log(BufferKind::Hybrid, Arc::clone(&dev_b));
@@ -115,7 +115,7 @@ proptest! {
             w.put_u64(*v);
         }
         slot.release();
-        log_b.flush_all();
+        log_b.flush_all().unwrap();
 
         prop_assert_eq!(dev_a.contents(), dev_b.contents());
     }
@@ -138,7 +138,7 @@ fn dropped_slot_does_not_wedge_the_release_chain() {
             // dropped here without release()
         }
         let after = log.insert(RecordKind::Filler, 3, b"after");
-        log.flush_all();
+        log.flush_all().unwrap();
         let recs = log.reader().read_all().unwrap();
         assert_eq!(recs.len(), 3, "{kind:?}: all three records must publish");
         assert_eq!(recs[2].lsn, after);
@@ -174,7 +174,7 @@ fn oversized_payload_rejected_before_any_lock_is_taken() {
         assert!(panicked.is_err(), "{kind:?}: oversized reserve must panic");
         // The log is not wedged: an ordinary insert still completes.
         let lsn = log.insert(RecordKind::Filler, 2, b"still alive");
-        log.flush_all();
+        log.flush_all().unwrap();
         assert!(log.durable_lsn() > lsn, "{kind:?}: log wedged after panic");
     }
 }
@@ -195,7 +195,7 @@ fn empty_payload_record_roundtrips() {
     let slot = log.reserve(RecordKind::Commit, 7, Lsn(64), 0);
     assert_eq!(slot.end_lsn().raw() - slot.lsn().raw(), HEADER_SIZE as u64);
     slot.release();
-    log.flush_all();
+    log.flush_all().unwrap();
     let recs = log.reader().read_all().unwrap();
     assert_eq!(recs.len(), 1);
     assert_eq!(recs[0].header.kind, RecordKind::Commit);

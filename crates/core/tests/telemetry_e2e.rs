@@ -25,7 +25,7 @@ fn sampled_record_yields_causal_span_chain() {
     for i in 0..32u64 {
         log.insert(RecordKind::Update, i, &[7u8; 100]);
     }
-    log.flush_all();
+    log.flush_all().unwrap();
     let snap = log.telemetry_snapshot();
 
     // The wired counters all flowed into one document.
@@ -80,7 +80,7 @@ fn disabled_telemetry_records_nothing() {
     for i in 0..16u64 {
         log.insert(RecordKind::Update, i, &[7u8; 64]);
     }
-    log.flush_all();
+    log.flush_all().unwrap();
     assert!(!log.telemetry().on());
     let snap = log.telemetry_snapshot();
     assert_eq!(snap.hist("log.insert_ns").unwrap().count, 0);

@@ -19,7 +19,7 @@ use crate::replica::{Replica, ReplicaConfig, ReplicaStatus};
 use crate::router::{ReadRouter, RouterConfig};
 use crate::shipper::{Shipper, ShipperConfig};
 use crate::transport::{link, LinkConfig};
-use aether_core::commit::{CommitToken, DurabilityPolicy};
+use aether_core::commit::{CommitToken, DurabilityPolicy, ReplicaAck};
 use aether_core::runtime;
 use aether_core::Lsn;
 use aether_storage::db::Db;
@@ -62,6 +62,10 @@ pub struct ReplicatedDb {
     primary: Arc<Db>,
     shippers: Vec<Shipper>,
     replicas: Vec<Replica>,
+    /// Gate-side ack handle per pipeline (index-parallel with the other
+    /// vecs); kept so [`ReplicatedDb::heal_replica`] can unregister a dead
+    /// pipeline's watermark instead of letting it clamp truncation forever.
+    acks: Vec<Arc<ReplicaAck>>,
     cfg: ReplicationConfig,
 }
 
@@ -86,6 +90,7 @@ impl ReplicatedDb {
             primary,
             shippers: Vec::with_capacity(cfg.replicas),
             replicas: Vec::with_capacity(cfg.replicas),
+            acks: Vec::with_capacity(cfg.replicas),
             cfg,
         };
         let snap = replay::base_snapshot(&cluster.primary);
@@ -126,16 +131,33 @@ impl ReplicatedDb {
     }
 
     /// Build one replica + shipper pipeline seeded from `snap`, connected
-    /// over `link_cfg`.
+    /// over `link_cfg`, and append it to the cluster.
     fn spawn_pipeline(&mut self, snap: &BaseSnapshot, link_cfg: LinkConfig) -> StorageResult<()> {
+        let (replica, shipper, ack) = self.build_pipeline(snap, link_cfg)?;
+        self.replicas.push(replica);
+        self.shippers.push(shipper);
+        self.acks.push(ack);
+        Ok(())
+    }
+
+    /// Build one replica + shipper pipeline seeded from `snap` without
+    /// attaching it — the caller decides whether it appends (new replica)
+    /// or replaces a quarantined one in place ([`ReplicatedDb::heal_replica`]).
+    fn build_pipeline(
+        &self,
+        snap: &BaseSnapshot,
+        link_cfg: LinkConfig,
+    ) -> StorageResult<(Replica, Shipper, Arc<ReplicaAck>)> {
         let cfg = &self.cfg;
         let (frame_tx, frame_rx) = link::<Vec<u8>>(link_cfg.clone());
         let (ack_tx, ack_rx) = link::<Lsn>(LinkConfig {
             // Acks never reorder meaningfully (cumulative max), so the
-            // return path only carries the latency.
+            // return path only carries the latency. The chaos switch is
+            // shared: a partition cuts both directions at once.
             latency: link_cfg.latency,
             reorder_period: 0,
             runtime: link_cfg.runtime.clone(),
+            chaos: link_cfg.chaos.clone(),
         });
         let replica = Replica::spawn_from_snapshot(
             self.primary.options().clone(),
@@ -155,13 +177,52 @@ impl ReplicatedDb {
             Arc::clone(&self.primary),
             frame_tx,
             ack_rx,
-            ack,
+            Arc::clone(&ack),
             snap.start_lsn,
             cfg.shipper.clone(),
         );
-        self.replicas.push(replica);
-        self.shippers.push(shipper);
+        Ok((replica, shipper, ack))
+    }
+
+    /// Replace replica `i`'s entire pipeline with a fresh one seeded from a
+    /// new checkpoint snapshot — the supervision path for a replica that
+    /// fell irrecoverably behind (dead apply thread, wedged link, stalled
+    /// acks). The replacement is built *first*, so a failure leaves the old
+    /// pipeline untouched; then the old shipper and replica are stopped and
+    /// the old ack watermark is unregistered from the commit gate, so the
+    /// quarantined replica stops clamping log truncation and holding the
+    /// replication floor down. Existing [`ReadRouter`]s keep serving from
+    /// the old (frozen) standby; rebuild them after a heal.
+    pub fn heal_replica(&mut self, i: usize) -> StorageResult<()> {
+        if i >= self.replicas.len() || self.shippers.len() != self.replicas.len() {
+            return Err(aether_core::AetherError::Config(format!(
+                "heal_replica({i}): no active pipeline at that index"
+            ))
+            .into());
+        }
+        let snap = replay::base_snapshot(&self.primary);
+        let (replica, shipper, ack) = self.build_pipeline(&snap, self.cfg.link.clone())?;
+        // New ack registered before the old is removed: replica_count never
+        // dips, so a SemiSync/Quorum floor cannot transiently misfire.
+        let mut old_shipper = std::mem::replace(&mut self.shippers[i], shipper);
+        let mut old_replica = std::mem::replace(&mut self.replicas[i], replica);
+        let old_ack = std::mem::replace(&mut self.acks[i], ack);
+        old_shipper.stop();
+        old_replica.stop();
+        self.primary
+            .log()
+            .commit_gate()
+            .unregister_replica(&old_ack);
+        // Dropping the laggard's watermark may complete gated commits.
+        self.primary.log().replication_recheck();
         Ok(())
+    }
+
+    /// The commit gate's view of replica `i`'s acknowledged watermark — the
+    /// primary-side lag signal supervision acts on (replica-side status
+    /// needs the replica to still be responsive; this does not).
+    pub fn ack_lsn(&self, i: usize) -> Lsn {
+        self.acks[i].acked()
     }
 
     /// The primary database.

@@ -30,6 +30,10 @@
 //!   fresh replica to a cluster whose log prefix has been truncated away,
 //!   and a shipper stranded below the log's low-water mark re-seeds its
 //!   replica over the wire instead of reading recycled bytes.
+//! * [`supervisor`] — [`supervisor::Supervisor`], the self-healing tier:
+//!   owns a cluster, quarantines and re-seeds replicas whose acks stall
+//!   past a lag budget, and on primary death (poisoned log or commit gate)
+//!   auto-promotes the most-caught-up replica via ARIES recovery.
 //! * [`router`] — [`router::ReadRouter`], the read-serving tier: routes
 //!   lock-free snapshot reads across the replicas (round-robin,
 //!   least-lagged, or freshness-weighted on applied-LSN watermarks),
@@ -79,6 +83,7 @@ pub mod frame;
 pub mod replica;
 pub mod router;
 pub mod shipper;
+pub mod supervisor;
 pub mod transport;
 
 pub use cluster::{ReplicatedDb, ReplicationConfig};
@@ -87,7 +92,8 @@ pub use router::{
     ReadRouter, RoutedRead, RouterConfig, RouterStats, RoutingPolicy, Session, SourceKind,
 };
 pub use shipper::{Shipper, ShipperConfig};
-pub use transport::{link, LinkConfig, LinkReceiver, LinkSender};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorReport};
+pub use transport::{link, LinkChaos, LinkConfig, LinkReceiver, LinkSender};
 
 /// Convenience prelude for replication programs.
 pub mod prelude {
@@ -97,6 +103,7 @@ pub mod prelude {
         ReadRouter, RoutedRead, RouterConfig, RouterStats, RoutingPolicy, Session, SourceKind,
     };
     pub use crate::shipper::{Shipper, ShipperConfig};
-    pub use crate::transport::{LinkConfig, LinkReceiver, LinkSender};
+    pub use crate::supervisor::{Supervisor, SupervisorConfig, SupervisorReport};
+    pub use crate::transport::{LinkChaos, LinkConfig, LinkReceiver, LinkSender};
     pub use aether_core::commit::{CommitToken, DurabilityPolicy};
 }

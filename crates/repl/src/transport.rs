@@ -15,7 +15,37 @@
 
 use aether_core::runtime::{self, rt_channel, RtReceiver, RtSender, Runtime};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A shared kill-switch for one or more links: while *cut*, delivery stalls
+/// (messages queue at the link, none are lost) until [`LinkChaos::heal`] —
+/// the network-partition-then-heal fault. Clone the handle into every
+/// [`LinkConfig`] that should partition together (a replica's frame link
+/// and its ack link share the one in `ReplicationConfig::link`), keep a
+/// clone, and flip it from the test or the simulator.
+#[derive(Debug, Clone, Default)]
+pub struct LinkChaos {
+    cut: Arc<AtomicBool>,
+}
+
+impl LinkChaos {
+    /// Partition: every link holding this handle stops delivering.
+    pub fn cut(&self) {
+        self.cut.store(true, Ordering::SeqCst);
+    }
+
+    /// Heal: held-up messages drain in their original order.
+    pub fn heal(&self) {
+        self.cut.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the partition is currently in force.
+    pub fn is_cut(&self) -> bool {
+        self.cut.load(Ordering::SeqCst)
+    }
+}
 
 /// Link tuning: one-way latency plus deterministic reordering.
 #[derive(Debug, Clone, Default)]
@@ -29,6 +59,8 @@ pub struct LinkConfig {
     /// Runtime the delivery thread runs under (real by default; the
     /// simulated cluster injects its [`Runtime::sim`] here).
     pub runtime: Runtime,
+    /// Partition switch shared by every link built from this config.
+    pub chaos: LinkChaos,
 }
 
 impl LinkConfig {
@@ -83,6 +115,7 @@ pub fn link<T: Send + 'static>(cfg: LinkConfig) -> (LinkSender<T>, LinkReceiver<
     let (out_tx, out_rx) = rt_channel::<T>();
     let latency = cfg.latency;
     let period = cfg.reorder_period;
+    let chaos = cfg.chaos.clone();
     // A held-back message is flushed anyway once no successor overtakes it
     // in time — real networks delay packets, they don't park them forever.
     let hold_flush = Duration::from_millis(1).max(latency * 2);
@@ -102,6 +135,12 @@ pub fn link<T: Send + 'static>(cfg: LinkConfig) -> (LinkSender<T>, LinkReceiver<
                     let now = runtime::monotonic_ns();
                     if deliver_at > now {
                         runtime::precise_sleep(Duration::from_nanos(deliver_at - now));
+                    }
+                    // Partitioned: park here until healed. Later messages
+                    // pile up behind this one in the channel — delayed, in
+                    // order, never dropped.
+                    while chaos.is_cut() {
+                        runtime::sleep(Duration::from_millis(1));
                     }
                     n += 1;
                     let reorder_this = period > 0 && n.is_multiple_of(period);

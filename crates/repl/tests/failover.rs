@@ -162,7 +162,7 @@ fn corrupt_frame_truncates_cleanly_on_promote() {
             primary.update(&mut txn, 0, k, &record(k, batch)).unwrap();
             primary.commit(txn).unwrap();
         }
-        primary.log().flush_all();
+        primary.log().flush_all().unwrap();
         marks.push(primary.log().device().len());
     }
     let bytes = primary.log().device().snapshot().unwrap();

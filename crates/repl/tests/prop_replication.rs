@@ -62,7 +62,7 @@ fn run_script(script: &[(u8, u64, u64, bool)]) -> Arc<Db> {
             db.abort(txn).unwrap();
         }
     }
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
     db
 }
 
@@ -167,7 +167,7 @@ proptest! {
                 primary.abort(txn).unwrap();
             }
         }
-        primary.log().flush_all();
+        primary.log().flush_all().unwrap();
         prop_assert!(cluster.wait_catchup(Duration::from_secs(10)), "replica caught up");
         let st = cluster.replica(0).status();
         prop_assert_eq!(st.corrupt_frames, 0);
@@ -220,6 +220,7 @@ fn sim_seeded_pipeline_replays_byte_identically() {
                     latency: Duration::from_micros(120),
                     reorder_period: 3,
                     runtime: rt.clone(),
+                    ..LinkConfig::default()
                 },
                 shipper: ShipperConfig {
                     chunk: 96,
@@ -249,7 +250,7 @@ fn sim_seeded_pipeline_replays_byte_identically() {
                 primary.abort(txn).unwrap();
             }
         }
-        primary.log().flush_all();
+        primary.log().flush_all().unwrap();
         assert!(
             cluster.wait_catchup(Duration::from_secs(30)),
             "replica caught up (virtual time)"

@@ -171,7 +171,7 @@ fn stranded_shipper_reseeds_replica_over_the_wire() {
         primary.update(&mut txn, 0, k, &record(k, 777)).unwrap();
         primary.commit(txn).unwrap();
     }
-    primary.log().flush_all();
+    primary.log().flush_all().unwrap();
     assert!(
         replica.wait_replay(primary.log().durable_lsn(), Duration::from_secs(10)),
         "re-seeded replica must catch up to the durable frontier"

@@ -44,6 +44,13 @@ impl Client {
         Ok(id)
     }
 
+    /// Send `req` framed with a caller-chosen request id — the retry path:
+    /// a re-sent request must carry the *same* id so the server's dedup
+    /// window can recognize it (see [`crate::dedup`]).
+    pub fn send_with_id(&mut self, req: &Request, id: u64) -> io::Result<()> {
+        self.stream.write_all(&req.encode(id))
+    }
+
     /// Non-blocking poll for the next response.
     pub fn try_recv(&mut self) -> io::Result<Option<(u64, Response)>> {
         loop {
@@ -87,6 +94,37 @@ impl Client {
                         .stream
                         .read_wait(&mut self.inbuf, Duration::from_millis(20))?
                     {
+                        ReadOutcome::Closed => return Err(io::ErrorKind::ConnectionAborted.into()),
+                        ReadOutcome::Bytes(_) | ReadOutcome::WouldBlock => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Block for the next response for at most `timeout`; `Ok(None)` on
+    /// timeout. The wait is charged against [`aether_core::runtime`] time,
+    /// so it is virtual under sim like every other timeout in the system.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<(u64, Response)>> {
+        let deadline =
+            aether_core::runtime::monotonic_ns().saturating_add(timeout.as_nanos() as u64);
+        loop {
+            match extract_response(&mut self.inbuf) {
+                Extracted::Msg { req_id, msg } => return Ok(Some((req_id, msg))),
+                Extracted::Corrupt => {
+                    self.stream.close();
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "corrupt response frame",
+                    ));
+                }
+                Extracted::NeedMore => {
+                    let now = aether_core::runtime::monotonic_ns();
+                    if now >= deadline {
+                        return Ok(None);
+                    }
+                    let left = Duration::from_nanos(deadline - now).min(Duration::from_millis(20));
+                    match self.stream.read_wait(&mut self.inbuf, left)? {
                         ReadOutcome::Closed => return Err(io::ErrorKind::ConnectionAborted.into()),
                         ReadOutcome::Bytes(_) | ReadOutcome::WouldBlock => {}
                     }

@@ -17,6 +17,7 @@
 //! socket in request order (invariant 10) and a commit is never acked
 //! before it is durable.
 
+use crate::dedup::{Claim, CommitDedup};
 use crate::protocol::{ErrCode, Request, Response};
 use aether_core::commit::CommitToken;
 use aether_core::lsn::Lsn;
@@ -39,12 +40,23 @@ pub struct Engine {
     pub db: Arc<Db>,
     /// Router for snapshot reads (None: serve reads from the primary).
     pub router: Option<Arc<ReadRouter>>,
+    /// Engine-wide idempotent-retry window for auto-commit requests
+    /// (retries arrive on new connections, so this cannot live per-conn).
+    pub dedup: Arc<CommitDedup>,
 }
+
+/// Completed auto-commits remembered for client retries; must dwarf any
+/// plausible retry horizon (windows × connections).
+const DEDUP_WINDOW: usize = 1 << 16;
 
 impl Engine {
     /// An engine serving everything from the primary.
     pub fn primary(db: Arc<Db>) -> Engine {
-        Engine { db, router: None }
+        Engine {
+            db,
+            router: None,
+            dedup: Arc::new(CommitDedup::new(DEDUP_WINDOW)),
+        }
     }
 
     /// An engine routing reads through `router`.
@@ -52,6 +64,7 @@ impl Engine {
         Engine {
             db,
             router: Some(router),
+            dedup: Arc::new(CommitDedup::new(DEDUP_WINDOW)),
         }
     }
 }
@@ -62,6 +75,8 @@ pub(crate) enum ExecMsg {
     Req {
         /// Response slot sequence (reservation order = request order).
         seq: u64,
+        /// Wire request id (carries the client's retry nonce, if any).
+        req_id: u64,
         /// The request.
         req: Request,
     },
@@ -169,17 +184,17 @@ pub(crate) fn exec_loop(
     // Open interactive transactions, keyed by wire txn id. BTreeMap so the
     // teardown abort sweep is ordered — identical across sim replays.
     let mut open: BTreeMap<u64, Transaction> = BTreeMap::new();
-    while let Some(ExecMsg::Req { seq, req }) = rx.recv() {
-        exec_one(&engine, &resp, &watermark, &mut open, seq, req);
+    while let Some(ExecMsg::Req { seq, req_id, req }) = rx.recv() {
+        exec_one(&engine, &resp, &watermark, &mut open, seq, req_id, req);
     }
     // Teardown: flush the request queue in one deterministic step (a frame
     // parsed between our last `recv` and the IO loop's `Close` would
     // otherwise strand a transaction in `open` forever), then roll back.
     for msg in rx.drain() {
-        if let ExecMsg::Req { seq, req } = msg {
+        if let ExecMsg::Req { seq, req_id, req } = msg {
             // A queued Begin would open a transaction just to abort it;
             // executing the tail preserves "drain, then abort the rest".
-            exec_one(&engine, &resp, &watermark, &mut open, seq, req);
+            exec_one(&engine, &resp, &watermark, &mut open, seq, req_id, req);
         }
     }
     let aborted = open.len() as u64;
@@ -195,16 +210,22 @@ fn exec_one(
     watermark: &Arc<AtomicU64>,
     open: &mut BTreeMap<u64, Transaction>,
     seq: u64,
+    req_id: u64,
     req: Request,
 ) {
     let db = &engine.db;
     match req {
-        Request::Begin => {
-            let t = db.begin();
-            let id = t.id;
-            open.insert(id, t);
-            resp.fulfill(seq, Response::Begun { txn: id });
-        }
+        Request::Begin => match db.try_begin() {
+            Ok(t) => {
+                let id = t.id;
+                open.insert(id, t);
+                resp.fulfill(seq, Response::Begun { txn: id });
+            }
+            // Admission control shed the begin (disk pressure). The client
+            // sees a typed, retryable error response — never a dropped
+            // connection.
+            Err(e) => resp.fulfill(seq, err_of(&e)),
+        },
         Request::Ping => resp.fulfill(seq, Response::Pong),
         Request::Read {
             table,
@@ -276,10 +297,41 @@ fn exec_one(
             // durability. This is the stream that feeds group commit —
             // every pipelined connection keeps several of these in flight,
             // and one flush completes them all.
-            let mut t = db.begin();
-            match db.update(&mut t, table, key, &value) {
-                Ok(()) => finish_commit(engine, resp, watermark, seq, t),
+            //
+            // Exactly-once for retrying clients: a nonce-tagged request id
+            // is checked against the engine's dedup window first, so a
+            // retry of an already-hardened commit replays the original
+            // token instead of re-executing.
+            match engine.dedup.claim(req_id) {
+                Claim::Done(token) => {
+                    watermark.fetch_max(token, Ordering::AcqRel);
+                    resp.fulfill(seq, Response::Committed { token });
+                    return;
+                }
+                Claim::InFlight => {
+                    resp.fulfill(
+                        seq,
+                        Response::Err {
+                            code: ErrCode::Busy as u16,
+                            msg: format!("request {req_id} is still executing"),
+                        },
+                    );
+                    return;
+                }
+                Claim::New => {}
+            }
+            let mut t = match db.try_begin() {
+                Ok(t) => t,
                 Err(e) => {
+                    engine.dedup.forget(req_id);
+                    resp.fulfill(seq, err_of(&e));
+                    return;
+                }
+            };
+            match db.update(&mut t, table, key, &value) {
+                Ok(()) => finish_commit(engine, resp, watermark, seq, Some(req_id), t),
+                Err(e) => {
+                    engine.dedup.forget(req_id);
                     let r = err_of(&e);
                     let _ = db.abort(t);
                     resp.fulfill(seq, r);
@@ -309,7 +361,9 @@ fn exec_one(
             None => resp.fulfill(seq, no_such_txn(txn)),
         },
         Request::Commit { txn } => match open.remove(&txn) {
-            Some(t) => finish_commit(engine, resp, watermark, seq, t),
+            // Interactive commits are not idempotent-retryable (the txn id
+            // itself dies with the connection), so no dedup id.
+            Some(t) => finish_commit(engine, resp, watermark, seq, None, t),
             None => resp.fulfill(seq, no_such_txn(txn)),
         },
         Request::Abort { txn } => match open.remove(&txn) {
@@ -333,25 +387,52 @@ fn finish_commit(
     resp: &Arc<RespQueue>,
     watermark: &Arc<AtomicU64>,
     seq: u64,
+    dedup_id: Option<u64>,
     t: Transaction,
 ) {
+    let acked = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let on_durable = {
         let resp = Arc::clone(resp);
         let watermark = Arc::clone(watermark);
-        Box::new(move |token: CommitToken| {
-            watermark.fetch_max(token.lsn().raw(), Ordering::AcqRel);
-            resp.fulfill(
-                seq,
-                Response::Committed {
-                    token: token.lsn().raw(),
-                },
-            );
+        let acked = Arc::clone(&acked);
+        let dedup = Arc::clone(&engine.dedup);
+        Box::new(move |r: aether_storage::StorageResult<CommitToken>| {
+            acked.store(true, Ordering::Release);
+            match r {
+                Ok(token) => {
+                    // Settle the dedup entry *before* acking: once the
+                    // client sees Committed, any duplicate must replay.
+                    if let Some(id) = dedup_id {
+                        dedup.complete(id, token.lsn().raw());
+                    }
+                    watermark.fetch_max(token.lsn().raw(), Ordering::AcqRel);
+                    resp.fulfill(
+                        seq,
+                        Response::Committed {
+                            token: token.lsn().raw(),
+                        },
+                    );
+                }
+                // The commit never hardened (log poisoned / shut down):
+                // the client gets a typed protocol error, not a dropped
+                // connection.
+                Err(e) => {
+                    if let Some(id) = dedup_id {
+                        dedup.forget(id);
+                    }
+                    resp.fulfill(seq, err_of(&e));
+                }
+            }
         })
     };
     let r = engine.db.commit_tokened_with(t, on_durable);
     if let Err(e) = r {
-        // The callback never ran (commit rejected up front).
-        resp.fulfill(seq, err_of(&e));
+        // Fulfill only if the callback never ran (commit rejected up front,
+        // before the record was inserted) — for blocking protocols a flush
+        // failure reaches the callback *and* this return value.
+        if !acked.load(Ordering::Acquire) {
+            resp.fulfill(seq, err_of(&e));
+        }
     }
 }
 

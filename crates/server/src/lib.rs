@@ -29,14 +29,18 @@
 
 pub mod client;
 mod conn;
+pub mod dedup;
 pub mod load;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod stream;
 
 pub use client::Client;
 pub use conn::Engine;
+pub use dedup::{Claim, CommitDedup};
 pub use load::{LatencySummary, LoadReport, LoadSpec, Mix, Pacing};
 pub use protocol::{ErrCode, Request, Response};
+pub use retry::{ResilientClient, RetryPolicy, RetryStats};
 pub use server::{Server, ServerConfig};
 pub use stream::{chan_pair, ByteStream, ChanByteStream, TcpByteStream};

@@ -155,19 +155,54 @@ pub enum ErrCode {
     BadRequest = 6,
     /// Server is shutting down.
     Shutdown = 7,
+    /// Admission control shed the request: the retained log footprint is
+    /// over the hard disk-pressure watermark. Retry after backoff.
+    LogFull = 8,
+    /// Server transiently overloaded; retry after backoff.
+    Busy = 9,
 }
 
 impl ErrCode {
     /// Map a storage error to a wire code.
     pub fn of(e: &aether_storage::StorageError) -> ErrCode {
+        use aether_core::AetherError as L;
         use aether_storage::StorageError as E;
         match e {
             E::Deadlock { .. } => ErrCode::Deadlock,
             E::LockTimeout { .. } => ErrCode::LockTimeout,
             E::KeyNotFound { .. } => ErrCode::NotFound,
             E::TxnNotActive(_) => ErrCode::NoSuchTxn,
+            E::Log(L::LogFull { .. }) => ErrCode::LogFull,
+            E::Log(L::Busy(_)) => ErrCode::Busy,
+            E::Log(L::Shutdown) => ErrCode::Shutdown,
             _ => ErrCode::Storage,
         }
+    }
+
+    /// Decode a wire `u16` back to a code (`None` for unknown values —
+    /// forward compatibility demands they be treated as non-retryable).
+    pub fn from_u16(code: u16) -> Option<ErrCode> {
+        Some(match code {
+            1 => ErrCode::NoSuchTxn,
+            2 => ErrCode::NotFound,
+            3 => ErrCode::Deadlock,
+            4 => ErrCode::LockTimeout,
+            5 => ErrCode::Storage,
+            6 => ErrCode::BadRequest,
+            7 => ErrCode::Shutdown,
+            8 => ErrCode::LogFull,
+            9 => ErrCode::Busy,
+            _ => return None,
+        })
+    }
+
+    /// True for codes a client may transparently retry after backoff: the
+    /// condition is expected to clear without operator action.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrCode::Deadlock | ErrCode::LockTimeout | ErrCode::LogFull | ErrCode::Busy
+        )
     }
 }
 

@@ -1,0 +1,268 @@
+//! A self-healing client: timeouts, reconnects, and exactly-once commits.
+//!
+//! [`ResilientClient`] wraps the plain [`Client`] with the recovery loop a
+//! real application would write: every request gets a per-attempt response
+//! timeout; a timeout or transport error drops the connection and
+//! re-dials through a caller-supplied connect closure; retryable server
+//! errors ([`ErrCode::is_retryable`] — deadlock, lock timeout, `LogFull`
+//! admission shed, `Busy`) back off exponentially and try again on the
+//! same connection.
+//!
+//! The subtle half is commit retry. A timed-out auto-commit may or may
+//! not have hardened, so blind re-sending risks double-apply. The client
+//! therefore tags every auto-commit with a stable request id —
+//! [`retry_id`]`(session_nonce, seq)` — and re-sends *the same id* on every
+//! attempt. The server's dedup window ([`crate::dedup`]) recognizes the id
+//! and replays the original commit token instead of re-executing: the
+//! client observes exactly-once semantics even across reconnects. A zero
+//! nonce opts out of the window, so `ResilientClient` requires a nonzero
+//! one at construction.
+
+use crate::client::Client;
+use crate::protocol::{ErrCode, Request, Response};
+use aether_core::runtime;
+use std::io;
+use std::time::Duration;
+
+/// Build the wire request id for a retryable request: session nonce in the
+/// high 32 bits, per-session sequence number in the low 32. The server's
+/// dedup window only consults ids with a nonzero nonce.
+pub fn retry_id(nonce: u32, seq: u32) -> u64 {
+    (u64::from(nonce) << 32) | u64::from(seq)
+}
+
+/// Retry/backoff knobs for [`ResilientClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Per-attempt wait for a response before the connection is presumed
+    /// dead and dropped.
+    pub request_timeout: Duration,
+    /// Total attempts per operation (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            request_timeout: Duration::from_secs(2),
+            max_attempts: 6,
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Counters exposed by [`ResilientClient::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts beyond the first, across all operations.
+    pub retries: u64,
+    /// Times the connection was dropped and re-dialed.
+    pub reconnects: u64,
+}
+
+type ConnectFn = Box<dyn FnMut() -> io::Result<Client> + Send>;
+
+/// A [`Client`] wrapper that retries with backoff, reconnects through a
+/// connect closure, and tags auto-commits for server-side deduplication.
+/// See the module docs for the exactly-once argument.
+pub struct ResilientClient {
+    connect: ConnectFn,
+    conn: Option<Client>,
+    nonce: u32,
+    seq: u32,
+    policy: RetryPolicy,
+    stats: RetryStats,
+}
+
+impl std::fmt::Debug for ResilientClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientClient")
+            .field("nonce", &self.nonce)
+            .field("seq", &self.seq)
+            .field("connected", &self.conn.is_some())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ResilientClient {
+    /// `nonce` must be nonzero (it is what opts commits into the server's
+    /// dedup window) and unique per client session — reusing a live
+    /// session's nonce would alias its request ids.
+    pub fn new(
+        nonce: u32,
+        policy: RetryPolicy,
+        connect: impl FnMut() -> io::Result<Client> + Send + 'static,
+    ) -> ResilientClient {
+        assert!(nonce != 0, "a zero nonce would opt out of commit dedup");
+        ResilientClient {
+            connect: Box::new(connect),
+            conn: None,
+            nonce,
+            seq: 0,
+            policy,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Retry/reconnect counters so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Auto-commit an overwrite of `key`, surviving timeouts, reconnects
+    /// and retryable server errors; returns the commit token's raw LSN.
+    /// Applied exactly once no matter how many attempts it took.
+    pub fn commit(&mut self, table: u32, key: u64, value: Vec<u8>) -> io::Result<u64> {
+        let id = self.next_id();
+        let req = Request::Update {
+            txn: 0,
+            table,
+            key,
+            value,
+        };
+        match self.call_with_retry(id, &req)? {
+            Response::Committed { token } => Ok(token),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Snapshot-read `key` with the same retry/reconnect loop. Reads are
+    /// naturally idempotent; the stable id is just bookkeeping.
+    pub fn read(&mut self, table: u32, key: u64) -> io::Result<Option<Vec<u8>>> {
+        let id = self.next_id();
+        let req = Request::Read {
+            table,
+            key,
+            at_least: 0,
+        };
+        match self.call_with_retry(id, &req)? {
+            Response::Value { present, value, .. } => Ok(present.then_some(value)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drop the current connection (the next operation re-dials). Mainly
+    /// for tests that force the reconnect path.
+    pub fn sever(&mut self) {
+        if let Some(mut c) = self.conn.take() {
+            c.close();
+        }
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = retry_id(self.nonce, self.seq);
+        self.seq = self.seq.wrapping_add(1);
+        id
+    }
+
+    fn drop_conn(&mut self) {
+        if let Some(mut c) = self.conn.take() {
+            c.close();
+        }
+    }
+
+    /// One operation, many attempts — always with the *same* request id.
+    fn call_with_retry(&mut self, id: u64, req: &Request) -> io::Result<Response> {
+        let mut backoff = self.policy.initial_backoff;
+        let mut last_err = io::Error::other("no attempts made");
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                runtime::sleep(backoff);
+                backoff = (backoff * 2).min(self.policy.max_backoff);
+            }
+            let policy_timeout = self.policy.request_timeout;
+            let client = match self.ensure_conn() {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            if let Err(e) = client.send_with_id(req, id) {
+                last_err = e;
+                self.drop_conn();
+                continue;
+            }
+            match client.recv_timeout(policy_timeout) {
+                Ok(Some((rid, resp))) => {
+                    if rid != id {
+                        // Ordered protocol: a mismatched id means this
+                        // connection is answering some earlier life of the
+                        // stream. Nothing on it can be trusted.
+                        last_err = io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("response id {rid} for request {id}"),
+                        );
+                        self.drop_conn();
+                        continue;
+                    }
+                    if let Response::Err { code, msg } = &resp {
+                        let retryable = ErrCode::from_u16(*code).is_some_and(|c| c.is_retryable());
+                        if retryable {
+                            // The connection is fine — only the request
+                            // lost a race (deadlock, admission shed, or a
+                            // still-in-flight duplicate). Back off, retry.
+                            last_err = io::Error::other(format!("retryable: {msg}"));
+                            continue;
+                        }
+                    }
+                    return Ok(resp);
+                }
+                Ok(None) => {
+                    // Timeout: the outcome is unknown and the pipe may
+                    // still deliver it later — drop the connection so a
+                    // stale response can never be matched to a new request.
+                    last_err = io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("no response to request {id} within {policy_timeout:?}"),
+                    );
+                    self.drop_conn();
+                }
+                Err(e) => {
+                    last_err = e;
+                    self.drop_conn();
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn ensure_conn(&mut self) -> io::Result<&mut Client> {
+        if self.conn.is_none() {
+            let fresh = (self.connect)()?;
+            self.stats.reconnects += u64::from(self.seq > 0 || self.stats.retries > 0);
+            self.conn = Some(fresh);
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    match resp {
+        Response::Err { code, msg } => io::Error::other(format!("server error {code}: {msg}")),
+        other => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response: {other:?}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_id_packs_nonce_high_seq_low() {
+        assert_eq!(retry_id(1, 0), 1 << 32);
+        assert_eq!(retry_id(0xdead, 0xbeef), (0xdead_u64 << 32) | 0xbeef);
+        assert!(crate::dedup::CommitDedup::eligible(retry_id(1, 0)));
+        assert!(!crate::dedup::CommitDedup::eligible(0));
+    }
+}

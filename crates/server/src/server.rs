@@ -313,7 +313,11 @@ fn pump_reads(sh: &Arc<Shared>, c: &mut ConnEntry) -> bool {
                     Extracted::Msg { req_id, msg } => {
                         sh.tel.inc(sh.ids.requests);
                         let seq = c.resp.reserve(req_id);
-                        if !c.exec_tx.send(ExecMsg::Req { seq, req: msg }) {
+                        if !c.exec_tx.send(ExecMsg::Req {
+                            seq,
+                            req_id,
+                            req: msg,
+                        }) {
                             c.dead = true;
                             break;
                         }

@@ -208,7 +208,7 @@ fn flush_stall_never_acks_undurable_and_keeps_order() {
     }
     assert_eq!(acked.lock().len(), CONNS * OPS, "every op eventually acked");
     server.shutdown();
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
     assert_eq!(db.locks().granted_count(), 0);
     assert_eq!(db.txn_manager().active_count(), 0);
 

@@ -194,7 +194,7 @@ fn wait_for_close(stream: &mut dyn ByteStream) -> Vec<u8> {
 fn assert_no_leaks(db: &Arc<Db>) {
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     loop {
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         if db.locks().granted_count() == 0 && db.txn_manager().active_count() == 0 {
             return;
         }

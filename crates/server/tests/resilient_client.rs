@@ -1,0 +1,177 @@
+//! Exactly-once commit retries (ISSUE 10 tentpole, client half).
+//!
+//! The dangerous window: a client sends an auto-commit, the commit
+//! hardens, and the connection dies before the ack arrives. The client
+//! cannot tell "never executed" from "executed, ack lost" — so it retries
+//! with the *same* request id, on a *new* connection, and the server's
+//! dedup window must answer with the original token instead of applying
+//! the write twice.
+
+use aether_server::protocol::{ErrCode, Request, Response};
+use aether_server::retry::{retry_id, ResilientClient, RetryPolicy};
+use aether_server::{Client, Engine, Server, ServerConfig};
+use aether_storage::{CommitProtocol, Db, DbOptions};
+use std::sync::Arc;
+use std::time::Duration;
+
+const VAL: usize = 16;
+
+fn boot() -> (Arc<Db>, u32) {
+    let db = Db::open(DbOptions {
+        protocol: CommitProtocol::Pipelined,
+        ..DbOptions::default()
+    });
+    let table = db.create_table(VAL, 64);
+    for k in 0..64u64 {
+        db.load(table, k, &[0u8; VAL]).unwrap();
+    }
+    db.setup_complete();
+    (db, table)
+}
+
+/// The core dedup guarantee, at the wire level: the same nonce-tagged
+/// request id re-sent on a *different* connection is answered with the
+/// original commit token and executes exactly once.
+#[test]
+fn duplicate_request_id_on_new_connection_commits_exactly_once() {
+    let (db, table) = boot();
+    let server = Server::start(Engine::primary(Arc::clone(&db)), ServerConfig::default()).unwrap();
+
+    let id = retry_id(0x5e55, 1);
+    let req = Request::Update {
+        txn: 0,
+        table,
+        key: 9,
+        value: vec![0xabu8; VAL],
+    };
+
+    // First attempt on connection A: a real commit.
+    let mut a = Client::new(Box::new(server.connect_chan()));
+    a.send_with_id(&req, id).unwrap();
+    let (rid, resp) = a.recv().unwrap();
+    assert_eq!(rid, id);
+    let token = match resp {
+        Response::Committed { token } => token,
+        other => panic!("unexpected {other:?}"),
+    };
+    let commits_after_first = db.stats().commits();
+
+    // "Ack lost": the client gives up on A and replays the id on B.
+    a.close();
+    let mut b = Client::new(Box::new(server.connect_chan()));
+    for _ in 0..3 {
+        b.send_with_id(&req, id).unwrap();
+        let (rid, resp) = b.recv().unwrap();
+        assert_eq!(rid, id);
+        match resp {
+            Response::Committed { token: replayed } => {
+                assert_eq!(replayed, token, "replay must carry the original token");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(
+        db.stats().commits(),
+        commits_after_first,
+        "duplicates must not re-execute"
+    );
+
+    // A zero-nonce id opts out: each send is a fresh commit.
+    let plain = Request::Update {
+        txn: 0,
+        table,
+        key: 10,
+        value: vec![0xcdu8; VAL],
+    };
+    let t1 = match b.call(&plain).unwrap() {
+        Response::Committed { token } => token,
+        other => panic!("unexpected {other:?}"),
+    };
+    let t2 = match b.call(&plain).unwrap() {
+        Response::Committed { token } => token,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(t2 > t1, "opted-out duplicates re-execute with fresh tokens");
+
+    b.close();
+    server.shutdown();
+}
+
+/// A failed execution must *not* poison the dedup window: the id is
+/// forgotten, so a retry re-executes rather than replaying the error.
+#[test]
+fn failed_attempt_is_forgotten_so_retry_reexecutes() {
+    let (db, table) = boot();
+    let server = Server::start(Engine::primary(Arc::clone(&db)), ServerConfig::default()).unwrap();
+    let mut c = Client::new(Box::new(server.connect_chan()));
+
+    let id = retry_id(7, 1);
+    // First attempt targets a bogus table: typed error, id forgotten.
+    let bad = Request::Update {
+        txn: 0,
+        table: 999,
+        key: 1,
+        value: vec![1u8; VAL],
+    };
+    c.send_with_id(&bad, id).unwrap();
+    match c.recv().unwrap().1 {
+        Response::Err { code, .. } => assert_ne!(code, ErrCode::Busy as u16),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Retry of the same id with a good request must actually execute.
+    let good = Request::Update {
+        txn: 0,
+        table,
+        key: 1,
+        value: vec![1u8; VAL],
+    };
+    c.send_with_id(&good, id).unwrap();
+    match c.recv().unwrap().1 {
+        Response::Committed { token } => assert!(token > 0),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(db.snapshot_read(table, 1).unwrap().unwrap()[0], 1);
+
+    c.close();
+    server.shutdown();
+}
+
+/// The full client loop: commits keep succeeding across severed
+/// connections, every value lands exactly once, and the client reports
+/// its reconnects.
+#[test]
+fn resilient_client_survives_severed_connections() {
+    let (db, table) = boot();
+    let server =
+        Arc::new(Server::start(Engine::primary(Arc::clone(&db)), ServerConfig::default()).unwrap());
+
+    let dial = Arc::clone(&server);
+    let mut rc = ResilientClient::new(
+        0xfeed,
+        RetryPolicy {
+            request_timeout: Duration::from_secs(5),
+            ..RetryPolicy::default()
+        },
+        move || Ok(Client::new(Box::new(dial.connect_chan()))),
+    );
+
+    let mut tokens = Vec::new();
+    for k in 0..16u64 {
+        tokens.push(rc.commit(table, k, vec![k as u8 + 1; VAL]).unwrap());
+        if k % 4 == 3 {
+            rc.sever(); // the next operation must transparently re-dial
+        }
+    }
+    assert!(tokens.windows(2).all(|w| w[0] < w[1]));
+    assert!(rc.stats().reconnects >= 3, "{:?}", rc.stats());
+    for k in 0..16u64 {
+        let got = rc.read(table, k).unwrap().expect("present");
+        assert_eq!(got[0], k as u8 + 1);
+    }
+
+    drop(rc);
+    match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(),
+        Err(_) => panic!("server still referenced"),
+    }
+}

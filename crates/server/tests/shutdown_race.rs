@@ -36,7 +36,7 @@ fn boot() -> (Arc<Db>, u32, Server) {
 fn wait_no_leaks(db: &Arc<Db>) {
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         if db.locks().granted_count() == 0 && db.txn_manager().active_count() == 0 {
             return;
         }
@@ -186,7 +186,7 @@ fn server_shutdown_mid_pipeline_leaves_clean_db() {
     let mut txn = db.begin();
     db.update(&mut txn, table, 0, &[5u8; 16]).unwrap();
     db.commit(txn).unwrap();
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
     assert_eq!(db.locks().granted_count(), 0);
     assert_eq!(db.txn_manager().active_count(), 0);
 }

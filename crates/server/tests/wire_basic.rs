@@ -102,7 +102,7 @@ fn chan_transport_full_session() {
     run_session(&mut client, table);
     client.close();
     server.shutdown();
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
     assert_eq!(db.locks().granted_count(), 0);
     assert_eq!(db.txn_manager().active_count(), 0);
 }
@@ -161,7 +161,7 @@ fn pipelined_window_many_commits_in_flight() {
     // batch histogram is checked in the benches, not here (timing-shaped).
     client.close();
     server.shutdown();
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
     assert_eq!(db.locks().granted_count(), 0);
     assert_eq!(db.txn_manager().active_count(), 0);
 }
@@ -227,7 +227,7 @@ fn sim_runtime_serves_deterministically() {
         side_worker.join().unwrap();
         client.close();
         server.shutdown();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         db.log().shutdown();
         let h = rt.history();
         drop(guard);

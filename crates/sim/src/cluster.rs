@@ -158,6 +158,9 @@ impl<'a> Scenario<'a> {
 
     fn run(mut self) -> (u64, Vec<String>, String) {
         let plan = self.plan;
+        // Partition switch shared by every replication link (frames and
+        // acks): the PartitionThenHeal arm flips it.
+        let chaos = LinkChaos::default();
         let cluster = if plan.replicas > 0 {
             let latency = match plan.fault {
                 // The latency-spike fault: tens of virtual milliseconds per
@@ -175,6 +178,7 @@ impl<'a> Scenario<'a> {
                             latency,
                             reorder_period: plan.reorder_period,
                             runtime: self.rt.clone(),
+                            chaos: chaos.clone(),
                         },
                         ..ReplicationConfig::default()
                     },
@@ -300,6 +304,7 @@ impl<'a> Scenario<'a> {
                         latency: Duration::from_millis(40 + plan.fault_entropy % 80),
                         reorder_period: 0,
                         runtime: self.rt.clone(),
+                        chaos: LinkChaos::default(),
                     })
                     .unwrap();
                 self.check_router(&cluster, Some(lagger));
@@ -310,6 +315,156 @@ impl<'a> Scenario<'a> {
                 let submitted: Vec<u64> =
                     submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
                 self.check_quiesced(Some(cluster), &submitted);
+                acked.iter().map(|a| a.load(Ordering::SeqCst)).sum()
+            }
+            Fault::PartitionThenHeal => {
+                self.rt.note("fault:partition-heal");
+                let cluster = cluster.expect("PartitionThenHeal requires replicas");
+                chaos.cut();
+                // Acks already past the cut point drain first; only then is
+                // the frozen floor meaningful.
+                runtime::sleep(Duration::from_millis(5));
+                let floor: Vec<u64> = acked.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                runtime::sleep(Duration::from_millis(15));
+                let during: Vec<u64> = acked.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                if during != floor {
+                    // SemiSync(1) with every replica unreachable: an ack
+                    // here claims replica durability that cannot exist.
+                    self.violate(format!(
+                        "partition: commits acked with every replica unreachable ({floor:?} -> {during:?})"
+                    ));
+                }
+                chaos.heal();
+                // The backlog drains and the workload resumes: every worker
+                // must push its acked floor forward.
+                let deadline = runtime::monotonic_ns() + 30_000_000_000;
+                while acked
+                    .iter()
+                    .zip(&floor)
+                    .any(|(a, &f)| a.load(Ordering::SeqCst) <= f)
+                {
+                    if runtime::monotonic_ns() > deadline {
+                        self.violate(
+                            "partition: workload never resumed within 30 virtual s of heal".into(),
+                        );
+                        break;
+                    }
+                    runtime::sleep(Duration::from_millis(1));
+                }
+                stop.store(true, Ordering::SeqCst);
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let submitted: Vec<u64> =
+                    submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.check_quiesced(Some(cluster), &submitted);
+                acked.iter().map(|a| a.load(Ordering::SeqCst)).sum()
+            }
+            Fault::DiskFullOnTruncate => {
+                self.rt.note("fault:disk-full-truncate");
+                self.device.set_truncate_enospc(true);
+                let lw = self.primary.log().low_water();
+                let floor: Vec<u64> = acked.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                for round in 0..3 {
+                    let out = Checkpointer::checkpoint_once(&self.primary);
+                    // The failure is typed and contained: the low-water mark
+                    // must not move an inch while the recycler errors.
+                    if self.primary.log().low_water() != lw {
+                        self.violate(format!(
+                            "enospc truncation: low-water moved {:?} -> {:?} on a failing recycler (round {round})",
+                            lw,
+                            self.primary.log().low_water()
+                        ));
+                    }
+                    if out.segments_recycled != 0 {
+                        self.violate(format!(
+                            "enospc truncation: {} segments recycled through a DiskFull error",
+                            out.segments_recycled
+                        ));
+                    }
+                    runtime::sleep(Duration::from_millis(2));
+                }
+                if self.primary.log().is_poisoned() {
+                    self.violate("enospc truncation: a recycler error poisoned the log".into());
+                }
+                // Commits must keep flowing under the wedged recycler.
+                let deadline = runtime::monotonic_ns() + 30_000_000_000;
+                while acked
+                    .iter()
+                    .zip(&floor)
+                    .any(|(a, &f)| a.load(Ordering::SeqCst) <= f)
+                {
+                    if runtime::monotonic_ns() > deadline {
+                        self.violate(
+                            "enospc truncation: workload stalled behind a failing recycler".into(),
+                        );
+                        break;
+                    }
+                    runtime::sleep(Duration::from_millis(1));
+                }
+                self.device.set_truncate_enospc(false);
+                if Checkpointer::checkpoint_once(&self.primary).device_error {
+                    self.violate("enospc truncation: still failing after space returned".into());
+                }
+                stop.store(true, Ordering::SeqCst);
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let submitted: Vec<u64> =
+                    submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.check_quiesced(cluster, &submitted);
+                acked.iter().map(|a| a.load(Ordering::SeqCst)).sum()
+            }
+            Fault::CrashDuringRecovery => {
+                self.rt.note("fault:crash-during-recovery");
+                // Acks after the freeze are lies (the dark device drops the
+                // bytes); only the pre-freeze floor is honestly durable.
+                let floor: Vec<u64> = acked.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.device.freeze();
+                runtime::sleep(Duration::from_millis(5));
+                stop.store(true, Ordering::SeqCst);
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let submitted: Vec<u64> =
+                    submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.check_crash_during_recovery(&floor, &submitted);
+                floor.iter().sum()
+            }
+            Fault::TransientSyncError => {
+                self.rt.note("fault:transient-sync");
+                // A blip burst strictly inside the flush daemon's retry
+                // budget: it must be absorbed invisibly.
+                let budget = self.primary.options().log_config.flush_retry.max_attempts as u64;
+                let blips = 1 + plan.fault_entropy % budget.saturating_sub(1).max(1);
+                let floor: Vec<u64> = acked.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.device.fail_syncs(blips);
+                let deadline = runtime::monotonic_ns() + 30_000_000_000;
+                while acked
+                    .iter()
+                    .zip(&floor)
+                    .any(|(a, &f)| a.load(Ordering::SeqCst) <= f)
+                {
+                    if runtime::monotonic_ns() > deadline {
+                        self.violate(format!(
+                            "transient sync: workload stalled after {blips} retryable blips"
+                        ));
+                        break;
+                    }
+                    runtime::sleep(Duration::from_millis(1));
+                }
+                if self.primary.log().is_poisoned() {
+                    self.violate(format!(
+                        "transient sync: {blips} blips (budget {budget}) poisoned the log"
+                    ));
+                }
+                stop.store(true, Ordering::SeqCst);
+                for w in workers {
+                    w.join().unwrap();
+                }
+                let submitted: Vec<u64> =
+                    submitted.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+                self.check_quiesced(cluster, &submitted);
                 acked.iter().map(|a| a.load(Ordering::SeqCst)).sum()
             }
             Fault::None | Fault::SlowLink => {
@@ -438,7 +593,7 @@ impl<'a> Scenario<'a> {
     /// check replication equivalence, the dense stream, and clean-crash
     /// recovery equal to the exact committed state.
     fn check_quiesced(&mut self, cluster: Option<ReplicatedDb>, submitted: &[u64]) {
-        self.primary.log().flush_all();
+        let _ = self.primary.log().flush_all();
         if let Some(mut cluster) = cluster {
             if !cluster.wait_catchup(Duration::from_secs(30)) {
                 self.violate("replication: replica failed to catch up in 30 virtual s".into());
@@ -564,6 +719,80 @@ impl<'a> Scenario<'a> {
         r1.update(&mut txn, 0, 0, &record(0, u64::MAX)).unwrap();
         if r1.commit(txn).is_err() {
             self.violate("recovery: recovered database rejected new work".into());
+        }
+    }
+
+    /// Crash-during-recovery endgame: recover once (writing CLRs for the
+    /// losers), then power-cut *again* at a byte boundary inside the
+    /// recovery-written log suffix — entropy picks the cut, so the sweep
+    /// covers every stage from "no CLR survived" through mid-undo tears to
+    /// "all of recovery durable". The second recovery must succeed, be
+    /// deterministic, and converge to the same winners-only state (CLR redo
+    /// is idempotent); the pre-crash acked floor survives both crashes.
+    fn check_crash_during_recovery(&mut self, floor: &[u64], submitted: &[u64]) {
+        let base_len = self.primary.crash().log_bytes.len();
+        let (r1, stats1) = match recover_with_stats(self.primary.crash(), self.sim_opts()) {
+            Ok(r) => r,
+            Err(e) => {
+                self.violate(format!("recovery: first recovery failed: {e:?}"));
+                return;
+            }
+        };
+        let want = state_fingerprint(&r1).unwrap();
+        // The recovery-written suffix: CLRs and abort markers appended past
+        // the crash image's valid prefix (flushed by recovery's wrap-up).
+        let full_len = r1.crash().log_bytes.len();
+        let recovery_bytes = full_len - base_len;
+        let cut = base_len + (self.plan.fault_entropy % (recovery_bytes as u64 + 1)) as usize;
+        let img_at_cut = || {
+            let mut img = r1.crash();
+            img.log_bytes.truncate(cut);
+            img
+        };
+        let (r2a, stats2a) = match recover_with_stats(img_at_cut(), self.sim_opts()) {
+            Ok(r) => r,
+            Err(e) => {
+                self.violate(format!(
+                    "recovery: crash at byte {cut}/{full_len} of the recovering log is unrecoverable: {e:?}"
+                ));
+                return;
+            }
+        };
+        let (r2b, stats2b) = recover_with_stats(img_at_cut(), self.sim_opts())
+            .expect("second recovery of the same cut image");
+        if state_fingerprint(&r2a).unwrap() != state_fingerprint(&r2b).unwrap()
+            || stats2a != stats2b
+        {
+            self.violate(format!(
+                "recovery convergence: crash at byte {cut} recovered nondeterministically: {stats2a:?} vs {stats2b:?}"
+            ));
+        }
+        if state_fingerprint(&r2a).unwrap() != want {
+            self.violate(format!(
+                "recovery convergence: crash at byte {cut}/{full_len} (losers {}, CLRs {}) landed off the winners-only state",
+                stats1.losers, stats1.clrs_written
+            ));
+        }
+        for (k, (&a, &s)) in floor.iter().zip(submitted).enumerate() {
+            let got = snapshot_read(&r2a, 0, k as u64)
+                .unwrap()
+                .map(|r| counter_of(&r))
+                .unwrap_or(0);
+            if got < a {
+                self.violate(format!(
+                    "double-crash durability: key {k} recovered {got}, acked floor {a}"
+                ));
+            }
+            if got > s {
+                self.violate(format!(
+                    "double-crash phantom: key {k} recovered {got}, never submitted past {s}"
+                ));
+            }
+        }
+        let mut txn = r2a.begin();
+        r2a.update(&mut txn, 0, 0, &record(0, u64::MAX)).unwrap();
+        if r2a.commit(txn).is_err() {
+            self.violate("recovery: twice-recovered database rejected new work".into());
         }
     }
 

@@ -33,6 +33,12 @@ pub struct FaultDevice {
     frozen: AtomicBool,
     /// Truncation wedged: `truncate_before` recycles nothing.
     truncate_stuck: AtomicBool,
+    /// Truncation fails with `AetherError::DiskFull` (recycler needs scratch
+    /// space it cannot get — the ENOSPC-on-truncate paradox).
+    truncate_enospc: AtomicBool,
+    /// The next N syncs fail with a *transient* I/O error
+    /// (`ErrorKind::Interrupted`) — the flush daemon's retry fodder.
+    sync_fails: AtomicU64,
     /// Appends (fully or partially) dropped since the freeze.
     dropped_writes: AtomicU64,
 }
@@ -57,6 +63,8 @@ impl FaultDevice {
             tear_keep: AtomicU64::new(u64::MAX),
             frozen: AtomicBool::new(false),
             truncate_stuck: AtomicBool::new(false),
+            truncate_enospc: AtomicBool::new(false),
+            sync_fails: AtomicU64::new(0),
             dropped_writes: AtomicU64::new(0),
         })
     }
@@ -80,6 +88,20 @@ impl FaultDevice {
     /// Wedge (or unwedge) truncation.
     pub fn set_truncate_stuck(&self, stuck: bool) {
         self.truncate_stuck.store(stuck, Ordering::SeqCst);
+    }
+
+    /// Make (or stop making) truncation fail with `DiskFull`: the recycler
+    /// itself hits ENOSPC. Distinct from [`FaultDevice::set_truncate_stuck`]
+    /// — this arm surfaces a typed *error*, not a silent zero.
+    pub fn set_truncate_enospc(&self, on: bool) {
+        self.truncate_enospc.store(on, Ordering::SeqCst);
+    }
+
+    /// Fail the next `n` syncs with a transient I/O error
+    /// (`ErrorKind::Interrupted`). The flush daemon's bounded retry should
+    /// absorb `n` below its attempt budget; above it, the log poisons.
+    pub fn fail_syncs(&self, n: u64) {
+        self.sync_fails.store(n, Ordering::SeqCst);
     }
 
     /// Writes fully or partially dropped since the device went dark.
@@ -126,6 +148,15 @@ impl LogDevice for FaultDevice {
             // tails interesting.
             return Ok(());
         }
+        if self
+            .sync_fails
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(
+                std::io::Error::new(std::io::ErrorKind::Interrupted, "injected sync blip").into(),
+            );
+        }
         self.inner.sync()
     }
     fn read_at(&self, offset: u64, dst: &mut [u8]) -> Result<usize> {
@@ -146,9 +177,12 @@ impl LogDevice for FaultDevice {
     fn low_water(&self) -> Lsn {
         self.inner.low_water()
     }
-    fn truncate_before(&self, upto: Lsn) -> usize {
+    fn truncate_before(&self, upto: Lsn) -> Result<usize> {
+        if self.truncate_enospc.load(Ordering::SeqCst) {
+            return Err(aether_core::AetherError::DiskFull);
+        }
         if self.truncate_stuck.load(Ordering::SeqCst) {
-            return 0;
+            return Ok(0);
         }
         self.inner.truncate_before(upto)
     }
@@ -210,9 +244,38 @@ mod tests {
             f.append(&[7u8; 4096]).unwrap();
         }
         f.set_truncate_stuck(true);
-        assert_eq!(f.truncate_before(Lsn(2 * 4096)), 0);
+        assert_eq!(f.truncate_before(Lsn(2 * 4096)).unwrap(), 0);
         assert_eq!(f.low_water(), Lsn::ZERO);
         f.set_truncate_stuck(false);
-        assert!(f.truncate_before(Lsn(2 * 4096)) > 0);
+        assert!(f.truncate_before(Lsn(2 * 4096)).unwrap() > 0);
+    }
+
+    #[test]
+    fn enospc_truncation_surfaces_typed_error() {
+        use aether_core::partition::{MemSegmentFactory, SegmentedDevice};
+        let seg = Arc::new(SegmentedDevice::new(Box::new(MemSegmentFactory), 4096).unwrap());
+        let f = FaultDevice::new(Arc::clone(&seg) as Arc<dyn LogDevice>);
+        for _ in 0..4 {
+            f.append(&[7u8; 4096]).unwrap();
+        }
+        f.set_truncate_enospc(true);
+        assert!(matches!(
+            f.truncate_before(Lsn(4096)),
+            Err(aether_core::AetherError::DiskFull)
+        ));
+        assert_eq!(f.low_water(), Lsn::ZERO, "nothing dropped on failure");
+        f.set_truncate_enospc(false);
+        assert!(f.truncate_before(Lsn(4096)).unwrap() > 0);
+    }
+
+    #[test]
+    fn sync_blips_are_transient_and_bounded() {
+        let (_, f) = dev();
+        f.append(b"x").unwrap();
+        f.fail_syncs(2);
+        let e = f.sync().unwrap_err();
+        assert!(e.is_transient(), "injected blip must classify transient");
+        assert!(f.sync().is_err());
+        f.sync().unwrap();
     }
 }

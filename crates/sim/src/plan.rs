@@ -65,6 +65,71 @@ pub enum Fault {
     /// staleness floor from the healthy replicas or the primary. Requires
     /// replicas.
     LaggingReplica,
+    /// Every replication link (frames and acks) partitions at once, then
+    /// heals. While cut, SemiSync must hold every commit ack hostage — zero
+    /// false acks — and after the heal the backlog drains with nothing
+    /// lost. Requires replicas.
+    PartitionThenHeal,
+    /// Segment recycling fails with a typed `DiskFull` (the recycler itself
+    /// hits ENOSPC). Checkpoints must keep succeeding, the low-water mark
+    /// must not move, commits must keep flowing, and the log must not
+    /// poison; once space returns, truncation resumes. Requires a
+    /// segmented log.
+    DiskFullOnTruncate,
+    /// Power-cut the device, recover, then crash *again* at a recovery
+    /// stage boundary (entropy picks whether the first recovery's CLRs were
+    /// flushed). The second recovery must be deterministic, converge to the
+    /// same state, and redo CLRs idempotently. Runs standalone.
+    CrashDuringRecovery,
+    /// A burst of transient sync failures, sized under the flush daemon's
+    /// retry budget. The daemon must absorb them — workload keeps acking,
+    /// the log never poisons — and every ack stays durable.
+    TransientSyncError,
+}
+
+impl Fault {
+    /// Every fault kind, in menu order (sweep histograms iterate this).
+    pub const ALL: [Fault; 10] = [
+        Fault::None,
+        Fault::KillPrimary,
+        Fault::TornWrite,
+        Fault::TruncateStuck,
+        Fault::SlowLink,
+        Fault::LaggingReplica,
+        Fault::PartitionThenHeal,
+        Fault::DiskFullOnTruncate,
+        Fault::CrashDuringRecovery,
+        Fault::TransientSyncError,
+    ];
+
+    /// Stable kebab-case name (sweep reports, `AETHER_SIM_FAULT`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::KillPrimary => "kill-primary",
+            Fault::TornWrite => "torn-write",
+            Fault::TruncateStuck => "truncate-stuck",
+            Fault::SlowLink => "slow-link",
+            Fault::LaggingReplica => "lagging-replica",
+            Fault::PartitionThenHeal => "partition-then-heal",
+            Fault::DiskFullOnTruncate => "disk-full-truncate",
+            Fault::CrashDuringRecovery => "crash-during-recovery",
+            Fault::TransientSyncError => "transient-sync",
+        }
+    }
+
+    /// Inverse of [`Fault::name`].
+    pub fn from_name(name: &str) -> Option<Fault> {
+        Fault::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Whether the scenario only makes sense with replicas attached.
+    pub fn needs_replicas(self) -> bool {
+        matches!(
+            self,
+            Fault::KillPrimary | Fault::SlowLink | Fault::LaggingReplica | Fault::PartitionThenHeal
+        )
+    }
 }
 
 /// The fully decoded scenario for one seed.
@@ -100,31 +165,58 @@ impl FaultPlan {
         let mut rng = SeedRng::new(seed);
         let workers = 1 + rng.below(3);
         let mut replicas = rng.below(3) as usize;
-        let segmented = rng.below(2) == 1;
+        let mut segmented = rng.below(2) == 1;
         // ELR decouples the commit ack from durability, so the acked-floor
         // invariants (which equate "commit returned Durable" with "on disk /
         // on a replica") only run it standalone.
-        let elr = rng.below(2) == 1 && replicas == 0;
+        let mut elr = rng.below(2) == 1 && replicas == 0;
         let link_latency = Duration::from_micros([0, 50, 200, 1_000][rng.below(4) as usize]);
         let reorder_period = rng.below(4) as usize;
         let acks_before_fault = 3 + rng.below(6);
-        let fault = match rng.below(6) {
-            0 => Fault::None,
-            1 if replicas > 0 => Fault::KillPrimary,
-            2 => Fault::TornWrite,
-            3 if segmented => Fault::TruncateStuck,
-            4 if replicas > 0 => Fault::SlowLink,
-            5 if replicas > 0 => Fault::LaggingReplica,
-            // Draws whose precondition (replicas, segmentation) failed run
-            // the fault-free scenario; the shape axes still vary.
-            _ => Fault::None,
+        let fault = match std::env::var("AETHER_SIM_FAULT").ok().as_deref() {
+            // Forced fault kind (the sweep's per-fault mode and the chaos
+            // CI job): the draw below is skipped entirely, but the shape
+            // axes (workers, replicas, links…) still come from the seed.
+            // Preconditions are *imposed*, not filtered, so every seed
+            // yields a run of the requested kind.
+            Some(name) if !name.is_empty() => {
+                let f = Fault::from_name(name)
+                    .unwrap_or_else(|| panic!("AETHER_SIM_FAULT: unknown fault {name:?}"));
+                if f.needs_replicas() && replicas == 0 {
+                    replicas = 1;
+                }
+                if f == Fault::TruncateStuck || f == Fault::DiskFullOnTruncate {
+                    segmented = true;
+                }
+                f
+            }
+            _ => match rng.below(10) {
+                0 => Fault::None,
+                1 if replicas > 0 => Fault::KillPrimary,
+                2 => Fault::TornWrite,
+                3 if segmented => Fault::TruncateStuck,
+                4 if replicas > 0 => Fault::SlowLink,
+                5 if replicas > 0 => Fault::LaggingReplica,
+                6 if replicas > 0 => Fault::PartitionThenHeal,
+                7 if segmented => Fault::DiskFullOnTruncate,
+                8 => Fault::CrashDuringRecovery,
+                9 => Fault::TransientSyncError,
+                // Draws whose precondition (replicas, segmentation) failed
+                // run the fault-free scenario; the shape axes still vary.
+                _ => Fault::None,
+            },
         };
-        if fault == Fault::TornWrite {
+        if fault == Fault::TornWrite || fault == Fault::CrashDuringRecovery {
             // A dark device stops acks dead: under SemiSync every commit
-            // would hang forever on a replica ack that can never come. The
-            // torn-write scenario is about local recovery, so it runs
+            // would hang forever on a replica ack that can never come.
+            // These scenarios are about local recovery, so they run
             // standalone.
             replicas = 0;
+        }
+        if replicas > 0 {
+            // Forced-fault mode can raise the replica count after the ELR
+            // draw; re-impose the standalone-only rule.
+            elr = false;
         }
         FaultPlan {
             seed,
@@ -160,17 +252,14 @@ mod tests {
             let p = FaultPlan::decode(seed);
             assert!((1..=3).contains(&p.workers));
             assert!(p.replicas <= 2);
-            if p.fault == Fault::KillPrimary
-                || p.fault == Fault::SlowLink
-                || p.fault == Fault::LaggingReplica
-            {
+            if p.fault.needs_replicas() {
                 assert!(p.replicas > 0, "seed {seed}: fault needs replicas");
             }
-            if p.fault == Fault::TruncateStuck {
+            if p.fault == Fault::TruncateStuck || p.fault == Fault::DiskFullOnTruncate {
                 assert!(p.segmented, "seed {seed}: fault needs a segmented log");
             }
-            if p.fault == Fault::TornWrite {
-                assert_eq!(p.replicas, 0, "seed {seed}: torn writes run standalone");
+            if p.fault == Fault::TornWrite || p.fault == Fault::CrashDuringRecovery {
+                assert_eq!(p.replicas, 0, "seed {seed}: {:?} runs standalone", p.fault);
             }
             if p.elr {
                 assert_eq!(p.replicas, 0, "seed {seed}: ELR runs standalone");
@@ -180,20 +269,22 @@ mod tests {
 
     #[test]
     fn fault_menu_is_reachable() {
-        let mut seen = [false; 6];
+        let mut seen = [false; Fault::ALL.len()];
         for seed in 0..4096 {
-            seen[match FaultPlan::decode(seed).fault {
-                Fault::None => 0,
-                Fault::KillPrimary => 1,
-                Fault::TornWrite => 2,
-                Fault::TruncateStuck => 3,
-                Fault::SlowLink => 4,
-                Fault::LaggingReplica => 5,
-            }] = true;
+            let f = FaultPlan::decode(seed).fault;
+            seen[Fault::ALL.iter().position(|&a| a == f).unwrap()] = true;
         }
         assert!(
             seen.iter().all(|&s| s),
             "every fault must be reachable from some seed: {seen:?}"
         );
+    }
+
+    #[test]
+    fn fault_names_round_trip() {
+        for f in Fault::ALL {
+            assert_eq!(Fault::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Fault::from_name("no-such-fault"), None);
     }
 }

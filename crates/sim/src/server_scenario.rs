@@ -218,7 +218,7 @@ pub fn run_server_seed(seed: u64) -> ServerSimReport {
         }
     }
     server.shutdown();
-    db.log().flush_all();
+    let _ = db.log().flush_all();
 
     // State checksum over the converged table (FNV-1a over key/value).
     let mut state = 0xcbf2_9ce4_8422_2325u64;

@@ -58,7 +58,7 @@ fn every_tear_offset_in_last_record_recovers_to_the_boundary() {
             db.commit(txn).unwrap();
         }
     }
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
 
     let records = db.log().reader().read_all().unwrap();
     let last = records.last().expect("log has records");

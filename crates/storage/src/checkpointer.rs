@@ -141,7 +141,7 @@ mod tests {
         assert!(taken >= 2, "daemon must checkpoint periodically: {taken}");
         ck.stop(); // idempotent
                    // The log contains checkpoint-end records.
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         let ends = db
             .log()
             .reader()

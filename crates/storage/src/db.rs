@@ -18,8 +18,37 @@ use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Durability callback handed to [`Db::commit_tokened_with`]: invoked with
-/// the commit's [`CommitToken`] exactly when the commit is durable.
-pub type DurableCallback = Box<dyn FnOnce(CommitToken) + Send>;
+/// `Ok(token)` exactly when the commit is durable, or `Err` if the log was
+/// poisoned (or shut down) before the commit record hardened — for the async
+/// protocols this callback is the *only* failure channel, so a wire server
+/// must fulfill its error response from here.
+pub type DurableCallback = Box<dyn FnOnce(StorageResult<CommitToken>) + Send>;
+
+/// Duplicate a commit-wait failure for the durability callback — the
+/// original travels in the return value. Only `Poisoned`/`Shutdown` can
+/// come out of a commit wait, both of which duplicate losslessly.
+fn dup_commit_error(e: &StorageError) -> StorageError {
+    match e {
+        StorageError::Log(aether_core::AetherError::Poisoned { reason }) => {
+            StorageError::Log(aether_core::AetherError::Poisoned {
+                reason: reason.clone(),
+            })
+        }
+        _ => StorageError::Log(aether_core::AetherError::Shutdown),
+    }
+}
+
+/// Map the flush daemon's completion flag to the durability callback's
+/// argument: `false` means the log was poisoned before this commit hardened.
+fn commit_fate(durable: bool, token: CommitToken) -> StorageResult<CommitToken> {
+    if durable {
+        Ok(token)
+    } else {
+        StorageResult::Err(StorageError::Log(aether_core::AetherError::Poisoned {
+            reason: "log poisoned before commit hardened".into(),
+        }))
+    }
+}
 
 /// Database construction options.
 #[derive(Debug, Clone)]
@@ -34,6 +63,16 @@ pub struct DbOptions {
     pub protocol: CommitProtocol,
     /// Lock-manager tuning.
     pub lock_config: LockConfig,
+    /// Soft disk-pressure watermark: once the retained log footprint
+    /// (bytes between low-water and durable) exceeds this, [`Db::try_begin`]
+    /// kicks off an emergency checkpoint-and-truncate cycle in the
+    /// background but keeps admitting transactions. `None` disables.
+    pub log_soft_bytes: Option<u64>,
+    /// Hard disk-pressure watermark: above this retained footprint,
+    /// [`Db::try_begin`] rejects new transactions with
+    /// [`aether_core::AetherError::LogFull`] until reclamation brings the
+    /// footprint back down. `None` disables.
+    pub log_hard_bytes: Option<u64>,
 }
 
 impl Default for DbOptions {
@@ -44,6 +83,8 @@ impl Default for DbOptions {
             log_config: LogConfig::default(),
             protocol: CommitProtocol::Baseline,
             lock_config: LockConfig::default(),
+            log_soft_bytes: None,
+            log_hard_bytes: None,
         }
     }
 }
@@ -87,6 +128,11 @@ pub struct DbStats {
     pub commits: std::sync::atomic::AtomicU64,
     /// Transactions aborted.
     pub aborts: std::sync::atomic::AtomicU64,
+    /// Transactions refused at [`Db::try_begin`] because the retained log
+    /// footprint crossed the hard watermark (admission control).
+    pub admission_rejects: std::sync::atomic::AtomicU64,
+    /// Emergency checkpoint-and-truncate cycles triggered by disk pressure.
+    pub emergency_checkpoints: std::sync::atomic::AtomicU64,
 }
 
 impl DbStats {
@@ -102,6 +148,16 @@ impl DbStats {
     /// Aborts performed.
     pub fn aborts(&self) -> u64 {
         self.aborts.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    /// Transactions shed by disk-pressure admission control.
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    /// Emergency checkpoints triggered by disk pressure.
+    pub fn emergency_checkpoints(&self) -> u64 {
+        self.emergency_checkpoints
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -122,6 +178,9 @@ pub struct Db {
     redo_low_water: aether_core::lsn::AtomicLsn,
     /// Ids of the storage-layer metrics registered on the log's telemetry.
     tel: DbTelIds,
+    /// True while an emergency (disk-pressure) checkpoint cycle is running;
+    /// CAS-guarded so concurrent `try_begin` calls spawn at most one.
+    emergency_ckpt: std::sync::atomic::AtomicBool,
 }
 
 /// Storage-layer metric ids, registered once at [`Db::assemble`].
@@ -194,6 +253,7 @@ impl Db {
             last_checkpoint: aether_core::lsn::AtomicLsn::new(Lsn::ZERO),
             redo_low_water: aether_core::lsn::AtomicLsn::new(Lsn::ZERO),
             tel,
+            emergency_ckpt: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -210,6 +270,16 @@ impl Db {
         snap.push_counter("db.commits", Unit::Count, self.stats.commits());
         snap.push_counter("db.aborts", Unit::Count, self.stats.aborts());
         snap.push_counter("db.flush_wait_ns", Unit::Nanos, self.stats.flush_wait_ns());
+        snap.push_counter(
+            "db.admission_rejects",
+            Unit::Count,
+            self.stats.admission_rejects(),
+        );
+        snap.push_counter(
+            "db.emergency_checkpoints",
+            Unit::Count,
+            self.stats.emergency_checkpoints(),
+        );
         snap.push_counter("lock.wait_ns", Unit::Nanos, self.locks.wait_ns());
         snap.push_counter(
             "lock.blocked_acquires",
@@ -309,6 +379,84 @@ impl Db {
     /// Begin a transaction.
     pub fn begin(&self) -> Transaction {
         self.txns.begin()
+    }
+
+    /// Begin a transaction, subject to disk-pressure admission control.
+    ///
+    /// Compares the retained log footprint against the watermarks in
+    /// [`DbOptions`]:
+    ///
+    /// * **Below soft** (or no watermarks configured): admit, exactly like
+    ///   [`Db::begin`].
+    /// * **Soft ≤ footprint < hard**: admit, but trigger one emergency
+    ///   checkpoint-and-truncate cycle in the background (CAS-guarded so
+    ///   concurrent callers spawn at most one).
+    /// * **≥ hard**: reject with [`aether_core::AetherError::LogFull`] — a
+    ///   *transient* error ([`StorageError::is_retryable`] is true) that
+    ///   clears once reclamation catches up. The emergency cycle is also
+    ///   triggered so the system digs itself out without new load.
+    ///
+    /// Serving tiers should route `Begin` and auto-commit requests through
+    /// this; internal housekeeping (recovery, checkpoints) keeps using
+    /// [`Db::begin`], which is never shed.
+    pub fn try_begin(self: &Arc<Self>) -> StorageResult<Transaction> {
+        let soft = self.opts.log_soft_bytes;
+        let hard = self.opts.log_hard_bytes;
+        if soft.is_none() && hard.is_none() {
+            return Ok(self.begin());
+        }
+        let retained = self.log.retained_bytes();
+        if let Some(limit) = hard {
+            if retained >= limit {
+                self.stats
+                    .admission_rejects
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.kick_emergency_checkpoint();
+                return Err(StorageError::Log(aether_core::AetherError::LogFull {
+                    retained,
+                    limit,
+                }));
+            }
+        }
+        if let Some(limit) = soft {
+            if retained >= limit {
+                self.kick_emergency_checkpoint();
+            }
+        }
+        Ok(self.begin())
+    }
+
+    /// Launch one emergency checkpoint-and-truncate cycle if none is in
+    /// flight. Under the real runtime the cycle runs on a detached
+    /// "aether-emerg-ckpt" thread; under sim it runs inline on the caller
+    /// (spawning requires the caller to be a sim actor, and inline execution
+    /// keeps replays deterministic).
+    fn kick_emergency_checkpoint(self: &Arc<Self>) {
+        use std::sync::atomic::Ordering;
+        if self
+            .emergency_ckpt
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        self.stats
+            .emergency_checkpoints
+            .fetch_add(1, Ordering::Relaxed);
+        let rt = self.log.config().runtime.clone();
+        if rt.is_sim() {
+            let _ = self.checkpoint_and_truncate();
+            self.emergency_ckpt.store(false, Ordering::Release);
+        } else {
+            let db = Arc::clone(self);
+            // Detached on purpose: admission control only needs the flag to
+            // clear when the cycle ends, not the outcome.
+            let _ = rt.spawn("aether-emerg-ckpt", move || {
+                let _ = db.checkpoint_and_truncate();
+                db.emergency_ckpt
+                    .store(false, std::sync::atomic::Ordering::Release);
+            });
+        }
     }
 
     /// Read `key` (S row lock, IS table lock).
@@ -502,7 +650,13 @@ impl Db {
     ) -> StorageResult<CommitOutcome> {
         self.commit_inner(
             txn,
-            on_durable.map(|f| -> DurableCallback { Box::new(|_| f()) }),
+            on_durable.map(|f| -> DurableCallback {
+                Box::new(|r| {
+                    if r.is_ok() {
+                        f()
+                    }
+                })
+            }),
         )
         .map(|(out, _)| out)
     }
@@ -545,7 +699,7 @@ impl Db {
             self.locks.release_all(txn.id, &txn.held);
             self.txns.finish(txn.id);
             if let Some(f) = on_durable {
-                f(CommitToken::ZERO);
+                f(Ok(CommitToken::ZERO));
             }
             return Ok((CommitOutcome::Durable, CommitToken::ZERO));
         }
@@ -562,14 +716,14 @@ impl Db {
         // whether the replication requirement was met: false means a
         // primary-failure simulation released the wait and the commit's
         // replicated fate is indeterminate (reported as Unsafe below).
-        let timed_flush = |lsn| {
+        let timed_flush = |lsn| -> StorageResult<bool> {
             let t = aether_core::runtime::monotonic_ns();
             let replicated = self.log.wait_committed(lsn);
             let dt = aether_core::runtime::monotonic_ns().saturating_sub(t);
             self.stats
                 .flush_wait_ns
                 .fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
-            replicated
+            replicated.map_err(StorageError::from)
         };
         // Commit latency: entry to durable, whichever thread observes it.
         // Blocking protocols record inline; async ones record in the
@@ -589,40 +743,64 @@ impl Db {
         match self.opts.protocol {
             CommitProtocol::Baseline => {
                 // Flush first, *then* release locks: delay (B) of Figure 1.
-                let replicated = timed_flush(end);
+                let flushed = timed_flush(end);
                 record_latency();
                 self.locks.release_all(txn.id, &txn.held);
                 self.txns.finish(txn.id);
-                if let Some(f) = on_durable {
-                    f(token);
+                match flushed {
+                    Ok(replicated) => {
+                        if let Some(f) = on_durable {
+                            f(Ok(token));
+                        }
+                        Ok((
+                            if replicated {
+                                CommitOutcome::Durable
+                            } else {
+                                CommitOutcome::Unsafe
+                            },
+                            token,
+                        ))
+                    }
+                    Err(e) => {
+                        // The commit record never hardened: the log is
+                        // poisoned (or shut down). Locks were released and
+                        // the txn slot retired above — the transaction is
+                        // dead either way; the caller gets the typed error.
+                        if let Some(f) = on_durable {
+                            f(Err(dup_commit_error(&e)));
+                        }
+                        Err(e)
+                    }
                 }
-                Ok((
-                    if replicated {
-                        CommitOutcome::Durable
-                    } else {
-                        CommitOutcome::Unsafe
-                    },
-                    token,
-                ))
             }
             CommitProtocol::Elr => {
                 // ELR: locks drop before the flush; only this transaction
                 // waits for the I/O.
                 self.locks.release_all(txn.id, &txn.held);
-                let replicated = timed_flush(end);
+                let flushed = timed_flush(end);
                 record_latency();
                 self.txns.finish(txn.id);
-                if let Some(f) = on_durable {
-                    f(token);
+                match flushed {
+                    Ok(replicated) => {
+                        if let Some(f) = on_durable {
+                            f(Ok(token));
+                        }
+                        Ok((
+                            if replicated {
+                                CommitOutcome::Durable
+                            } else {
+                                CommitOutcome::Unsafe
+                            },
+                            token,
+                        ))
+                    }
+                    Err(e) => {
+                        if let Some(f) = on_durable {
+                            f(Err(dup_commit_error(&e)));
+                        }
+                        Err(e)
+                    }
                 }
-                Ok((
-                    if replicated {
-                        CommitOutcome::Durable
-                    } else {
-                        CommitOutcome::Unsafe
-                    },
-                    token,
-                ))
             }
             CommitProtocol::AsyncCommit => {
                 self.locks.release_all(txn.id, &txn.held);
@@ -630,11 +808,11 @@ impl Db {
                 let id = txn.id;
                 self.log.commit_async(
                     end,
-                    CommitAction::Callback(Box::new(move || {
+                    CommitAction::Callback(Box::new(move |durable| {
                         record_latency();
                         txns.finish(id);
                         if let Some(f) = on_durable {
-                            f(token);
+                            f(commit_fate(durable, token));
                         }
                     })),
                 );
@@ -647,16 +825,20 @@ impl Db {
                 let id = txn.id;
                 self.log.commit_async(
                     end,
-                    CommitAction::Callback(Box::new(move || {
+                    CommitAction::Callback(Box::new(move |durable| {
                         record_latency();
                         txns.finish(id);
                         // Run the driver callback *before* completing the
                         // handle: a waiter on the handle must observe every
                         // side effect of the commit's completion.
                         if let Some(f) = on_durable {
-                            f(token);
+                            f(commit_fate(durable, token));
                         }
-                        st.complete();
+                        if durable {
+                            st.complete();
+                        } else {
+                            st.fail();
+                        }
                     })),
                 );
                 Ok((CommitOutcome::Pipelined(handle), token))
@@ -756,7 +938,7 @@ impl Db {
     /// retired to. Returns the checkpoint-begin LSN.
     pub fn checkpoint(&self) -> Lsn {
         let begin = self.log.insert(RecordKind::CheckpointBegin, 0, &[]);
-        let att = self.txns.att_snapshot();
+        let (att, att_floor) = self.txns.att_snapshot_with_floor();
         let payload = CheckpointPayload {
             att,
             dpt: self.dpt_snapshot(),
@@ -764,9 +946,21 @@ impl Db {
         let (_, end) = self
             .log
             .insert_payload(RecordKind::CheckpointEnd, 0, Lsn::ZERO, &payload);
-        self.log.flush_until(end);
+        // A poisoned log means this checkpoint never hardened — safe to
+        // ignore here: truncation targets are clamped to the durable
+        // watermark, so an unflushed checkpoint can never widen truncation.
+        let _ = self.log.flush_until(end);
         self.last_checkpoint.fetch_max(begin);
-        self.redo_low_water.fetch_max(self.log_truncation_point());
+        // The published truncation point must honor the ATT as *captured*,
+        // not the ATT as of now: a transaction this checkpoint lists as
+        // active may have committed in the meantime, and recovery — which
+        // seeds losers from the checkpoint record — still needs its whole
+        // chain (commit included) to classify it correctly.
+        let mut point = self.log_truncation_point();
+        if let Some(floor) = att_floor {
+            point = point.min(floor);
+        }
+        self.redo_low_water.fetch_max(point);
         begin
     }
 
@@ -1007,7 +1201,7 @@ mod tests {
             )
             .unwrap();
         match out {
-            CommitOutcome::Pipelined(h) => h.wait(),
+            CommitOutcome::Pipelined(h) => assert!(h.wait()),
             other => panic!("expected pipelined outcome, got {other:?}"),
         }
         assert!(done.load(std::sync::atomic::Ordering::SeqCst));

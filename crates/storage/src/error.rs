@@ -78,12 +78,14 @@ pub type StorageResult<T> = Result<T, StorageError>;
 
 impl StorageError {
     /// True for errors that indicate the transaction should be retried
-    /// (deadlock victims, lock timeouts).
+    /// (deadlock victims, lock timeouts, and transient log-layer conditions
+    /// such as admission-control rejection under disk pressure).
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            StorageError::LockTimeout { .. } | StorageError::Deadlock { .. }
-        )
+        match self {
+            StorageError::LockTimeout { .. } | StorageError::Deadlock { .. } => true,
+            StorageError::Log(e) => e.is_transient(),
+            _ => false,
+        }
     }
 }
 
@@ -96,6 +98,15 @@ mod tests {
         assert!(StorageError::LockTimeout { txn: 3 }.is_retryable());
         assert!(StorageError::Deadlock { txn: 3 }.is_retryable());
         assert!(!StorageError::KeyNotFound { table: 1, key: 2 }.is_retryable());
+        assert!(StorageError::Log(aether_core::AetherError::LogFull {
+            retained: 9,
+            limit: 8,
+        })
+        .is_retryable());
+        assert!(
+            StorageError::Log(aether_core::AetherError::Busy("admission".into())).is_retryable()
+        );
+        assert!(!StorageError::Log(aether_core::AetherError::Shutdown).is_retryable());
         assert!(StorageError::Deadlock { txn: 7 }.to_string().contains('7'));
         assert!(StorageError::DuplicateKey { table: 1, key: 9 }
             .to_string()

@@ -275,7 +275,7 @@ pub fn recover_with_stats(
         db.table(i as u32)?.rebuild_index();
     }
     db.txn_manager().bump_next(max_txn + 1);
-    db.log().flush_all();
+    db.log().flush_all()?;
     Ok((db, stats))
 }
 
@@ -364,7 +364,7 @@ mod tests {
         let mut loser = db.begin();
         db.update_with(&mut loser, 0, 5, |r| r[8] = 99).unwrap();
         db.update_with(&mut loser, 0, 6, |r| r[8] = 98).unwrap();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         let image = db.crash();
         std::mem::forget(loser); // the crash takes it
 
@@ -473,7 +473,7 @@ mod tests {
             db.update_with(&mut t, 0, k, |r| r[8] = 200).unwrap();
         }
         db.abort(t).unwrap();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         let image = db.crash();
         let (db2, stats) = recover_with_stats(image, opts(CommitProtocol::Baseline)).unwrap();
         assert_eq!(stats.losers, 0, "cleanly aborted txn is not a loser");
@@ -492,7 +492,7 @@ mod tests {
         db.commit(t).unwrap();
         let mut loser = db.begin();
         db.update_with(&mut loser, 0, 2, |r| r[8] = 34).unwrap();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         let image = db.crash();
         std::mem::forget(loser);
         // First recovery, then crash again immediately.

@@ -359,7 +359,7 @@ mod tests {
     #[test]
     fn standby_replay_matches_primary_state() {
         let (db, store, schema) = primary_with_work();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         let standby = standby_db(opts(), store, &schema).unwrap();
         let mut reader = LogReader::new(Arc::clone(db.log().device()));
         while let Some(rec) = reader.next_record().unwrap() {
@@ -378,7 +378,7 @@ mod tests {
     #[test]
     fn replay_is_idempotent_over_prefix_overlap() {
         let (db, store, schema) = primary_with_work();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         let standby = standby_db(opts(), store, &schema).unwrap();
         let records: Vec<Record> = LogReader::new(Arc::clone(db.log().device()))
             .read_all()
@@ -399,7 +399,7 @@ mod tests {
     #[test]
     fn standby_never_writes_its_own_log() {
         let (db, store, schema) = primary_with_work();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         let standby = standby_db(opts(), store, &schema).unwrap();
         let before = standby.log().device().len();
         let mut reader = LogReader::new(Arc::clone(db.log().device()));

@@ -246,11 +246,33 @@ impl TxnManager {
 
     /// Snapshot the ATT: (txn id, last LSN) pairs for the checkpoint record.
     pub fn att_snapshot(&self) -> Vec<(u64, Lsn)> {
-        self.active
-            .lock()
+        self.att_snapshot_with_floor().0
+    }
+
+    /// Snapshot the ATT together with its undo floor — the oldest first-LSN
+    /// among the captured transactions — under a single lock acquisition.
+    /// The floor is what makes the snapshot safe to *publish*: a checkpoint
+    /// that lists transaction T as active must pin the truncation point at
+    /// or below T's first record, even if T finishes right after the
+    /// capture. Recomputing the floor later from the then-active set (as
+    /// [`TxnManager::oldest_first_lsn`] does) races with T's commit:
+    /// truncation could retire T's whole chain — commit record included —
+    /// while the surviving checkpoint still names T, and recovery would
+    /// chase T's "undo chain" into the recycled prefix.
+    pub fn att_snapshot_with_floor(&self) -> (Vec<(u64, Lsn)>, Option<Lsn>) {
+        let active = self.active.lock();
+        let att = active
             .values()
             .map(|s| (s.id, Lsn(s.last_lsn.load(Ordering::Relaxed))))
-            .collect()
+            .collect();
+        let floor = active
+            .values()
+            .filter_map(|s| match s.first_lsn.load(Ordering::Relaxed) {
+                0 => None,
+                v => Some(Lsn(v - 1)),
+            })
+            .min();
+        (att, floor)
     }
 
     /// Number of in-flight transactions.

@@ -315,7 +315,7 @@ mod tests {
         log.insert_payload(RecordKind::Update, 9, Lsn::ZERO, &u);
         log.insert_payload(RecordKind::Clr, 9, Lsn::ZERO, &c);
         log.insert_payload(RecordKind::CheckpointEnd, 0, Lsn::ZERO, &cp);
-        log.flush_all();
+        log.flush_all().unwrap();
         let recs = log.reader().read_all().unwrap();
         assert_eq!(recs.len(), 3);
         assert_eq!(recs[0].payload, u.encode());

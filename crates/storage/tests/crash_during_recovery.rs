@@ -1,0 +1,137 @@
+//! Crash during recovery (ISSUE 10 satellite): power-cut a recovering
+//! database at every stage boundary and prove recovery converges.
+//!
+//! Recovery appends to the log (CLRs during undo, abort markers at
+//! rollback completion), so a second crash can land anywhere inside that
+//! suffix: before any CLR survived (≈ crash after analysis/redo), mid-undo
+//! with a partial CLR chain, mid-record with a torn CLR, or after
+//! everything hardened. ARIES' answer is that CLRs are redo-only and
+//! chained via `undo_next`, making re-recovery idempotent: whatever prefix
+//! survived, the next recovery lands in the same winners-only state. These
+//! tests cut the recovering log at *every byte* and assert exactly that.
+
+use aether_core::{BufferKind, DeviceKind, LogConfig};
+use aether_storage::recovery::recover_with_stats;
+use aether_storage::replay::state_fingerprint;
+use aether_storage::{CommitProtocol, Db, DbOptions};
+use std::sync::Arc;
+
+const VAL: usize = 40;
+
+fn opts() -> DbOptions {
+    DbOptions {
+        protocol: CommitProtocol::Baseline,
+        device: DeviceKind::Ram,
+        buffer: BufferKind::Hybrid,
+        log_config: LogConfig::default().with_buffer_size(1 << 20),
+        ..DbOptions::default()
+    }
+}
+
+fn rec(fill: u8) -> Vec<u8> {
+    vec![fill; VAL]
+}
+
+/// A database with 4 committed winners and 2 multi-update losers whose
+/// records are durable — recovery has real undo work to do.
+fn crashed_db_with_losers() -> Arc<Db> {
+    let db = Db::open(opts());
+    db.create_table(VAL, 16);
+    for k in 0..16u64 {
+        db.load(0, k, &rec(1)).unwrap();
+    }
+    db.setup_complete();
+    for k in 0..4u64 {
+        let mut t = db.begin();
+        db.update_with(&mut t, 0, k, |r| r[8] = 100 + k as u8)
+            .unwrap();
+        db.commit(t).unwrap();
+    }
+    // Two in-flight transactions, three updates each, flushed but never
+    // committed: six CLRs' worth of undo for recovery.
+    let mut l1 = db.begin();
+    let mut l2 = db.begin();
+    for k in 4..7u64 {
+        db.update_with(&mut l1, 0, k, |r| r[8] = 200).unwrap();
+        db.update_with(&mut l2, 0, k + 3, |r| r[8] = 201).unwrap();
+    }
+    db.log().flush_all().unwrap();
+    std::mem::forget(l1);
+    std::mem::forget(l2);
+    db
+}
+
+#[test]
+fn recovery_of_fully_recovered_image_is_idempotent() {
+    let db = crashed_db_with_losers();
+    let (r1, s1) = recover_with_stats(db.crash(), opts()).unwrap();
+    assert_eq!(s1.losers, 2);
+    assert_eq!(s1.clrs_written, 6);
+    let want = state_fingerprint(&r1).unwrap();
+
+    // Crash after recovery finished (its wrap-up flushes the CLR suffix):
+    // the losers are now cleanly aborted history. Recovering again must
+    // write zero new CLRs and land in the identical state.
+    let (r2, s2) = recover_with_stats(r1.crash(), opts()).unwrap();
+    assert_eq!(s2.losers, 0, "compensated losers must not re-undo");
+    assert_eq!(s2.clean_aborts, 2, "abort markers close both losers");
+    assert_eq!(s2.clrs_written, 0, "CLR redo is enough — none rewritten");
+    assert_eq!(state_fingerprint(&r2).unwrap(), want);
+}
+
+#[test]
+fn crash_at_every_byte_of_the_recovery_suffix_converges() {
+    let db = crashed_db_with_losers();
+    let base_len = db.crash().log_bytes.len();
+    let (r1, _) = recover_with_stats(db.crash(), opts()).unwrap();
+    let want = state_fingerprint(&r1).unwrap();
+    let full_len = r1.crash().log_bytes.len();
+    assert!(full_len > base_len, "recovery appended CLRs + aborts");
+
+    // Cut the twice-crashed image at every byte inside the suffix recovery
+    // wrote — each cut is a legal power-cut point (torn CLRs included).
+    for cut in base_len..=full_len {
+        let mut img = r1.crash();
+        img.log_bytes.truncate(cut);
+        let (r2, s2) = recover_with_stats(img, opts())
+            .unwrap_or_else(|e| panic!("cut at byte {cut}/{full_len}: recovery failed: {e:?}"));
+        assert_eq!(
+            state_fingerprint(&r2).unwrap(),
+            want,
+            "cut at byte {cut}/{full_len} (stats {s2:?}) diverged from the winners-only state"
+        );
+        // The committed winners are intact at every cut.
+        for k in 0..4u64 {
+            let v = r2.snapshot_read(0, k).unwrap().unwrap();
+            assert_eq!(v[8], 100 + k as u8, "winner {k} lost at cut {cut}");
+        }
+    }
+}
+
+#[test]
+fn mid_undo_crash_is_deterministic_and_accepts_new_work() {
+    let db = crashed_db_with_losers();
+    let base_len = db.crash().log_bytes.len();
+    let (r1, _) = recover_with_stats(db.crash(), opts()).unwrap();
+    let full_len = r1.crash().log_bytes.len();
+    // A cut in the middle of the CLR chain: some losers partially
+    // compensated, the rest still raw.
+    let cut = base_len + (full_len - base_len) / 2;
+    let img_at_cut = || {
+        let mut img = r1.crash();
+        img.log_bytes.truncate(cut);
+        img
+    };
+    let (r2a, s2a) = recover_with_stats(img_at_cut(), opts()).unwrap();
+    let (r2b, s2b) = recover_with_stats(img_at_cut(), opts()).unwrap();
+    assert_eq!(s2a, s2b, "same image must recover by the same path");
+    assert_eq!(
+        state_fingerprint(&r2a).unwrap(),
+        state_fingerprint(&r2b).unwrap()
+    );
+    // And the result is a fully live database.
+    let mut t = r2a.begin();
+    r2a.update_with(&mut t, 0, 15, |r| r[8] = 7).unwrap();
+    r2a.commit(t).unwrap();
+    assert_eq!(r2a.snapshot_read(0, 15).unwrap().unwrap()[8], 7);
+}

@@ -1,0 +1,134 @@
+//! Disk-pressure degradation: watermark admission control end to end.
+//!
+//! The log footprint is driven past the configured watermarks on a real
+//! segmented device and the ladder is observed from the outside:
+//!
+//! * below soft — `try_begin` behaves exactly like `begin`;
+//! * past soft — admission continues, but an emergency
+//!   checkpoint-and-truncate cycle fires (once — the trigger is CAS-guarded);
+//! * past hard — `try_begin` sheds load with a typed, *retryable*
+//!   `LogFull` carrying the observed footprint and the limit;
+//! * after reclamation — admission recovers with no operator action.
+
+use aether_core::partition::{MemSegmentFactory, SegmentedDevice};
+use aether_core::AetherError;
+use aether_storage::{CommitProtocol, Db, DbOptions, StorageError, Transaction};
+use std::sync::Arc;
+
+const SEG: u64 = 16 * 1024;
+const VAL: usize = 256;
+
+fn pressured_db(soft: Option<u64>, hard: Option<u64>) -> (Arc<Db>, Arc<SegmentedDevice>) {
+    let segments = Arc::new(SegmentedDevice::new(Box::new(MemSegmentFactory), SEG).unwrap());
+    let db = Db::open_with_device(
+        DbOptions {
+            protocol: CommitProtocol::Baseline,
+            log_config: aether_core::LogConfig::default().with_buffer_size(1 << 20),
+            log_soft_bytes: soft,
+            log_hard_bytes: hard,
+            ..DbOptions::default()
+        },
+        Arc::clone(&segments) as _,
+    );
+    db.create_table(VAL, 64);
+    for k in 0..64u64 {
+        db.load(0, k, &[0u8; VAL]).unwrap();
+    }
+    db.setup_complete();
+    (db, segments)
+}
+
+/// Commit one update via the unmetered path (internal work is never shed).
+/// Keys 0..63 only — key 63 is reserved for the truncation-pinning
+/// transaction in the hard-watermark test.
+fn churn(db: &Arc<Db>, k: u64) {
+    let mut t = db.begin();
+    db.update_with(&mut t, 0, k % 63, |r| r[0] = r[0].wrapping_add(1))
+        .unwrap();
+    db.commit(t).unwrap();
+}
+
+/// Fill the log until its retained footprint crosses `bytes`.
+fn fill_past(db: &Arc<Db>, bytes: u64) {
+    let mut k = 0u64;
+    while db.log().retained_bytes() <= bytes {
+        churn(db, k);
+        k += 1;
+        assert!(k < 1_000_000, "footprint never crossed {bytes}");
+    }
+}
+
+#[test]
+fn no_watermarks_never_sheds() {
+    let (db, _) = pressured_db(None, None);
+    fill_past(&db, 4 * SEG);
+    let t = db.try_begin().unwrap();
+    db.abort(t).unwrap();
+    assert_eq!(db.stats().admission_rejects(), 0);
+    assert_eq!(db.stats().emergency_checkpoints(), 0);
+}
+
+#[test]
+fn hard_watermark_sheds_with_typed_retryable_error_then_recovers() {
+    let hard = 4 * SEG;
+    let (db, _segments) = pressured_db(None, Some(hard));
+    // Pin truncation with an open transaction so the emergency cycle cannot
+    // dig us out from under the assertion.
+    let mut pin: Transaction = db.begin();
+    db.update_with(&mut pin, 0, 63, |r| r[1] = 1).unwrap();
+    fill_past(&db, hard);
+
+    let e = match db.try_begin() {
+        Err(e) => e,
+        Ok(_) => panic!("try_begin must shed past the hard watermark"),
+    };
+    assert!(e.is_retryable(), "LogFull must be retryable: {e}");
+    match &e {
+        StorageError::Log(AetherError::LogFull { retained, limit }) => {
+            assert_eq!(*limit, hard);
+            assert!(*retained >= hard, "error carries the observed footprint");
+        }
+        other => panic!("expected LogFull, got {other}"),
+    }
+    assert!(db.stats().admission_rejects() >= 1);
+    assert!(db.stats().emergency_checkpoints() >= 1);
+
+    // Release the pin and reclaim; admission recovers by itself.
+    db.commit(pin).unwrap();
+    let mut spins = 0;
+    loop {
+        let out = db.checkpoint_and_truncate();
+        assert!(!out.device_error);
+        if db.log().retained_bytes() < hard {
+            break;
+        }
+        churn(&db, 0); // advance the durable watermark past stragglers
+        spins += 1;
+        assert!(spins < 100, "reclamation never brought footprint down");
+    }
+    let t = db
+        .try_begin()
+        .expect("admission must recover after reclaim");
+    db.abort(t).unwrap();
+}
+
+#[test]
+fn soft_watermark_admits_but_kicks_emergency_checkpoint() {
+    let soft = 3 * SEG;
+    let (db, segments) = pressured_db(Some(soft), None);
+    fill_past(&db, soft);
+    // Past soft: still admitted, but the emergency cycle fires.
+    let t = db.try_begin().expect("soft watermark must not shed");
+    db.abort(t).unwrap();
+    assert_eq!(db.stats().admission_rejects(), 0);
+    assert!(db.stats().emergency_checkpoints() >= 1);
+    // The cycle runs on a background thread; wait for it to reclaim.
+    let mut spins = 0u32;
+    while segments.recycled_segments() == 0 {
+        std::thread::yield_now();
+        spins += 1;
+        if spins > 1_000_000 {
+            panic!("emergency checkpoint never recycled a segment");
+        }
+    }
+}

@@ -38,7 +38,7 @@ fn main() {
     let mut in_flight = db.begin();
     db.update_with(&mut in_flight, 0, 50, |r| r[8] = 123)
         .unwrap();
-    db.log().flush_all(); // its update record reaches the disk...
+    db.log().flush_all().unwrap(); // its update record reaches the disk...
     let image = db.crash(); // ...but no commit record does
     std::mem::forget(in_flight);
 

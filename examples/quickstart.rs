@@ -42,7 +42,7 @@ fn main() {
     // 3. Commit: insert a commit record and wait for durability through the
     //    group-commit flush daemon.
     let handle = log.commit(42, Lsn::ZERO);
-    handle.wait();
+    assert!(handle.wait());
     println!(
         "commit durable at LSN {} after {} device syncs",
         log.durable_lsn(),
@@ -50,7 +50,7 @@ fn main() {
     );
 
     // 4. Recovery scan: read the whole durable prefix back.
-    log.flush_all();
+    log.flush_all().unwrap();
     let records = log.reader().read_all().expect("clean log scans cleanly");
     println!(
         "scan found {} records; first = {:?}",

@@ -63,7 +63,7 @@ fn main() {
         }
     });
 
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
     println!("{:<24} {:>8} {:>8}", "transaction", "ok", "failed");
     let mut rows: Vec<_> = per_type.into_inner().into_iter().collect();
     rows.sort_by_key(|(k, _)| format!("{k:?}"));

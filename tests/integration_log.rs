@@ -43,7 +43,7 @@ fn stress_one(kind: BufferKind, threads: usize, per: usize) {
             });
         }
     });
-    log.flush_all();
+    log.flush_all().unwrap();
     let records = log.reader().read_all().expect("valid log");
     assert_eq!(records.len(), threads * per, "{kind:?}: lost records");
     // Dense stream: each record starts where the previous ended.
@@ -79,7 +79,7 @@ fn variants_agree_on_total_bytes_for_same_workload() {
             let payload = vec![0u8; 8 + (i % 7) * 40];
             log.insert(RecordKind::Update, i as u64, &payload);
         }
-        log.flush_all();
+        log.flush_all().unwrap();
         totals.push(log.durable_lsn());
     }
     assert!(
@@ -102,7 +102,7 @@ fn group_commit_batches_many_commits_into_few_syncs() {
         handles.push(log.commit(t, prev));
     }
     for h in handles {
-        h.wait();
+        assert!(h.wait());
     }
     let flushes = log.flush_count();
     assert!(
@@ -131,7 +131,7 @@ fn concurrent_committers_share_flushes() {
             s.spawn(move || {
                 for _ in 0..per {
                     let (_, end) = log.insert_ext(RecordKind::Commit, t, Lsn::ZERO, &[0u8; 80]);
-                    log.flush_until(end);
+                    log.flush_until(end).unwrap();
                 }
             });
         }
@@ -166,7 +166,7 @@ fn back_pressure_with_slow_device_never_deadlocks() {
             });
         }
     });
-    log.flush_all();
+    log.flush_all().unwrap();
     assert_eq!(log.stats().inserts, threads * per);
     assert_eq!(log.durable_lsn(), Lsn(log.stats().bytes));
 }
@@ -180,7 +180,7 @@ fn torn_tail_is_clipped_by_reader() {
     for i in 0..50u64 {
         log.insert(RecordKind::Update, i, &[3u8; 100]);
     }
-    log.flush_all();
+    log.flush_all().unwrap();
     let full = device.len();
     log.shutdown();
     // Tear the tail mid-record.
@@ -204,7 +204,7 @@ fn commit_handles_complete_across_protocol_paths() {
             s.spawn(move || {
                 for _ in 0..per {
                     let prev = log.insert(RecordKind::Update, t, &[9u8; 64]);
-                    log.commit(t, prev).wait();
+                    assert!(log.commit(t, prev).wait());
                 }
             });
         }

@@ -95,7 +95,7 @@ proptest! {
         for (i, p) in payloads.iter().enumerate() {
             prev = log.insert_chained(RecordKind::Update, i as u64, prev, p);
         }
-        log.flush_all();
+        log.flush_all().unwrap();
         let records = log.reader().read_all().unwrap();
         prop_assert_eq!(records.len(), payloads.len());
         let mut expect_prev = Lsn::ZERO;

@@ -101,7 +101,7 @@ proptest! {
         }
 
         // The retained suffix alone recovers the committed state.
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         let image = db.crash();
         prop_assert_eq!(image.log_start, db.log().low_water());
         drop(db);

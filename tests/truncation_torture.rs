@@ -83,7 +83,7 @@ fn crash_between_checkpoint_and_truncation_recovers_consistently() {
             r[8..16].copy_from_slice(&7777u64.to_le_bytes())
         })
         .unwrap();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
 
         // The tortured cycle, cut at `stage`.
         db.flush_pages();
@@ -180,7 +180,7 @@ fn open_transaction_pins_truncation_until_it_resolves() {
         r[8..16].copy_from_slice(&9999u64.to_le_bytes())
     })
     .unwrap();
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
     let image = db.crash();
     std::mem::forget(pinner);
     drop(db);
@@ -263,7 +263,7 @@ fn sim_seeded_torture_replays_byte_identically() {
             r[8..16].copy_from_slice(&7777u64.to_le_bytes())
         })
         .unwrap();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         db.flush_pages();
         db.checkpoint();
         let image = db.crash();
@@ -288,7 +288,7 @@ fn sim_seeded_torture_replays_byte_identically() {
             }
         }
         db2.commit(txn).unwrap();
-        db2.log().flush_all();
+        db2.log().flush_all().unwrap();
         db2.log().shutdown();
         let history = rt.history();
         drop(guard);
